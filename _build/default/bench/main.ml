@@ -1,0 +1,93 @@
+(* `dune exec bench/main.exe` regenerates every table and figure of the
+   paper (see DESIGN.md §3 for the experiment index) and then runs Bechamel
+   wall-clock benchmarks — one Test.make per Table-1 row. Pass
+   --no-timings to skip the Bechamel stage. *)
+
+open Mewc_sim
+open Mewc_core
+
+let run_tables () =
+  List.iter
+    (fun rendered ->
+      print_string rendered;
+      print_newline ())
+    (Experiments.all_tables ())
+
+(* ---- Bechamel timings: one benchmark per Table-1 row -------------------- *)
+
+let honest ~pki ~secrets =
+  Adversary.const (Adversary.honest ~name:"honest") ~pki ~secrets
+
+let crash_first f ~pki ~secrets =
+  Adversary.const
+    (Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ())
+    ~pki ~secrets
+
+let cfg n = Config.optimal ~n
+
+let bench_tests =
+  let n = 21 in
+  let t = (cfg n).Config.t in
+  let open Bechamel in
+  [
+    Test.make ~name:"table1/bb n=21 f=0" (Staged.stage (fun () ->
+        ignore (Instances.run_bb ~cfg:(cfg n) ~input:"v" ~adversary:honest ())));
+    Test.make ~name:"table1/bb n=21 f=t" (Staged.stage (fun () ->
+        ignore (Instances.run_bb ~cfg:(cfg n) ~input:"v" ~adversary:(crash_first t) ())));
+    Test.make ~name:"table1/weak-ba n=21 f=0" (Staged.stage (fun () ->
+        ignore
+          (Instances.run_weak_ba ~cfg:(cfg n) ~inputs:(Array.make n "v")
+             ~adversary:honest ())));
+    Test.make ~name:"table1/weak-ba n=21 f=t" (Staged.stage (fun () ->
+        ignore
+          (Instances.run_weak_ba ~cfg:(cfg n) ~inputs:(Array.make n "v")
+             ~adversary:(crash_first t) ())));
+    Test.make ~name:"table1/strong-ba n=21 f=0" (Staged.stage (fun () ->
+        ignore
+          (Instances.run_strong_ba ~cfg:(cfg n) ~inputs:(Array.make n true)
+             ~adversary:honest ())));
+    Test.make ~name:"table1/strong-ba n=21 f=1" (Staged.stage (fun () ->
+        ignore
+          (Instances.run_strong_ba ~cfg:(cfg n) ~inputs:(Array.make n true)
+             ~adversary:(crash_first 1) ())));
+    Test.make ~name:"table1/a-fallback n=21 f=0" (Staged.stage (fun () ->
+        ignore
+          (Instances.run_fallback ~cfg:(cfg n) ~inputs:(Array.make n "v")
+             ~adversary:honest ())));
+    Test.make ~name:"baseline/dolev-strong n=21 f=0" (Staged.stage (fun () ->
+        ignore
+          (Mewc_baselines.Dolev_strong.run ~cfg:(cfg n) ~input:"v"
+             ~adversary:honest ())));
+  ]
+
+let run_timings () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let benchmark test =
+    let cfg_b = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+    Benchmark.all cfg_b instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  print_endline "[PERF] Bechamel wall-clock per run (monotonic clock):";
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"t1" [ test ]) in
+      let analysis = analyze results in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-40s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        analysis)
+    bench_tests
+
+let () =
+  let skip_timings = Array.exists (String.equal "--no-timings") Sys.argv in
+  run_tables ();
+  if not skip_timings then run_timings ()

@@ -1,0 +1,272 @@
+(* mewc — run one protocol execution from the command line.
+
+   Examples:
+     mewc run -p bb -n 9 --adversary crash -f 2
+     mewc run -p weak-ba -n 21 --adversary busy-leaders -f 4 --seed 7
+     mewc run -p strong-ba -n 9 --adversary withholding-leader
+     mewc run -p fallback -n 9 --adversary equivocating-king
+     mewc run -p dolev-strong -n 9
+   Prints per-process decisions and the run's communication metering. *)
+
+open Mewc_sim
+open Mewc_core
+
+let pr fmt = Printf.printf fmt
+
+type protocol = Bb | Weak_ba | Strong_ba | Fallback | Dolev_strong | Naive_bb
+
+let protocol_conv =
+  Cmdliner.Arg.enum
+    [
+      ("bb", Bb);
+      ("weak-ba", Weak_ba);
+      ("strong-ba", Strong_ba);
+      ("fallback", Fallback);
+      ("dolev-strong", Dolev_strong);
+      ("naive-bb", Naive_bb);
+    ]
+
+let adversaries =
+  [
+    "honest";
+    "crash";
+    "staggered";
+    "busy-leaders";
+    "lonely-decider";
+    "help-spam";
+    "equivocating-sender";
+    "equivocating-king";
+    "withholding-leader";
+  ]
+
+let victims f = List.init f (fun i -> i + 1)
+
+let print_outcome ~show pr_decisions (o : _ Instances.agreement_outcome) =
+  pr_decisions ();
+  pr "\nrun summary:\n";
+  pr "  f (actual corruptions)     %d%s\n" o.Instances.f
+    (if o.Instances.corrupted = [] then ""
+     else
+       Printf.sprintf "  (%s)"
+         (String.concat ", " (List.map (Printf.sprintf "p%d") o.Instances.corrupted)));
+  pr "  words (correct senders)    %d\n" o.Instances.words;
+  pr "  messages                   %d\n" o.Instances.messages;
+  pr "  words (byzantine senders)  %d\n" o.Instances.byz_words;
+  pr "  signatures created         %d\n" o.Instances.signatures;
+  pr "  slots simulated            %d\n" o.Instances.slots;
+  if show then begin
+    pr "  non-silent phases          %d\n" o.Instances.nonsilent_phases;
+    pr "  help requests              %d\n" o.Instances.help_requests;
+    pr "  fallback runs              %d\n" o.Instances.fallback_runs
+  end
+
+let decision_line p d = pr "  p%-3d decided %s\n" p d
+
+let run_cmd protocol n adversary f seed input trace =
+  let cfg = Config.optimal ~n in
+  let t = cfg.Config.t in
+  let f = min f t in
+  let seed = Int64.of_int seed in
+  let honest ~pki ~secrets =
+    Adversary.const (Adversary.honest ~name:"honest") ~pki ~secrets
+  in
+  let crash ~pki ~secrets =
+    Adversary.const (Adversary.crash ~victims:(victims f) ()) ~pki ~secrets
+  in
+  let staggered ~pki ~secrets =
+    Adversary.const
+      (Adversary.staggered_crash ~victims:(victims f) ~every:3)
+      ~pki ~secrets
+  in
+  let generic name =
+    match name with
+    | "honest" -> Ok honest
+    | "crash" -> Ok crash
+    | "staggered" -> Ok staggered
+    | other -> Error other
+  in
+  let unsupported p a =
+    pr "adversary %S is not applicable to protocol %s\n" a p;
+    exit 2
+  in
+  ignore trace;
+  pr "mewc: n=%d t=%d protocol=%s adversary=%s f=%d seed=%Ld\n\n" n t
+    (match protocol with
+    | Bb -> "bb"
+    | Weak_ba -> "weak-ba"
+    | Strong_ba -> "strong-ba"
+    | Fallback -> "fallback"
+    | Dolev_strong -> "dolev-strong"
+    | Naive_bb -> "naive-bb")
+    adversary f seed;
+  match protocol with
+  | Bb ->
+    let adv =
+      match generic adversary with
+      | Ok a -> a
+      | Error "equivocating-sender" ->
+        Attacks.bb_equivocating_sender ~cfg ~sender:0 ~v1:input ~v2:(input ^ "'")
+      | Error a -> unsupported "bb" a
+    in
+    let o = Instances.run_bb ~cfg ~seed ~input ~adversary:adv () in
+    print_outcome ~show:true
+      (fun () ->
+        Array.iteri
+          (fun p d ->
+            if not (List.mem p o.Instances.corrupted) then
+              decision_line p
+                (match d with
+                | Some (Adaptive_bb.Decided v) -> Printf.sprintf "%S" v
+                | Some Adaptive_bb.No_decision -> "⊥"
+                | None -> "nothing (bug)"))
+          o.Instances.decisions)
+      o
+  | Weak_ba ->
+    let adv =
+      match generic adversary with
+      | Ok a -> a
+      | Error "busy-leaders" -> Attacks.wba_busy_byz_leaders ~cfg ~leaders:(victims f)
+      | Error "lonely-decider" -> Attacks.wba_lonely_decider ~cfg ~lucky:(t + 1)
+      | Error "help-spam" ->
+        Attacks.wba_help_req_spammers ~cfg
+          ~spammers:(List.init f (fun i -> n - 1 - i))
+      | Error a -> unsupported "weak-ba" a
+    in
+    let o =
+      Instances.run_weak_ba ~cfg ~seed ~inputs:(Array.make n input) ~adversary:adv ()
+    in
+    print_outcome ~show:true
+      (fun () ->
+        Array.iteri
+          (fun p d ->
+            if not (List.mem p o.Instances.corrupted) then
+              decision_line p
+                (match d with
+                | Some (Instances.Weak_str.Value v) -> Printf.sprintf "%S" v
+                | Some Instances.Weak_str.Bot -> "⊥"
+                | None -> "nothing (bug)"))
+          o.Instances.decisions)
+      o
+  | Strong_ba ->
+    let adv =
+      match generic adversary with
+      | Ok a -> a
+      | Error "withholding-leader" ->
+        Attacks.sba_withholding_leader ~cfg ~leader:0 ~lucky:(min 3 (n - 1))
+      | Error a -> unsupported "strong-ba" a
+    in
+    let o =
+      Instances.run_strong_ba ~cfg ~seed
+        ~inputs:(Array.init n (fun i -> i mod 2 = 0))
+        ~adversary:adv ()
+    in
+    print_outcome ~show:true
+      (fun () ->
+        Array.iteri
+          (fun p d ->
+            if not (List.mem p o.Instances.corrupted) then
+              decision_line p
+                (match d with
+                | Some b -> string_of_bool b
+                | None -> "nothing (bug)"))
+          o.Instances.decisions)
+      o
+  | Fallback ->
+    let adv =
+      match generic adversary with
+      | Ok a -> a
+      | Error "equivocating-king" ->
+        Attacks.epk_equivocating_king ~cfg ~king:1 ~v1:(input ^ "1") ~v2:(input ^ "2")
+      | Error a -> unsupported "fallback" a
+    in
+    let o =
+      Instances.run_fallback ~cfg ~seed
+        ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
+        ~adversary:adv ()
+    in
+    print_outcome ~show:false
+      (fun () ->
+        Array.iteri
+          (fun p d ->
+            if not (List.mem p o.Instances.corrupted) then
+              decision_line p
+                (match d with Some v -> Printf.sprintf "%S" v | None -> "nothing (bug)"))
+          o.Instances.decisions)
+      o
+  | Dolev_strong ->
+    let adv =
+      match generic adversary with Ok a -> a | Error a -> unsupported "dolev-strong" a
+    in
+    let o = Mewc_baselines.Dolev_strong.run ~cfg ~seed ~input ~adversary:adv () in
+    Array.iteri
+      (fun p d ->
+        match d with
+        | Some (Mewc_baselines.Dolev_strong.Decided v) ->
+          decision_line p (Printf.sprintf "%S" v)
+        | Some Mewc_baselines.Dolev_strong.No_decision -> decision_line p "⊥"
+        | None -> ())
+      o.Mewc_baselines.Dolev_strong.decisions;
+    pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Dolev_strong.words
+      o.Mewc_baselines.Dolev_strong.messages o.Mewc_baselines.Dolev_strong.signatures
+  | Naive_bb ->
+    let adv =
+      match generic adversary with Ok a -> a | Error a -> unsupported "naive-bb" a
+    in
+    let o = Mewc_baselines.Naive_bb.run ~cfg ~seed ~input ~adversary:adv () in
+    Array.iteri
+      (fun p d ->
+        match d with
+        | Some (Mewc_baselines.Naive_bb.Decided v) ->
+          decision_line p (Printf.sprintf "%S" v)
+        | Some Mewc_baselines.Naive_bb.No_decision -> decision_line p "⊥"
+        | None -> ())
+      o.Mewc_baselines.Naive_bb.decisions;
+    pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Naive_bb.words
+      o.Mewc_baselines.Naive_bb.messages o.Mewc_baselines.Naive_bb.signatures
+
+open Cmdliner
+
+let run_term =
+  let protocol =
+    Arg.(
+      required
+      & opt (some protocol_conv) None
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"One of bb, weak-ba, strong-ba, fallback, dolev-strong, naive-bb.")
+  in
+  let n =
+    Arg.(value & opt int 9 & info [ "n" ] ~docv:"N" ~doc:"System size (odd, n = 2t+1).")
+  in
+  let adversary =
+    Arg.(
+      value & opt string "honest"
+      & info [ "a"; "adversary" ] ~docv:"ADVERSARY"
+          ~doc:
+            (Printf.sprintf "One of: %s." (String.concat ", " adversaries)))
+  in
+  let f =
+    Arg.(
+      value & opt int 0
+      & info [ "f" ] ~docv:"F" ~doc:"Number of victims for crash-style adversaries.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
+  let input =
+    Arg.(
+      value & opt string "value"
+      & info [ "i"; "input" ] ~docv:"VALUE" ~doc:"Input / broadcast value.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Reserved: record the execution trace.")
+  in
+  Term.(const run_cmd $ protocol $ n $ adversary $ f $ seed $ input $ trace)
+
+let cmd =
+  let info =
+    Cmd.info "mewc" ~version:"1.0.0"
+      ~doc:
+        "Adaptive Byzantine Agreement with fewer words (Cohen, Keidar, \
+         Spiegelman; PODC 2022) - protocol runner"
+  in
+  Cmd.group info [ Cmd.v (Cmd.info "run" ~doc:"Run one protocol execution.") run_term ]
+
+let () = exit (Cmd.eval cmd)

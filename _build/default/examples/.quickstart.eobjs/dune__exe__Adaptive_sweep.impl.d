@@ -1,0 +1,1 @@
+examples/adaptive_sweep.ml: Adversary Array Ascii_table Config Instances List Mewc_core Mewc_prelude Mewc_sim Printf

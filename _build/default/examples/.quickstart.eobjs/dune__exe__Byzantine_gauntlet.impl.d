@@ -1,0 +1,1 @@
+examples/byzantine_gauntlet.ml: Adaptive_bb Adversary Array Attacks Config Instances List Mewc_core Mewc_sim Printf

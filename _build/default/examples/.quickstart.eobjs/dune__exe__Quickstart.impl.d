@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adaptive_bb Adversary Array Attacks Config Instances List Mewc_core Mewc_sim Printf String

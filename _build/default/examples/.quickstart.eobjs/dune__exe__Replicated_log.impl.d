@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Adversary Array Config List Mewc_core Mewc_prelude Mewc_sim Printf Repeated_bb

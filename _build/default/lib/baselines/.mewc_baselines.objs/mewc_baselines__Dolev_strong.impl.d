@@ -1,0 +1,1 @@
+lib/baselines/dolev_strong.ml: Array Certificate Config Engine Envelope Format List Meter Mewc_crypto Mewc_prelude Mewc_sim Pid Pki Process String

@@ -1,0 +1,1 @@
+lib/baselines/dolev_strong.mli: Format Mewc_crypto Mewc_prelude Mewc_sim

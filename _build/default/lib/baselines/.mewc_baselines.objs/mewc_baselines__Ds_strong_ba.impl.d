@@ -1,0 +1,1 @@
+lib/baselines/ds_strong_ba.ml: Certificate Config Envelope Format Hashtbl List Mewc_crypto Mewc_prelude Mewc_sim Option Pid Pki Printf Process Value

@@ -1,0 +1,1 @@
+lib/baselines/ds_strong_ba.mli: Format Mewc_crypto Mewc_prelude Mewc_sim

@@ -1,0 +1,1 @@
+lib/baselines/naive_bb.ml: Array Certificate Config Engine Envelope Format List Meter Mewc_crypto Mewc_fallback Mewc_prelude Mewc_sim Pid Pki Process String

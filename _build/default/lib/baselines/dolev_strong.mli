@@ -1,0 +1,72 @@
+(** Dolev–Strong authenticated Byzantine Broadcast (1983) — the classical
+    baseline the paper's §4 positions itself against.
+
+    Tolerates any [t < n] with [t + 1] rounds, but pays for it in words:
+    messages carry {e signature chains} that grow with the round number, and
+    every newly-extracted value is relayed to everybody — Θ(n²) messages of
+    up-to-(t+1)-word chains even in benign runs. This is precisely the cost
+    profile threshold certificates eliminate, which the baseline-comparison
+    experiment (C-BASE) quantifies against {!Mewc_core.Adaptive_bb}.
+
+    Protocol: the sender signs and broadcasts its value. A process that, in
+    round [r], receives a value carrying [r] distinct valid signatures
+    (the sender's first) {e extracts} it, appends its own signature and
+    relays — but only for the first two distinct values (two suffice to
+    prove sender equivocation). After round [t + 1]: decide the unique
+    extracted value, or ⊥. *)
+
+type value = string
+
+type msg = {
+  value : value;
+  chain : Mewc_crypto.Pki.Sig.t list;
+      (** distinct signers, sender's signature first *)
+}
+
+type state
+type decision = Decided of value | No_decision
+
+val equal_decision : decision -> decision -> bool
+val pp_decision : Format.formatter -> decision -> unit
+
+val words : msg -> int
+(** 1 + chain length: signature chains do not batch (threshold schemes
+    cannot aggregate signatures over different message prefixes). *)
+
+val sender_purpose : string
+
+val init :
+  cfg:Mewc_sim.Config.t ->
+  pki:Mewc_crypto.Pki.t ->
+  secret:Mewc_crypto.Pki.Secret.t ->
+  pid:Mewc_prelude.Pid.t ->
+  sender:Mewc_prelude.Pid.t ->
+  input:value option ->
+  start_slot:int ->
+  state
+
+val step :
+  slot:int ->
+  inbox:msg Mewc_sim.Envelope.t list ->
+  state ->
+  state * (msg * Mewc_prelude.Pid.t) list
+
+val decision : state -> decision option
+val horizon : Mewc_sim.Config.t -> int
+
+type outcome = {
+  decisions : decision option array;
+  f : int;
+  words : int;
+  messages : int;
+  signatures : int;
+}
+
+val run :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?sender:Mewc_prelude.Pid.t ->
+  input:value ->
+  adversary:(state, msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  outcome

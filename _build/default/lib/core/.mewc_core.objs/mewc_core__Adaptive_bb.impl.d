@@ -1,0 +1,1 @@
+lib/core/adaptive_bb.ml: Certificate Composition Config Envelope Format Hashtbl List Mewc_crypto Mewc_fallback Mewc_prelude Mewc_sim Pid Pki Process String Weak_ba

@@ -1,0 +1,1 @@
+lib/core/adaptive_bb.mli: Fallback_intf Format Mewc_crypto Mewc_prelude Mewc_sim Weak_ba

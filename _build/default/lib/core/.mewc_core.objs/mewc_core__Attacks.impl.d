@@ -1,0 +1,1 @@
+lib/core/attacks.ml: Adaptive_bb Array Certificate Config Envelope Hashtbl Instances List Mewc_crypto Mewc_prelude Mewc_sim Option Pid Pki Printf Process Rng Strategies String

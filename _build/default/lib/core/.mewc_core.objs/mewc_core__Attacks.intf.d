@@ -1,0 +1,1 @@
+lib/core/attacks.mli: Adaptive_bb Adversary Config Instances Mewc_prelude Mewc_sim Pid

@@ -1,0 +1,1 @@
+lib/core/binary_bb.ml: Certificate Composition Config Envelope Fallback_intf Ff_strong_ba Format List Mewc_crypto Mewc_prelude Mewc_sim Option Pid Pki Process Value

@@ -1,0 +1,1 @@
+lib/core/binary_bb.mli: Fallback_intf Ff_strong_ba Format Mewc_crypto Mewc_prelude Mewc_sim

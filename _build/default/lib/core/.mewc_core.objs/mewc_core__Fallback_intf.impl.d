@@ -1,0 +1,1 @@
+lib/core/fallback_intf.ml: Format Mewc_crypto Mewc_prelude Mewc_sim

@@ -1,0 +1,1 @@
+lib/core/ff_strong_ba.ml: Array Certificate Composition Config Envelope Fallback_intf Format List Mewc_crypto Mewc_prelude Mewc_sim Option Pid Pki Process String Value

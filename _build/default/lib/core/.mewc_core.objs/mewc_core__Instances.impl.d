@@ -1,0 +1,1 @@
+lib/core/instances.ml: Adaptive_bb Array Binary_bb Config Engine Ff_strong_ba List Meter Mewc_crypto Mewc_fallback Mewc_prelude Mewc_sim Pki Process Value Weak_ba

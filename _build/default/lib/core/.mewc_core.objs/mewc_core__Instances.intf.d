@@ -1,0 +1,1 @@
+lib/core/instances.mli: Adaptive_bb Binary_bb Fallback_intf Ff_strong_ba Mewc_fallback Mewc_prelude Mewc_sim Weak_ba

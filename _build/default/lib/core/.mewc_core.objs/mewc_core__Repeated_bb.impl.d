@@ -1,0 +1,1 @@
+lib/core/repeated_bb.ml: Adaptive_bb Array Config Engine Envelope Format List Meter Mewc_crypto Mewc_prelude Mewc_sim Option Pid Pki Process String

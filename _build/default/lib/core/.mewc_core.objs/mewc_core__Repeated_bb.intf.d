@@ -1,0 +1,1 @@
+lib/core/repeated_bb.mli: Format Mewc_crypto Mewc_prelude Mewc_sim

@@ -1,0 +1,1 @@
+lib/core/validity.ml: Certificate Mewc_crypto Mewc_prelude Pki Printf String

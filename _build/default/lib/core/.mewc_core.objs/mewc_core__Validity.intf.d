@@ -1,0 +1,1 @@
+lib/core/validity.mli: Mewc_crypto Mewc_prelude

@@ -1,0 +1,1 @@
+lib/core/weak_ba.ml: Certificate Composition Config Envelope Fallback_intf Format Hashtbl Int List Mewc_crypto Mewc_prelude Mewc_sim Pid Pki Printf Process String Value

@@ -1,0 +1,1 @@
+lib/core/weak_ba.mli: Fallback_intf Format Mewc_crypto Mewc_prelude Mewc_sim

@@ -1,0 +1,44 @@
+(** The [A_fallback] black box (paper §6).
+
+    The weak BA (and §7's strong BA) embed a quadratic synchronous strong BA
+    as a sub-protocol. This is its required interface: a slot-driven state
+    machine with per-process start slots and a configurable round duration
+    [round_len] = δ'/δ, providing agreement, termination within a static
+    horizon, and strong unanimity as long as correct processes start within
+    one slot of each other and [round_len >= 2].
+
+    [Mewc_fallback.Echo_phase_king.Make] implements this signature (see
+    DESIGN.md for the substitution note vs the paper's Momose–Ren
+    instantiation); any other strong BA can be plugged in. *)
+
+module type FALLBACK = sig
+  type value
+  type msg
+  type state
+
+  val words : msg -> int
+
+  val init :
+    cfg:Mewc_sim.Config.t ->
+    pki:Mewc_crypto.Pki.t ->
+    secret:Mewc_crypto.Pki.Secret.t ->
+    pid:Mewc_prelude.Pid.t ->
+    input:value ->
+    start_slot:int ->
+    round_len:int ->
+    state
+
+  val step :
+    slot:int ->
+    inbox:msg Mewc_sim.Envelope.t list ->
+    state ->
+    state * (msg * Mewc_prelude.Pid.t) list
+
+  val decision : state -> value option
+
+  val horizon : Mewc_sim.Config.t -> round_len:int -> int
+  (** Slots from the earliest correct start until every correct process has
+      decided (accounting for one slot of start skew). *)
+
+  val pp_msg : Format.formatter -> msg -> unit
+end

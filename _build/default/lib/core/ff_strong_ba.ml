@@ -1,0 +1,267 @@
+open Mewc_prelude
+open Mewc_crypto
+open Mewc_sim
+
+module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
+  let propose_purpose = "sba-propose"
+  let decide_purpose = "sba-decide"
+  let enc = Value.Bool.encode
+
+  type msg =
+    | Input of { value : bool; share : Pki.Sig.t }
+    | Propose of { value : bool; qc : Certificate.t }
+    | Decide_share of { value : bool; share : Pki.Sig.t }
+    | Decide of { value : bool; qc : Certificate.t }
+    | Fallback of { decision : (bool * Certificate.t) option }
+    | Fb of F.msg
+
+  let words = function
+    | Input _ | Propose _ | Decide_share _ | Decide _ -> 2
+    | Fallback { decision } -> 1 + (match decision with Some _ -> 2 | None -> 0)
+    | Fb m -> F.words m
+
+  let pp_msg fmt = function
+    | Input { value; _ } -> Format.fprintf fmt "input(%b)" value
+    | Propose { value; _ } -> Format.fprintf fmt "propose(%b)" value
+    | Decide_share { value; _ } -> Format.fprintf fmt "decide-share(%b)" value
+    | Decide { value; _ } -> Format.fprintf fmt "decide(%b)" value
+    | Fallback _ -> Format.pp_print_string fmt "fallback"
+    | Fb m -> Format.fprintf fmt "fb:%a" F.pp_msg m
+
+  type state = {
+    cfg : Config.t;
+    pki : Pki.t;
+    secret : Pki.Secret.t;
+    pid : Pid.t;
+    leader : Pid.t;
+    input : bool;
+    start_slot : int;
+    mutable input_shares : Pki.Sig.t Pid.Map.t array;  (* leader; [|for false; for true|] *)
+    mutable decide_shares : Pki.Sig.t Pid.Map.t array;  (* leader *)
+    mutable proposal : (bool * Certificate.t) option;
+    mutable decide_recv : (bool * Certificate.t) option;
+    mutable decision : bool option;
+    mutable proof : Certificate.t option;
+    mutable decided_fast : bool;
+    mutable bu_decision : bool;
+    mutable bu_proof : (bool * Certificate.t) option;
+    mutable fb_sched : int option;
+    mutable fb_rebroadcast : bool;
+    mutable fb_state : F.state option;
+    mutable pending_fb : F.msg Envelope.t list;
+    mutable decided_at : int option;
+  }
+
+  let idx b = if b then 1 else 0
+
+  (* Relative schedule: rounds 1–5 of Algorithm 5 are slots 0–4; the
+     fallback notice window spans slots 5–7 and A_fallback starts within
+     [6, 9]. See Weak_ba's .mli for why a bounded window is sound. *)
+  let fb_window_end = 7
+  let horizon cfg = 9 + F.horizon cfg ~round_len:2 + 1
+
+  let init ~cfg ~pki ~secret ~pid ~leader ~input ~start_slot =
+    Composition.note ~user:"strong BA (failure-free linear)"
+      ~uses:"threshold signatures";
+    {
+      cfg;
+      pki;
+      secret;
+      pid;
+      leader;
+      input;
+      start_slot;
+      input_shares = [| Pid.Map.empty; Pid.Map.empty |];
+      decide_shares = [| Pid.Map.empty; Pid.Map.empty |];
+      proposal = None;
+      decide_recv = None;
+      decision = None;
+      proof = None;
+      decided_fast = false;
+      bu_decision = input;
+      bu_proof = None;
+      fb_sched = None;
+      fb_rebroadcast = false;
+      fb_state = None;
+      pending_fb = [];
+      decided_at = None;
+    }
+
+  let decision st = st.decision
+  let decided_at st = st.decided_at
+  let decided_fast st = st.decided_fast
+  let fallback_entered st = st.fb_state <> None
+
+  let verify_qc st ~purpose ~k ~value qc =
+    Certificate.verify_as st.pki qc ~k ~purpose
+    && String.equal (Certificate.payload qc) (enc value)
+
+  let ingest st ~rel env =
+    let cfg = st.cfg in
+    let am_leader = Pid.equal st.pid st.leader in
+    match env.Envelope.msg with
+    | Input { value; share } ->
+      if rel = 1 && am_leader then begin
+        let msg =
+          Certificate.signed_message ~purpose:propose_purpose ~payload:(enc value)
+        in
+        if Pki.verify st.pki share ~msg then begin
+          let signer = Pki.Sig.signer share in
+          let m = st.input_shares.(idx value) in
+          if not (Pid.Map.mem signer m) then
+            st.input_shares.(idx value) <- Pid.Map.add signer share m
+        end
+      end
+    | Propose { value; qc } ->
+      if
+        rel = 2
+        && Pid.equal env.Envelope.src st.leader
+        && verify_qc st ~purpose:propose_purpose ~k:(Config.small_quorum cfg)
+             ~value qc
+        && st.proposal = None
+      then st.proposal <- Some (value, qc)
+    | Decide_share { value; share } ->
+      if rel = 3 && am_leader then begin
+        let msg =
+          Certificate.signed_message ~purpose:decide_purpose ~payload:(enc value)
+        in
+        if Pki.verify st.pki share ~msg then begin
+          let signer = Pki.Sig.signer share in
+          let m = st.decide_shares.(idx value) in
+          if not (Pid.Map.mem signer m) then
+            st.decide_shares.(idx value) <- Pid.Map.add signer share m
+        end
+      end
+    | Decide { value; qc } ->
+      if
+        rel = 4
+        && Pid.equal env.Envelope.src st.leader
+        && verify_qc st ~purpose:decide_purpose ~k:cfg.Config.n ~value qc
+        && st.decide_recv = None
+      then st.decide_recv <- Some (value, qc)
+    | Fallback { decision } ->
+      if rel >= 5 && rel <= fb_window_end then begin
+        (match decision with
+        | Some (v, qc)
+          when st.decision = None
+               && verify_qc st ~purpose:decide_purpose ~k:cfg.Config.n ~value:v qc ->
+          (* Line 22–24: adopt a certified decision during the window. *)
+          st.bu_decision <- v;
+          st.bu_proof <- Some (v, qc)
+        | _ -> ());
+        if st.fb_sched = None then begin
+          st.fb_sched <- Some (st.start_slot + rel + 2);
+          st.fb_rebroadcast <- true
+        end
+      end
+    | Fb inner -> st.pending_fb <- { env with Envelope.msg = inner } :: st.pending_fb
+
+  let step_fallback st ~slot =
+    match st.fb_state with
+    | None -> []
+    | Some fb ->
+      let inbox = List.rev st.pending_fb in
+      st.pending_fb <- [];
+      let fb', sends = F.step ~slot ~inbox fb in
+      st.fb_state <- Some fb';
+      (match F.decision fb' with
+      | Some fv when st.decision = None -> st.decision <- Some fv
+      | _ -> ());
+      List.map (fun (m, dst) -> (Fb m, dst)) sends
+
+  let emit st ~slot ~rel =
+    let cfg = st.cfg in
+    let n = cfg.Config.n in
+    match rel with
+    | 0 ->
+      let share =
+        Certificate.share st.pki st.secret ~purpose:propose_purpose
+          ~payload:(enc st.input)
+      in
+      [ (Input { value = st.input; share }, st.leader) ]
+    | 1 ->
+      if Pid.equal st.pid st.leader then begin
+        let pick value =
+          let m = st.input_shares.(idx value) in
+          if Pid.Map.cardinal m >= Config.small_quorum cfg then
+            Certificate.make st.pki ~k:(Config.small_quorum cfg)
+              ~purpose:propose_purpose ~payload:(enc value)
+              (List.map snd (Pid.Map.bindings m))
+            |> Option.map (fun qc -> (value, qc))
+          else None
+        in
+        match (pick false, pick true) with
+        | Some (v, qc), _ | None, Some (v, qc) ->
+          Process.broadcast ~n (Propose { value = v; qc })
+        | None, None -> []
+      end
+      else []
+    | 2 -> (
+      match st.proposal with
+      | Some (v, _) ->
+        let share =
+          Certificate.share st.pki st.secret ~purpose:decide_purpose
+            ~payload:(enc v)
+        in
+        [ (Decide_share { value = v; share }, st.leader) ]
+      | None -> [])
+    | 3 ->
+      if Pid.equal st.pid st.leader then begin
+        let pick value =
+          let m = st.decide_shares.(idx value) in
+          if Pid.Map.cardinal m >= n then
+            Certificate.make st.pki ~k:n ~purpose:decide_purpose
+              ~payload:(enc value)
+              (List.map snd (Pid.Map.bindings m))
+            |> Option.map (fun qc -> (value, qc))
+          else None
+        in
+        match (pick false, pick true) with
+        | Some (v, qc), _ | None, Some (v, qc) ->
+          Process.broadcast ~n (Decide { value = v; qc })
+        | None, None -> []
+      end
+      else []
+    | 4 -> (
+      (* Round 5, lines 13–18. *)
+      match st.decide_recv with
+      | Some (v, qc) ->
+        st.decision <- Some v;
+        st.proof <- Some qc;
+        st.decided_fast <- true;
+        st.bu_decision <- v;
+        st.bu_proof <- Some (v, qc);
+        []
+      | None ->
+        st.fb_sched <- Some (st.start_slot + rel + 2);
+        Process.broadcast ~n (Fallback { decision = None }))
+    | _ ->
+      let out = ref [] in
+      if st.fb_rebroadcast then begin
+        st.fb_rebroadcast <- false;
+        out :=
+          Process.broadcast ~n (Fallback { decision = st.bu_proof }) @ !out
+      end;
+      (match st.fb_sched with
+      | Some start when slot = start && st.fb_state = None ->
+        Composition.note ~user:"strong BA (failure-free linear)"
+          ~uses:"A-fallback (echo-phase-king)";
+        st.fb_state <-
+          Some
+            (F.init ~cfg ~pki:st.pki ~secret:st.secret ~pid:st.pid
+               ~input:st.bu_decision ~start_slot:start ~round_len:2)
+      | _ -> ());
+      out := step_fallback st ~slot @ !out;
+      !out
+
+  let step ~slot ~inbox st =
+    let rel = slot - st.start_slot in
+    if rel < 0 then (st, [])
+    else begin
+      List.iter (fun env -> ingest st ~rel env) inbox;
+      let sends = emit st ~slot ~rel in
+      if st.decision <> None && st.decided_at = None then
+        st.decided_at <- Some slot;
+      (st, sends)
+    end
+end

@@ -1,0 +1,250 @@
+open Mewc_crypto
+open Mewc_sim
+
+module Epk_str = Mewc_fallback.Echo_phase_king.Make (Value.Str)
+
+module Fallback_str = struct
+  include Epk_str
+
+  type value = string
+end
+
+module Weak_str = Weak_ba.Make (Value.Str) (Fallback_str)
+
+type 'o agreement_outcome = {
+  decisions : 'o option array;
+  corrupted : Mewc_prelude.Pid.t list;
+  f : int;
+  words : int;
+  messages : int;
+  byz_words : int;
+  signatures : int;
+  slots : int;
+  fallback_runs : int;
+  nonsilent_phases : int;
+  help_requests : int;
+  latency : int;
+}
+
+(* Latest decision slot among correct processes; -1 if one never decided. *)
+let latency_of ~corrupted ~decided_at states =
+  Array.to_list states
+  |> List.mapi (fun p st -> (p, st))
+  |> List.filter (fun (p, _) -> not (List.mem p corrupted))
+  |> List.fold_left
+       (fun acc (_, st) ->
+         match (acc, decided_at st) with
+         | -1, _ | _, None -> -1
+         | acc, Some s -> max acc s)
+       0
+
+module Epk_bool = Mewc_fallback.Echo_phase_king.Make (Value.Bool)
+
+module Fallback_bool = struct
+  include Epk_bool
+
+  type value = bool
+end
+
+module Strong_bool = Ff_strong_ba.Make (Fallback_bool)
+
+let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(round_len = 1)
+    ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
+  let n = cfg.Config.n in
+  if Array.length inputs <> n then
+    invalid_arg "run_fallback: need one input per process";
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid =
+    {
+      Process.init =
+        Epk_str.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~input:inputs.(pid)
+          ~start_slot:(start_slot pid) ~round_len;
+      step = (fun ~slot ~inbox st -> Epk_str.step ~slot ~inbox st);
+    }
+  in
+  let adversary = adversary ~pki ~secrets in
+  let res =
+    Engine.run ~cfg ?shuffle_seed ~words:Epk_str.words
+      ~horizon:(Epk_str.horizon cfg ~round_len) ~protocol ~adversary ()
+  in
+  {
+    decisions = Array.map Epk_str.decision res.Engine.states;
+    corrupted = res.Engine.corrupted;
+    f = res.Engine.f;
+    words = Meter.correct_words res.Engine.meter;
+    messages = Meter.correct_messages res.Engine.meter;
+    byz_words = Meter.byzantine_words res.Engine.meter;
+    signatures = Pki.signatures_created pki;
+    slots = res.Engine.slots;
+    fallback_runs = 0;
+    nonsilent_phases = 0;
+    help_requests = 0;
+    latency =
+      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Epk_str.decided_at
+        res.Engine.states;
+  }
+
+let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
+  let n = cfg.Config.n in
+  if Array.length inputs <> n then
+    invalid_arg "run_weak_ba: need one input per process";
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid =
+    {
+      Process.init =
+        Weak_str.init ?quorum_override ~cfg ~pki ~secret:secrets.(pid) ~pid
+          ~input:inputs.(pid) ~validate ~start_slot:0 ();
+      step = (fun ~slot ~inbox st -> Weak_str.step ~slot ~inbox st);
+    }
+  in
+  let adversary = adversary ~pki ~secrets in
+  let res =
+    Engine.run ~cfg ?shuffle_seed ~record_trace ~words:Weak_str.words
+      ~horizon:(Weak_str.horizon cfg) ~protocol ~adversary ()
+  in
+  let correct_states =
+    Array.to_list res.Engine.states
+    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
+  in
+  let count f = List.length (List.filter f correct_states) in
+  {
+    decisions = Array.map Weak_str.decision res.Engine.states;
+    corrupted = res.Engine.corrupted;
+    f = res.Engine.f;
+    words = Meter.correct_words res.Engine.meter;
+    messages = Meter.correct_messages res.Engine.meter;
+    byz_words = Meter.byzantine_words res.Engine.meter;
+    signatures = Pki.signatures_created pki;
+    slots = res.Engine.slots;
+    fallback_runs = count Weak_str.fallback_entered;
+    nonsilent_phases = count Weak_str.initiated_phase;
+    help_requests = count Weak_str.sent_help_request;
+    latency =
+      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Weak_str.decided_at
+        res.Engine.states;
+  }
+
+let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
+    ~input ~adversary () =
+  let n = cfg.Config.n in
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid =
+    {
+      Process.init =
+        Adaptive_bb.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~sender
+          ~input:(if pid = sender then Some input else None)
+          ~start_slot:0;
+      step = (fun ~slot ~inbox st -> Adaptive_bb.step ~slot ~inbox st);
+    }
+  in
+  let adversary = adversary ~pki ~secrets in
+  let res =
+    Engine.run ~cfg ?shuffle_seed ~record_trace ~words:Adaptive_bb.words
+      ~horizon:(Adaptive_bb.horizon cfg) ~protocol ~adversary ()
+  in
+  let correct_states =
+    Array.to_list res.Engine.states
+    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
+  in
+  let count f = List.length (List.filter f correct_states) in
+  {
+    decisions = Array.map Adaptive_bb.decision res.Engine.states;
+    corrupted = res.Engine.corrupted;
+    f = res.Engine.f;
+    words = Meter.correct_words res.Engine.meter;
+    messages = Meter.correct_messages res.Engine.meter;
+    byz_words = Meter.byzantine_words res.Engine.meter;
+    signatures = Pki.signatures_created pki;
+    slots = res.Engine.slots;
+    fallback_runs = count Adaptive_bb.fallback_entered;
+    nonsilent_phases = count Adaptive_bb.vetting_phase_initiated;
+    help_requests = 0;
+    latency =
+      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Adaptive_bb.decided_at
+        res.Engine.states;
+  }
+
+module Binary_bb_bool = Binary_bb.Make (Fallback_bool)
+
+let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(sender = 0) ~input
+    ~adversary () =
+  let n = cfg.Config.n in
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid =
+    {
+      Process.init =
+        Binary_bb_bool.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~sender
+          ~input:(if pid = sender then Some input else None)
+          ~start_slot:0;
+      step = (fun ~slot ~inbox st -> Binary_bb_bool.step ~slot ~inbox st);
+    }
+  in
+  let adversary = adversary ~pki ~secrets in
+  let res =
+    Engine.run ~cfg ?shuffle_seed ~words:Binary_bb_bool.words
+      ~horizon:(Binary_bb_bool.horizon cfg) ~protocol ~adversary ()
+  in
+  let correct_states =
+    Array.to_list res.Engine.states
+    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
+  in
+  let count f = List.length (List.filter f correct_states) in
+  {
+    decisions = Array.map Binary_bb_bool.decision res.Engine.states;
+    corrupted = res.Engine.corrupted;
+    f = res.Engine.f;
+    words = Meter.correct_words res.Engine.meter;
+    messages = Meter.correct_messages res.Engine.meter;
+    byz_words = Meter.byzantine_words res.Engine.meter;
+    signatures = Pki.signatures_created pki;
+    slots = res.Engine.slots;
+    fallback_runs =
+      List.length correct_states - count Binary_bb_bool.decided_fast;
+    nonsilent_phases = count Binary_bb_bool.decided_fast;
+    help_requests = 0;
+    latency =
+      latency_of ~corrupted:res.Engine.corrupted
+        ~decided_at:Binary_bb_bool.decided_at res.Engine.states;
+  }
+
+let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(leader = 0) ~inputs ~adversary () =
+  let n = cfg.Config.n in
+  if Array.length inputs <> n then
+    invalid_arg "run_strong_ba: need one input per process";
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid =
+    {
+      Process.init =
+        Strong_bool.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~leader
+          ~input:inputs.(pid) ~start_slot:0;
+      step = (fun ~slot ~inbox st -> Strong_bool.step ~slot ~inbox st);
+    }
+  in
+  let adversary = adversary ~pki ~secrets in
+  let res =
+    Engine.run ~cfg ?shuffle_seed ~record_trace ~words:Strong_bool.words
+      ~horizon:(Strong_bool.horizon cfg) ~protocol ~adversary ()
+  in
+  let correct_states =
+    Array.to_list res.Engine.states
+    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
+  in
+  let count f = List.length (List.filter f correct_states) in
+  {
+    decisions = Array.map Strong_bool.decision res.Engine.states;
+    corrupted = res.Engine.corrupted;
+    f = res.Engine.f;
+    words = Meter.correct_words res.Engine.meter;
+    messages = Meter.correct_messages res.Engine.meter;
+    byz_words = Meter.byzantine_words res.Engine.meter;
+    signatures = Pki.signatures_created pki;
+    slots = res.Engine.slots;
+    fallback_runs = count Strong_bool.fallback_entered;
+    nonsilent_phases = count Strong_bool.decided_fast;
+    help_requests = 0;
+    latency =
+      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Strong_bool.decided_at
+        res.Engine.states;
+  }

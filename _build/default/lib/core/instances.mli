@@ -1,0 +1,120 @@
+(** Ready-made protocol instantiations over the two value domains the paper
+    considers (multi-valued and binary), with the fallback black box plugged
+    in, plus turnkey runners used by tests, examples and benchmarks. *)
+
+module Epk_str : module type of Mewc_fallback.Echo_phase_king.Make (Mewc_sim.Value.Str)
+(** The echo-phase-king instance over multi-valued inputs, with its full
+    interface (wire format included, for attacks). *)
+
+module Fallback_str :
+  Fallback_intf.FALLBACK
+    with type value = string
+     and type msg = Epk_str.msg
+     and type state = Epk_str.state
+(** The same instance, viewed as the [A_fallback] black box. *)
+
+module Weak_str : module type of Weak_ba.Make (Mewc_sim.Value.Str) (Fallback_str)
+(** Multi-valued adaptive weak BA. *)
+
+type 'o agreement_outcome = {
+  decisions : 'o option array;
+      (** per process; [None] for processes that were corrupted or (bug)
+          never decided *)
+  corrupted : Mewc_prelude.Pid.t list;
+  f : int;
+  words : int;  (** words sent by correct processes — the paper's measure *)
+  messages : int;
+  byz_words : int;
+  signatures : int;
+  slots : int;
+  fallback_runs : int;  (** correct processes that entered [A_fallback] *)
+  nonsilent_phases : int;  (** non-silent phases led by correct processes *)
+  help_requests : int;  (** help requests sent by correct processes *)
+  latency : int;
+      (** slots (= δ units) until the {e last} correct process decided;
+          -1 if some correct process never decided (a bug caught by tests) *)
+}
+
+val run_fallback :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?shuffle_seed:int64 ->
+  ?round_len:int ->
+  ?start_slot:(Mewc_prelude.Pid.t -> int) ->
+  inputs:string array ->
+  adversary:(Epk_str.state, Epk_str.msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  string agreement_outcome
+(** Runs the echo-phase-king strong BA standalone (the Table-1 multi-valued
+    strong-BA row). [start_slot] lets tests skew process start times by up
+    to [round_len - 1] slots, as happens on the weak-BA fallback path. The
+    fallback/phase/help counters are not meaningful here and read 0. *)
+
+val run_weak_ba :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?shuffle_seed:int64 ->
+  ?record_trace:bool ->
+  ?validate:(string -> bool) ->
+  ?quorum_override:int ->
+  inputs:string array ->
+  adversary:(Weak_str.state, Weak_str.msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  Weak_str.outcome agreement_outcome
+(** Runs one weak BA execution to its static horizon. [validate] defaults to
+    accepting every value (weak-unanimity instantiation). [quorum_override]
+    is the ablation knob of {!Weak_ba.Make.init} — unsafe by design. *)
+
+module Epk_bool : module type of Mewc_fallback.Echo_phase_king.Make (Mewc_sim.Value.Bool)
+
+module Fallback_bool :
+  Fallback_intf.FALLBACK
+    with type value = bool
+     and type msg = Epk_bool.msg
+     and type state = Epk_bool.state
+(** The [A_fallback] instance over binary inputs, for §7's strong BA. *)
+
+module Strong_bool : module type of Ff_strong_ba.Make (Fallback_bool)
+(** Binary strong BA, linear when failure-free. *)
+
+val run_bb :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?shuffle_seed:int64 ->
+  ?record_trace:bool ->
+  ?sender:Mewc_prelude.Pid.t ->
+  input:string ->
+  adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  Adaptive_bb.decision agreement_outcome
+(** One adaptive-BB execution; [sender] defaults to process 0. The
+    [nonsilent_phases] field counts non-silent {e vetting} phases led by
+    correct processes. *)
+
+module Binary_bb_bool : module type of Binary_bb.Make (Fallback_bool)
+(** Binary BB via the §5 reduction over Algorithm 5: O(n) when the sender is
+    correct and f = 0. *)
+
+val run_binary_bb :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?shuffle_seed:int64 ->
+  ?sender:Mewc_prelude.Pid.t ->
+  input:bool ->
+  adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  bool agreement_outcome
+(** The [nonsilent_phases] field counts correct fast deciders. *)
+
+val run_strong_ba :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?shuffle_seed:int64 ->
+  ?record_trace:bool ->
+  ?leader:Mewc_prelude.Pid.t ->
+  inputs:bool array ->
+  adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  bool agreement_outcome
+(** One §7 strong-BA execution; [leader] defaults to process 0. The
+    [nonsilent_phases] field counts correct processes that decided fast. *)

@@ -1,0 +1,136 @@
+open Mewc_prelude
+open Mewc_crypto
+open Mewc_sim
+
+type entry = Committed of string | Skipped
+
+let equal_entry a b =
+  match (a, b) with
+  | Committed x, Committed y -> String.equal x y
+  | Skipped, Skipped -> true
+  | Committed _, Skipped | Skipped, Committed _ -> false
+
+let pp_entry fmt = function
+  | Committed v -> Format.fprintf fmt "commit(%s)" v
+  | Skipped -> Format.pp_print_string fmt "skip"
+
+type msg = { index : int; inner : Adaptive_bb.msg }
+
+let words { inner; _ } = Adaptive_bb.words inner
+let pp_msg fmt { index; inner } =
+  Format.fprintf fmt "[slot %d] %a" index Adaptive_bb.pp_msg inner
+
+type state = {
+  cfg : Config.t;
+  pki : Pki.t;
+  secret : Pki.Secret.t;
+  pid : Pid.t;
+  length : int;
+  propose : int -> string;
+  instances : Adaptive_bb.state option array;
+  pending : Adaptive_bb.msg Envelope.t list array;  (* reversed, per index *)
+}
+
+let stride cfg = Adaptive_bb.horizon cfg
+let horizon cfg ~length = length * stride cfg
+let proposer cfg i = i mod cfg.Config.n
+
+let init ~cfg ~pki ~secret ~pid ~length ~propose =
+  if length < 1 then invalid_arg "Repeated_bb.init: length >= 1";
+  {
+    cfg;
+    pki;
+    secret;
+    pid;
+    length;
+    propose;
+    instances = Array.make length None;
+    pending = Array.make length [];
+  }
+
+let log st =
+  Array.map
+    (fun inst ->
+      Option.bind inst (fun i ->
+          match Adaptive_bb.decision i with
+          | Some (Adaptive_bb.Decided v) -> Some (Committed v)
+          | Some Adaptive_bb.No_decision -> Some Skipped
+          | None -> None))
+    st.instances
+
+let step ~slot ~inbox st =
+  List.iter
+    (fun env ->
+      let { index; inner } = env.Envelope.msg in
+      if index >= 0 && index < st.length then
+        st.pending.(index) <-
+          {
+            Envelope.src = env.Envelope.src;
+            dst = env.Envelope.dst;
+            sent_at = env.Envelope.sent_at;
+            msg = inner;
+          }
+          :: st.pending.(index))
+    inbox;
+  let stride = stride st.cfg in
+  let out = ref [] in
+  (* Only the currently-active instance (and at most the previous one, for
+     messages in flight at the boundary) can make progress; stepping just
+     those keeps a k-slot log linear in k. *)
+  let active = min (slot / stride) (st.length - 1) in
+  let lo = max 0 (active - 1) in
+  for i = lo to active do
+    let start = i * stride in
+    if slot >= start then begin
+      if st.instances.(i) = None then begin
+        let sender = proposer st.cfg i in
+        st.instances.(i) <-
+          Some
+            (Adaptive_bb.init ~cfg:st.cfg ~pki:st.pki ~secret:st.secret
+               ~pid:st.pid ~sender
+               ~input:(if Pid.equal st.pid sender then Some (st.propose i) else None)
+               ~start_slot:start)
+      end;
+      match st.instances.(i) with
+      | None -> ()
+      | Some inst ->
+        let inbox = List.rev st.pending.(i) in
+        st.pending.(i) <- [];
+        let inst', sends = Adaptive_bb.step ~slot ~inbox inst in
+        st.instances.(i) <- Some inst';
+        out :=
+          List.map (fun (m, dst) -> ({ index = i; inner = m }, dst)) sends @ !out
+    end
+  done;
+  (st, !out)
+
+type outcome = {
+  logs : entry option array array;
+  corrupted : Pid.t list;
+  f : int;
+  words : int;
+  words_per_slot : float;
+}
+
+let run ~cfg ?(seed = 1L) ~length ~propose ~adversary () =
+  let n = cfg.Config.n in
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid =
+    {
+      Process.init =
+        init ~cfg ~pki ~secret:secrets.(pid) ~pid ~length ~propose:(propose pid);
+      step = (fun ~slot ~inbox st -> step ~slot ~inbox st);
+    }
+  in
+  let adversary = adversary ~pki ~secrets in
+  let res =
+    Engine.run ~cfg ~words ~horizon:(horizon cfg ~length) ~protocol ~adversary ()
+  in
+  let words_total = Meter.correct_words res.Engine.meter in
+  {
+    logs = Array.map log res.Engine.states;
+    corrupted = res.Engine.corrupted;
+    f = res.Engine.f;
+    words = words_total;
+    words_per_slot = float_of_int words_total /. float_of_int length;
+  }

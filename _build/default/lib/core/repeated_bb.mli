@@ -1,0 +1,66 @@
+(** Multi-shot Byzantine Broadcast: a replicated log.
+
+    "BA is a key component in many distributed systems" (paper §1) — and the
+    component is rarely used once. This module chains [length] adaptive-BB
+    instances inside a single synchronous execution: instance [i] fills log
+    slot [i], its designated sender is the round-robin proposer
+    [i mod n], and it occupies the slot-time window
+    [i * stride, (i+1) * stride).
+
+    Every correct replica ends with the same log (each entry a committed
+    value or ⊥ for slots whose Byzantine proposer was exposed), and the
+    steady-state cost inherits the paper's adaptivity: O(n(f+1)) words per
+    log slot. *)
+
+type entry = Committed of string | Skipped
+
+val equal_entry : entry -> entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+
+type msg
+type state
+
+val words : msg -> int
+val pp_msg : Format.formatter -> msg -> unit
+
+val stride : Mewc_sim.Config.t -> int
+(** Slots occupied by each log slot's BB instance. *)
+
+val init :
+  cfg:Mewc_sim.Config.t ->
+  pki:Mewc_crypto.Pki.t ->
+  secret:Mewc_crypto.Pki.Secret.t ->
+  pid:Mewc_prelude.Pid.t ->
+  length:int ->
+  propose:(int -> string) ->
+  state
+(** [propose i] is the command this process broadcasts if it is the
+    proposer of slot [i] (ignored otherwise). *)
+
+val step :
+  slot:int ->
+  inbox:msg Mewc_sim.Envelope.t list ->
+  state ->
+  state * (msg * Mewc_prelude.Pid.t) list
+
+val log : state -> entry option array
+(** The replica's view of the log; [None] for slots still undecided. *)
+
+val horizon : Mewc_sim.Config.t -> length:int -> int
+
+type outcome = {
+  logs : entry option array array;  (** per process *)
+  corrupted : Mewc_prelude.Pid.t list;
+  f : int;
+  words : int;
+  words_per_slot : float;
+}
+
+val run :
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  length:int ->
+  propose:(Mewc_prelude.Pid.t -> int -> string) ->
+  adversary:(state, msg) Mewc_sim.Adversary.factory ->
+  unit ->
+  outcome

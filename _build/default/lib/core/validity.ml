@@ -1,0 +1,34 @@
+open Mewc_crypto
+
+type 'v t = { name : string; validate : 'v -> bool }
+
+let make ~name validate = { name; validate }
+let validate t v = t.validate v
+let always name = { name; validate = (fun _ -> true) }
+
+let both a b =
+  { name = Printf.sprintf "(%s && %s)" a.name b.name;
+    validate = (fun v -> a.validate v && b.validate v) }
+
+let either a b =
+  { name = Printf.sprintf "(%s || %s)" a.name b.name;
+    validate = (fun v -> a.validate v || b.validate v) }
+
+let signed_by pki ~purpose ~signer ~encode =
+  {
+    name = Printf.sprintf "signed-by-p%d" signer;
+    validate =
+      (fun (v, sg) ->
+        Mewc_prelude.Pid.equal (Pki.Sig.signer sg) signer
+        && Pki.verify pki sg
+             ~msg:(Certificate.signed_message ~purpose ~payload:(encode v)));
+  }
+
+let backed_by_quorum pki ~purpose ~k ~encode =
+  {
+    name = Printf.sprintf "%d-quorum-backed" k;
+    validate =
+      (fun (v, cert) ->
+        Certificate.verify_as pki cert ~k ~purpose
+        && String.equal (Certificate.payload cert) (encode v));
+  }

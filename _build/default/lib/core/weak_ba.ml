@@ -1,0 +1,539 @@
+open Mewc_prelude
+open Mewc_crypto
+open Mewc_sim
+
+module Make (V : Value.S) (F : Fallback_intf.FALLBACK with type value = V.t) =
+struct
+  let propose_purpose = "wba-propose"
+  let commit_purpose = "wba-commit"
+  let finalize_purpose = "wba-fin"
+  let helpreq_purpose = "wba-helpreq"
+  let phased_payload phase v = Printf.sprintf "%d|%s" phase (V.encode v)
+
+  type msg =
+    | Propose of { phase : int; value : V.t; sg : Pki.Sig.t }
+    | Vote of { phase : int; value : V.t; share : Pki.Sig.t }
+    | Commit_answer of { phase : int; value : V.t; level : int; qc : Certificate.t }
+    | Commit_bcast of { phase : int; value : V.t; level : int; qc : Certificate.t }
+    | Decide_share of { phase : int; value : V.t; share : Pki.Sig.t }
+    | Finalized of { phase : int; value : V.t; qc : Certificate.t }
+    | Help_req of { sg : Pki.Sig.t }
+    | Help of { phase : int; value : V.t; qc : Certificate.t }
+    | Fallback_cert of {
+        qc : Certificate.t;
+        decision : (int * V.t * Certificate.t) option;
+      }
+    | Fb of F.msg
+
+  type outcome = Value of V.t | Bot
+
+  let equal_outcome a b =
+    match (a, b) with
+    | Value x, Value y -> V.equal x y
+    | Bot, Bot -> true
+    | Value _, Bot | Bot, Value _ -> false
+
+  let pp_outcome fmt = function
+    | Value v -> V.pp fmt v
+    | Bot -> Format.pp_print_string fmt "⊥"
+
+  let words = function
+    | Propose _ -> 3
+    | Vote _ -> 3
+    | Commit_answer _ | Commit_bcast _ -> 4
+    | Decide_share _ -> 3
+    | Finalized _ -> 3
+    | Help_req _ -> 1
+    | Help _ -> 3
+    | Fallback_cert { decision; _ } -> 1 + (match decision with Some _ -> 3 | None -> 0)
+    | Fb m -> F.words m
+
+  let pp_msg fmt = function
+    | Propose { phase; value; _ } ->
+      Format.fprintf fmt "propose(j=%d, %a)" phase V.pp value
+    | Vote { phase; value; _ } -> Format.fprintf fmt "vote(j=%d, %a)" phase V.pp value
+    | Commit_answer { phase; value; level; _ } ->
+      Format.fprintf fmt "commit-answer(j=%d, %a, lvl=%d)" phase V.pp value level
+    | Commit_bcast { phase; value; level; _ } ->
+      Format.fprintf fmt "commit(j=%d, %a, lvl=%d)" phase V.pp value level
+    | Decide_share { phase; value; _ } ->
+      Format.fprintf fmt "decide(j=%d, %a)" phase V.pp value
+    | Finalized { phase; value; _ } ->
+      Format.fprintf fmt "finalized(j=%d, %a)" phase V.pp value
+    | Help_req _ -> Format.pp_print_string fmt "help_req"
+    | Help { value; _ } -> Format.fprintf fmt "help(%a)" V.pp value
+    | Fallback_cert _ -> Format.pp_print_string fmt "fallback-cert"
+    | Fb m -> Format.fprintf fmt "fb:%a" F.pp_msg m
+
+  type phase_scratch = {
+    mutable proposal : (V.t * bool) option;
+        (* first leader-signed proposal this phase; bool = validate(v) *)
+    mutable commit_answers : (int * V.t * Certificate.t) list;  (* leader *)
+    mutable votes : (V.t * Pid.Set.t * Pki.Sig.t list) list;  (* leader *)
+    mutable decide_shares : (V.t * Pid.Set.t * Pki.Sig.t list) list;  (* leader *)
+    mutable commit_recv : (V.t * int * Certificate.t) option;
+        (* commit broadcast accepted this phase *)
+  }
+
+  let fresh_scratch () =
+    {
+      proposal = None;
+      commit_answers = [];
+      votes = [];
+      decide_shares = [];
+      commit_recv = None;
+    }
+
+  type state = {
+    cfg : Config.t;
+    pki : Pki.t;
+    secret : Pki.Secret.t;
+    pid : Pid.t;
+    input : V.t;
+    validate : V.t -> bool;
+    start_slot : int;
+    quorum_override : int option;
+    scratch : (int, phase_scratch) Hashtbl.t;
+    mutable decision : outcome option;
+    mutable decide_proof : (int * V.t * Certificate.t) option;
+    mutable commit : V.t option;
+    mutable commit_proof : Certificate.t option;
+    mutable commit_level : int;
+    mutable initiated : bool;
+    mutable sent_help : bool;
+    mutable help_sigs : Pki.Sig.t Pid.Map.t;
+    mutable help_answers : (msg * Pid.t) list;  (* queued during ingestion *)
+    mutable bu_decision : V.t;
+    mutable bu_proof : (int * V.t * Certificate.t) option;
+    mutable fb_sched : int option;  (* absolute slot *)
+    mutable fb_rebroadcast : Certificate.t option;  (* to send this slot *)
+    mutable fb_state : F.state option;
+    mutable pending_fb : F.msg Envelope.t list;  (* reversed *)
+    mutable decided_in_phase : int option;
+    mutable decided_at : int option;
+  }
+
+  let phases cfg = cfg.Config.t + 1
+  let base j = 5 * (j - 1)
+  let help_base cfg = 5 * phases cfg
+
+  (* Fallback certificates are honoured when they arrive within this window
+     after the help round; see the .mli for why later ones are moot. *)
+  let fb_window_end cfg = help_base cfg + 4
+  let latest_fb_start cfg = fb_window_end cfg + 2
+
+  let horizon cfg = latest_fb_start cfg + F.horizon cfg ~round_len:2 + 1
+
+  let leader j cfg = Pid.rotating_leader ~n:cfg.Config.n ~phase:j
+
+  let init ?quorum_override ~cfg ~pki ~secret ~pid ~input ~validate
+      ~start_slot () =
+    Composition.note ~user:"weak BA" ~uses:"threshold signatures";
+    {
+      cfg;
+      pki;
+      secret;
+      pid;
+      input;
+      validate;
+      start_slot;
+      quorum_override;
+      scratch = Hashtbl.create 16;
+      decision = None;
+      decide_proof = None;
+      commit = None;
+      commit_proof = None;
+      commit_level = 0;
+      initiated = false;
+      sent_help = false;
+      help_sigs = Pid.Map.empty;
+      help_answers = [];
+      bu_decision = input;
+      bu_proof = None;
+      fb_sched = None;
+      fb_rebroadcast = None;
+      fb_state = None;
+      pending_fb = [];
+      decided_in_phase = None;
+      decided_at = None;
+    }
+
+  let decision st = st.decision
+  let decided_at st = st.decided_at
+  let initiated_phase st = st.initiated
+  let sent_help_request st = st.sent_help
+  let fallback_entered st = st.fb_state <> None
+  let commit_level st = st.commit_level
+  let decided_in_phase st = st.decided_in_phase
+
+  let scratch_of st j =
+    match Hashtbl.find_opt st.scratch j with
+    | Some s -> s
+    | None ->
+      let s = fresh_scratch () in
+      Hashtbl.add st.scratch j s;
+      s
+
+  let quorum st =
+    match st.quorum_override with
+    | Some q -> q
+    | None -> Config.big_quorum st.cfg
+
+  let verify_commit_qc st ~level ~value qc =
+    Certificate.verify_as st.pki qc ~k:(quorum st) ~purpose:commit_purpose
+    && String.equal (Certificate.payload qc) (phased_payload level value)
+
+  let verify_finalize_qc st ~phase ~value qc =
+    Certificate.verify_as st.pki qc ~k:(quorum st) ~purpose:finalize_purpose
+    && String.equal (Certificate.payload qc) (phased_payload phase value)
+
+  let decide_from_finalize st ~phase ~value ~qc =
+    if st.decision = None then begin
+      st.decision <- Some (Value value);
+      st.decide_proof <- Some (phase, value, qc);
+      st.decided_in_phase <- Some phase
+    end
+
+  (* ---- message ingestion -------------------------------------------- *)
+
+  let ingest st ~rel env =
+    let cfg = st.cfg in
+    let src = env.Envelope.src in
+    match env.Envelope.msg with
+    | Propose { phase = j; value; sg } ->
+      if j >= 1 && j <= phases cfg && rel = base j + 1 then begin
+        let msg =
+          Certificate.signed_message ~purpose:propose_purpose
+            ~payload:(phased_payload j value)
+        in
+        if
+          Pid.equal (Pki.Sig.signer sg) (leader j cfg)
+          && Pki.verify st.pki sg ~msg
+        then begin
+          let sc = scratch_of st j in
+          if sc.proposal = None then
+            sc.proposal <- Some (value, st.validate value)
+        end
+      end
+    | Vote { phase = j; value; share } ->
+      if
+        j >= 1 && j <= phases cfg
+        && rel = base j + 2
+        && Pid.equal st.pid (leader j cfg)
+      then begin
+        let msg =
+          Certificate.signed_message ~purpose:commit_purpose
+            ~payload:(phased_payload j value)
+        in
+        if Pki.verify st.pki share ~msg then begin
+          let sc = scratch_of st j in
+          let tbl = ref sc.votes in
+          let signer = Pki.Sig.signer share in
+          let key_eq (v, _, _) = V.equal v value in
+          (match List.find_opt key_eq !tbl with
+          | Some (v, signers, shares) ->
+            if not (Pid.Set.mem signer signers) then
+              tbl :=
+                (v, Pid.Set.add signer signers, share :: shares)
+                :: List.filter (fun e -> not (key_eq e)) !tbl
+          | None -> tbl := (value, Pid.Set.singleton signer, [ share ]) :: !tbl);
+          sc.votes <- !tbl
+        end
+      end
+    | Commit_answer { phase = j; value; level; qc } ->
+      if
+        j >= 1 && j <= phases cfg
+        && rel = base j + 2
+        && Pid.equal st.pid (leader j cfg)
+        && level >= 1 && level < j
+        && verify_commit_qc st ~level ~value qc
+        && List.length (scratch_of st j).commit_answers <= cfg.Config.n
+      then begin
+        let sc = scratch_of st j in
+        sc.commit_answers <- (level, value, qc) :: sc.commit_answers
+      end
+    | Commit_bcast { phase = j; value; level; qc } ->
+      (* Algorithm 4 line 43: accept in round 4 of phase j, from the phase's
+         leader, when the level dominates ours and the certificate checks. *)
+      if
+        j >= 1 && j <= phases cfg
+        && rel = base j + 3
+        && Pid.equal src (leader j cfg)
+        && level >= 1 && level <= j
+        && level >= st.commit_level
+        && verify_commit_qc st ~level ~value qc
+      then begin
+        let sc = scratch_of st j in
+        if sc.commit_recv = None then sc.commit_recv <- Some (value, level, qc)
+      end
+    | Decide_share { phase = j; value; share } ->
+      if
+        j >= 1 && j <= phases cfg
+        && rel = base j + 4
+        && Pid.equal st.pid (leader j cfg)
+      then begin
+        let msg =
+          Certificate.signed_message ~purpose:finalize_purpose
+            ~payload:(phased_payload j value)
+        in
+        if Pki.verify st.pki share ~msg then begin
+          let sc = scratch_of st j in
+          let tbl = ref sc.decide_shares in
+          let signer = Pki.Sig.signer share in
+          let key_eq (v, _, _) = V.equal v value in
+          (match List.find_opt key_eq !tbl with
+          | Some (v, signers, shares) ->
+            if not (Pid.Set.mem signer signers) then
+              tbl :=
+                (v, Pid.Set.add signer signers, share :: shares)
+                :: List.filter (fun e -> not (key_eq e)) !tbl
+          | None -> tbl := (value, Pid.Set.singleton signer, [ share ]) :: !tbl);
+          sc.decide_shares <- !tbl
+        end
+      end
+    | Finalized { phase = j; value; qc } ->
+      (* A valid finalize certificate is unique system-wide (Lemma 15), so
+         honouring it whenever it surfaces is safe and only helps
+         termination. *)
+      if j >= 1 && j <= phases cfg && verify_finalize_qc st ~phase:j ~value qc
+      then decide_from_finalize st ~phase:j ~value ~qc
+    | Help_req { sg } ->
+      if rel = help_base cfg + 1 then begin
+        let msg =
+          Certificate.signed_message ~purpose:helpreq_purpose ~payload:""
+        in
+        if Pki.verify st.pki sg ~msg then begin
+          let signer = Pki.Sig.signer sg in
+          if not (Pid.Map.mem signer st.help_sigs) then
+            st.help_sigs <- Pid.Map.add signer sg st.help_sigs;
+          match (st.decision, st.decide_proof) with
+          | Some (Value _), Some (j, v, qc) ->
+            st.help_answers <-
+              (Help { phase = j; value = v; qc }, src) :: st.help_answers
+          | _ -> ()
+        end
+      end
+    | Help { phase = j; value; qc } ->
+      if
+        rel = help_base cfg + 2
+        && j >= 1 && j <= phases cfg
+        && st.validate value
+        && verify_finalize_qc st ~phase:j ~value qc
+      then decide_from_finalize st ~phase:j ~value ~qc
+    | Fallback_cert { qc; decision } ->
+      if
+        rel >= help_base cfg + 1
+        && rel <= fb_window_end cfg
+        && Certificate.verify_as st.pki qc ~k:(Config.small_quorum cfg)
+             ~purpose:helpreq_purpose
+      then begin
+        (match decision with
+        | Some (j, v, fqc)
+          when st.decision = None
+               && j >= 1 && j <= phases cfg
+               && st.validate v
+               && verify_finalize_qc st ~phase:j ~value:v fqc ->
+          (* Line 17–20: during the safety window, adopt any decision value
+             already reached in the system as our fallback input. *)
+          st.bu_decision <- v;
+          st.bu_proof <- Some (j, v, fqc)
+        | _ -> ());
+        if st.fb_sched = None then begin
+          st.fb_sched <- Some (st.start_slot + rel + 2);
+          st.fb_rebroadcast <- Some qc
+        end
+      end
+    | Fb inner ->
+      st.pending_fb <- { env with Envelope.msg = inner } :: st.pending_fb
+
+  (* ---- emission ------------------------------------------------------ *)
+
+  let emit_phase_slot st ~rel =
+    let cfg = st.cfg in
+    let n = cfg.Config.n in
+    let j = (rel / 5) + 1 in
+    let off = rel mod 5 in
+    let lead = leader j cfg in
+    let am_leader = Pid.equal st.pid lead in
+    let sc = scratch_of st j in
+    match off with
+    | 0 ->
+      if am_leader && st.decision = None then begin
+        st.initiated <- true;
+        let sg =
+          Certificate.share st.pki st.secret ~purpose:propose_purpose
+            ~payload:(phased_payload j st.input)
+        in
+        Process.broadcast ~n (Propose { phase = j; value = st.input; sg })
+      end
+      else []
+    | 1 -> (
+      match sc.proposal with
+      | Some (v, valid) -> (
+        match st.commit with
+        | None ->
+          if valid then
+            let share =
+              Certificate.share st.pki st.secret ~purpose:commit_purpose
+                ~payload:(phased_payload j v)
+            in
+            [ (Vote { phase = j; value = v; share }, lead) ]
+          else []
+        | Some cv -> (
+          match st.commit_proof with
+          | Some qc ->
+            [ (Commit_answer { phase = j; value = cv; level = st.commit_level; qc },
+               lead) ]
+          | None -> []))
+      | None -> [])
+    | 2 ->
+      if am_leader then begin
+        match
+          List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a) sc.commit_answers
+        with
+        | (level, v, qc) :: _ ->
+          Process.broadcast ~n (Commit_bcast { phase = j; value = v; level; qc })
+        | [] -> (
+          let ready =
+            List.filter
+              (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
+              sc.votes
+            |> List.sort (fun (a, _, _) (b, _, _) -> V.compare a b)
+          in
+          match ready with
+          | (v, _, shares) :: _ -> (
+            match
+              Certificate.make st.pki ~k:(quorum st) ~purpose:commit_purpose
+                ~payload:(phased_payload j v) shares
+            with
+            | Some qc ->
+              Process.broadcast ~n
+                (Commit_bcast { phase = j; value = v; level = j; qc })
+            | None -> [])
+          | [] -> [])
+      end
+      else []
+    | 3 -> (
+      match sc.commit_recv with
+      | Some (v, level, qc) ->
+        st.commit <- Some v;
+        st.commit_proof <- Some qc;
+        st.commit_level <- level;
+        let share =
+          Certificate.share st.pki st.secret ~purpose:finalize_purpose
+            ~payload:(phased_payload j v)
+        in
+        [ (Decide_share { phase = j; value = v; share }, lead) ]
+      | None -> [])
+    | 4 ->
+      if am_leader then begin
+        let ready =
+          List.filter
+            (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
+            sc.decide_shares
+          |> List.sort (fun (a, _, _) (b, _, _) -> V.compare a b)
+        in
+        match ready with
+        | (v, _, shares) :: _ -> (
+          match
+            Certificate.make st.pki ~k:(quorum st) ~purpose:finalize_purpose
+              ~payload:(phased_payload j v) shares
+          with
+          | Some qc ->
+            Process.broadcast ~n (Finalized { phase = j; value = v; qc })
+          | None -> [])
+        | [] -> []
+      end
+      else []
+    | _ -> assert false
+
+  let step_fallback st ~slot =
+    match st.fb_state with
+    | None -> []
+    | Some fb ->
+      let inbox = List.rev st.pending_fb in
+      st.pending_fb <- [];
+      let fb', sends = F.step ~slot ~inbox fb in
+      st.fb_state <- Some fb';
+      (match F.decision fb' with
+      | Some fv when st.decision = None ->
+        (* Lines 25–29: adopt a valid fallback output, else ⊥. *)
+        st.decision <- Some (if st.validate fv then Value fv else Bot)
+      | _ -> ());
+      List.map (fun (m, dst) -> (Fb m, dst)) sends
+
+  let step ~slot ~inbox st =
+    let cfg = st.cfg in
+    let rel = slot - st.start_slot in
+    if rel < 0 then (st, [])
+    else begin
+      List.iter (fun env -> ingest st ~rel env) inbox;
+      let hb = help_base cfg in
+      let sends =
+        if rel < hb then emit_phase_slot st ~rel
+        else begin
+          let out = ref [] in
+          if rel = hb && st.decision = None then begin
+            st.sent_help <- true;
+            let sg =
+              Certificate.share st.pki st.secret ~purpose:helpreq_purpose
+                ~payload:""
+            in
+            out := Process.broadcast ~n:cfg.Config.n (Help_req { sg })
+          end;
+          if rel = hb + 1 then begin
+            out := st.help_answers @ !out;
+            st.help_answers <- [];
+            if
+              Pid.Map.cardinal st.help_sigs >= Config.small_quorum cfg
+              && st.fb_sched = None
+            then begin
+              let shares = List.map snd (Pid.Map.bindings st.help_sigs) in
+              match
+                Certificate.make st.pki ~k:(Config.small_quorum cfg)
+                  ~purpose:helpreq_purpose ~payload:"" shares
+              with
+              | Some qc ->
+                st.fb_sched <- Some (slot + 2);
+                out :=
+                  Process.broadcast ~n:cfg.Config.n
+                    (Fallback_cert { qc; decision = st.decide_proof })
+                  @ !out
+              | None -> ()
+            end
+          end;
+          if rel = hb + 2 then begin
+            (* Line 15: the backup decision defaults to our own state. *)
+            match st.decision with
+            | Some (Value v) ->
+              st.bu_decision <- v;
+              st.bu_proof <- st.decide_proof
+            | Some Bot | None -> ()
+          end;
+          (match st.fb_rebroadcast with
+          | Some qc ->
+            st.fb_rebroadcast <- None;
+            let decision =
+              match st.decide_proof with Some p -> Some p | None -> st.bu_proof
+            in
+            out :=
+              Process.broadcast ~n:cfg.Config.n (Fallback_cert { qc; decision })
+              @ !out
+          | None -> ());
+          (match st.fb_sched with
+          | Some start when slot = start && st.fb_state = None ->
+            Composition.note ~user:"weak BA" ~uses:"A-fallback (echo-phase-king)";
+            st.fb_state <-
+              Some
+                (F.init ~cfg ~pki:st.pki ~secret:st.secret ~pid:st.pid
+                   ~input:st.bu_decision ~start_slot:start ~round_len:2)
+          | _ -> ());
+          out := step_fallback st ~slot @ !out;
+          !out
+        end
+      in
+      if st.decision <> None && st.decided_at = None then
+        st.decided_at <- Some slot;
+      (st, sends)
+    end
+end

@@ -1,0 +1,1 @@
+lib/crypto/certificate.ml: Format Pki Printf String

@@ -1,0 +1,1 @@
+lib/crypto/certificate.mli: Format Pki

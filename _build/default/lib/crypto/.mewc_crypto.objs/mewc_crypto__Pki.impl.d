@@ -1,0 +1,1 @@
+lib/crypto/pki.ml: Array Buffer Format List Mewc_prelude Pid Printf Rng Sha256

@@ -1,0 +1,35 @@
+type t = { purpose : string; payload : string; tsig : Pki.Tsig.t }
+
+let purpose c = c.purpose
+let payload c = c.payload
+let cardinality c = Pki.Tsig.cardinality c.tsig
+
+let signed_message ~purpose ~payload =
+  (* Length-prefixed fields: no payload/purpose pair can collide with
+     another. *)
+  Printf.sprintf "cert|%d|%s|%d|%s" (String.length purpose) purpose
+    (String.length payload) payload
+
+let share pki secret ~purpose ~payload =
+  Pki.sign pki secret (signed_message ~purpose ~payload)
+
+let make pki ~k ~purpose ~payload shares =
+  match Pki.combine pki ~k ~msg:(signed_message ~purpose ~payload) shares with
+  | None -> None
+  | Some tsig -> Some { purpose; payload; tsig }
+
+let verify pki c ~k =
+  Pki.verify_tsig pki c.tsig ~k
+    ~msg:(signed_message ~purpose:c.purpose ~payload:c.payload)
+
+let verify_as pki c ~k ~purpose = String.equal c.purpose purpose && verify pki c ~k
+
+let equal a b =
+  String.equal a.purpose b.purpose
+  && String.equal a.payload b.payload
+  && Pki.Tsig.equal a.tsig b.tsig
+
+let pp fmt c =
+  Format.fprintf fmt "<%s-cert(%d) %S>" c.purpose (cardinality c) c.payload
+
+let words _ = 1

@@ -1,0 +1,41 @@
+(** Typed quorum certificates.
+
+    The protocols form several kinds of certificates — [QC_idk],
+    [QC_commit(v)], [QC_finalized(v)], [QC_fallback], [QC_propose(v)],
+    [QC_decide(v)] — all of which are threshold signatures over a tagged
+    payload. This module fixes the wire encoding (purpose and payload are
+    bound into the signed message) so that a certificate formed for one
+    purpose can never be replayed for another. *)
+
+type t
+
+val purpose : t -> string
+val payload : t -> string
+val cardinality : t -> int
+
+val signed_message : purpose:string -> payload:string -> string
+(** The exact string that shares sign. Exposed so tests can cross-check. *)
+
+val share : Pki.t -> Pki.Secret.t -> purpose:string -> payload:string -> Pki.Sig.t
+(** One process's contribution towards a certificate. *)
+
+val make :
+  Pki.t -> k:int -> purpose:string -> payload:string -> Pki.Sig.t list -> t option
+(** Batch [k] distinct valid shares into a certificate; [None] if the shares
+    do not reach the threshold. *)
+
+val verify : Pki.t -> t -> k:int -> bool
+(** [verify pki c ~k] checks the certificate carries at least [k] valid
+    shares on its own purpose/payload. *)
+
+val verify_as : Pki.t -> t -> k:int -> purpose:string -> bool
+(** Additionally pins the expected purpose tag. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val words : t -> int
+(** Always 1: a certificate is a threshold signature plus a constant number
+    of domain values (paper §2: a word contains a constant number of
+    signatures and values). The payload it authenticates is carried
+    separately by the enclosing message and accounted there. *)

@@ -1,0 +1,103 @@
+open Mewc_prelude
+
+type t = {
+  n : int;
+  mac_keys : string array;  (* trusted setup; used for verification only *)
+  mutable signs : int;
+  mutable verifies : int;
+  mutable combines : int;
+}
+
+module Secret = struct
+  type nonrec t = { owner : Pid.t; mac_key : string }
+
+  let owner s = s.owner
+end
+
+let setup ?(seed = 0x5EEDL) ~n () =
+  let rng = Rng.create seed in
+  let mac_keys =
+    Array.init n (fun i ->
+        Printf.sprintf "mewc-key-%d-%Lx-%Lx" i (Rng.int64 rng) (Rng.int64 rng))
+  in
+  let pki = { n; mac_keys; signs = 0; verifies = 0; combines = 0 } in
+  let secrets =
+    Array.init n (fun i -> { Secret.owner = i; mac_key = mac_keys.(i) })
+  in
+  (pki, secrets)
+
+let n t = t.n
+
+module Sig = struct
+  type t = { signer : Pid.t; tag : Sha256.t }
+
+  let signer s = s.signer
+  let equal a b = Pid.equal a.signer b.signer && Sha256.equal a.tag b.tag
+
+  let compare a b =
+    match Pid.compare a.signer b.signer with
+    | 0 -> Sha256.compare a.tag b.tag
+    | c -> c
+
+  let pp fmt s = Format.fprintf fmt "<sig:%a>" Pid.pp s.signer
+end
+
+let sign t (secret : Secret.t) msg =
+  t.signs <- t.signs + 1;
+  { Sig.signer = secret.Secret.owner; tag = Sha256.hmac ~key:secret.Secret.mac_key msg }
+
+let verify t (s : Sig.t) ~msg =
+  t.verifies <- t.verifies + 1;
+  Pid.is_valid ~n:t.n s.Sig.signer
+  && Sha256.equal s.Sig.tag (Sha256.hmac ~key:t.mac_keys.(s.Sig.signer) msg)
+
+module Tsig = struct
+  type t = { signers : Pid.Set.t; tag : Sha256.t }
+
+  let cardinality ts = Pid.Set.cardinal ts.signers
+  let equal a b = Pid.Set.equal a.signers b.signers && Sha256.equal a.tag b.tag
+
+  let pp fmt ts =
+    Format.fprintf fmt "<tsig:%d shares>" (Pid.Set.cardinal ts.signers)
+end
+
+(* The aggregate tag binds the signer set and the message: it is the digest
+   of the individual HMAC tags in signer order, which only someone holding
+   (or having verified) k genuine shares can compute. *)
+let aggregate_tag t signers ~msg =
+  let buf = Buffer.create 256 in
+  Pid.Set.iter
+    (fun p ->
+      Buffer.add_string buf (Sha256.to_raw (Sha256.hmac ~key:t.mac_keys.(p) msg)))
+    signers;
+  Sha256.digest (Buffer.contents buf)
+
+let combine t ~k ~msg shares =
+  t.combines <- t.combines + 1;
+  let valid =
+    List.filter (fun s -> verify t s ~msg) shares
+    |> List.map Sig.signer |> Pid.Set.of_list
+  in
+  if Pid.Set.cardinal valid < k then None
+  else begin
+    (* Keep exactly the k lowest signer ids, for determinism. *)
+    let signers =
+      Pid.Set.elements valid |> List.filteri (fun i _ -> i < k) |> Pid.Set.of_list
+    in
+    Some { Tsig.signers; tag = aggregate_tag t signers ~msg }
+  end
+
+let verify_tsig t (ts : Tsig.t) ~k ~msg =
+  t.verifies <- t.verifies + 1;
+  Pid.Set.cardinal ts.Tsig.signers >= k
+  && Pid.Set.for_all (Pid.is_valid ~n:t.n) ts.Tsig.signers
+  && Sha256.equal ts.Tsig.tag (aggregate_tag t ts.Tsig.signers ~msg)
+
+let signatures_created t = t.signs
+let verifications_performed t = t.verifies
+let combines_performed t = t.combines
+
+let reset_counters t =
+  t.signs <- 0;
+  t.verifies <- 0;
+  t.combines <- 0

@@ -1,0 +1,83 @@
+(** Trusted public-key infrastructure with individual and threshold
+    signatures (paper §2, "Cryptographic tools").
+
+    The paper assumes an ideal signature scheme and an ideal
+    [(k, n)]-threshold signature scheme in which [k] unique signatures on the
+    same message batch into a single one-word certificate. We realize both
+    with HMAC-SHA256 tags over a trusted setup:
+
+    - a signature can only be produced through {!Sig.sign}, which requires
+      the signer's {!Secret.t}; the adversary holds exactly the secrets of
+      the processes it has corrupted, so unforgeability holds by
+      construction;
+    - a threshold signature can only be produced through {!Tsig.combine},
+      which checks [k] valid shares from [k] distinct signers on the same
+      message.
+
+    A [Pki.t] value is the public side of the setup: it can verify anything
+    but sign nothing. It also keeps counters of cryptographic operations so
+    experiments can report signature complexity (Dolev–Reischuk's Omega(nt)
+    lower bound counts signatures, not words). *)
+
+type t
+
+module Secret : sig
+  type t
+  (** Signing capability of one process. Handed to that process (or to the
+      adversary once the process is corrupted) and to nobody else. *)
+
+  val owner : t -> Mewc_prelude.Pid.t
+end
+
+val setup : ?seed:int64 -> n:int -> unit -> t * Secret.t array
+(** [setup ~n ()] runs the trusted dealer: returns the public verifier and
+    the [n] secrets, where secret [i] belongs to process [i]. *)
+
+val n : t -> int
+
+(** {1 Individual signatures} *)
+
+module Sig : sig
+  type t
+  (** [<m>_p] — process [p]'s signature on a message. One word. *)
+
+  val signer : t -> Mewc_prelude.Pid.t
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+val sign : t -> Secret.t -> string -> Sig.t
+val verify : t -> Sig.t -> msg:string -> bool
+
+(** {1 Threshold signatures} *)
+
+module Tsig : sig
+  type t
+  (** A [(k, n)]-threshold signature: [k] unique shares batched into a
+      certificate "with the same length as an individual signature"
+      (paper §2) — one word. *)
+
+  val cardinality : t -> int
+  (** Number of distinct shares batched in (the [k] it was combined at). *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+val combine : t -> k:int -> msg:string -> Sig.t list -> Tsig.t option
+(** [combine pki ~k ~msg shares] batches [k] unique valid signatures on
+    [msg] into a threshold signature. Returns [None] when fewer than [k]
+    distinct valid shares are supplied. Extra shares are ignored
+    (deterministically: the [k] lowest signer ids are kept). *)
+
+val verify_tsig : t -> Tsig.t -> k:int -> msg:string -> bool
+(** Checks that the threshold signature is a valid batch of at least [k]
+    shares on [msg]. *)
+
+(** {1 Operation counters} *)
+
+val signatures_created : t -> int
+val verifications_performed : t -> int
+val combines_performed : t -> int
+val reset_counters : t -> unit

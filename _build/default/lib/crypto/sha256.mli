@@ -1,0 +1,26 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Used as the digest underlying signatures and threshold-signature shares,
+    so that certificate payloads are bound to real message digests rather
+    than to OCaml structural equality. Verified in the test suite against
+    the official FIPS / NIST test vectors. *)
+
+type t
+(** A 32-byte digest. *)
+
+val digest : string -> t
+(** [digest msg] hashes the whole string. *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal rendering (64 characters). *)
+
+val to_raw : t -> string
+(** The 32 raw digest bytes. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val hmac : key:string -> string -> t
+(** HMAC-SHA256 (RFC 2104). The simulated signature scheme uses this as its
+    unforgeable tag: [hmac ~key:secret msg]. *)

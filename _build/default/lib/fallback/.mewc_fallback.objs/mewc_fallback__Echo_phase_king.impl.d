@@ -1,0 +1,1 @@
+lib/fallback/echo_phase_king.ml: Certificate Composition Config Envelope Format Hashtbl Int List Mewc_crypto Mewc_prelude Mewc_sim Option Pid Pki Printf Process String Value

@@ -1,0 +1,1 @@
+lib/fallback/echo_phase_king.mli: Format Mewc_crypto Mewc_prelude Mewc_sim

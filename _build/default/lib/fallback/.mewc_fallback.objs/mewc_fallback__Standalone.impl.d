@@ -1,0 +1,1 @@
+lib/fallback/standalone.ml: Array Config Echo_phase_king Engine Meter Mewc_crypto Mewc_prelude Mewc_sim Pki Process Value

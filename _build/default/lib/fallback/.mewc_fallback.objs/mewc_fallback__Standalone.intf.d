@@ -1,0 +1,1 @@
+lib/fallback/standalone.mli: Mewc_prelude Mewc_sim

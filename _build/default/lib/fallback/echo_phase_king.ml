@@ -1,0 +1,534 @@
+open Mewc_prelude
+open Mewc_crypto
+open Mewc_sim
+
+module Make (V : Value.S) = struct
+  (* Certificate purposes. Distinct tags keep shares formed here from being
+     replayed into any other protocol layer, and the phase baked into each
+     payload keeps them from being replayed across phases. *)
+  let input_purpose = "fb-input"
+  let propose_purpose = "fb-propose"
+  let commit_purpose = "fb-commit"
+  let ack_purpose = "fb-ack"
+  let phased_payload phase v = Printf.sprintf "%d|%s" phase (V.encode v)
+
+  type justification =
+    | Unjustified
+    | Input_cert of Certificate.t
+    | Lock_just of { level : int; qc : Certificate.t }
+
+  type proposal = {
+    p_phase : int;
+    p_value : V.t;
+    p_just : justification;
+    p_king_sig : Pki.Sig.t;
+    p_just_valid : bool;
+        (* certificates inside the justification verified; voter-specific
+           lock-level dominance is checked at vote time *)
+  }
+
+  type body =
+    | Input of { value : V.t; share : Pki.Sig.t }
+    | Status of {
+        phase : int;
+        lock : (int * V.t * Certificate.t) option;
+        input_qc : (V.t * Certificate.t) option;
+      }
+    | Propose of proposal
+    | Echo of proposal
+    | Vote of { phase : int; value : V.t; share : Pki.Sig.t }
+    | Commit of { phase : int; value : V.t; qc : Certificate.t }
+    | Ack of { phase : int; value : V.t; share : Pki.Sig.t; qc : Certificate.t }
+    | Decided of { phase : int; value : V.t; qc : Certificate.t }
+
+  type msg = { round : int; body : body }
+
+  let just_words = function
+    | Unjustified -> 0
+    | Input_cert _ -> 1
+    | Lock_just _ -> 2
+
+  let words { body; _ } =
+    match body with
+    | Input _ -> 2
+    | Status { lock; input_qc; _ } ->
+      1
+      + (match lock with Some _ -> 3 | None -> 0)
+      + (match input_qc with Some _ -> 2 | None -> 0)
+    | Propose p | Echo p -> 2 + just_words p.p_just
+    | Vote _ -> 2
+    | Commit _ -> 2
+    | Ack _ -> 3
+    | Decided _ -> 2
+
+  let pp_body fmt = function
+    | Input { value; _ } -> Format.fprintf fmt "input(%a)" V.pp value
+    | Status { phase; lock; input_qc } ->
+      Format.fprintf fmt "status(j=%d, lock=%s, qc=%s)" phase
+        (match lock with Some (l, _, _) -> string_of_int l | None -> "-")
+        (match input_qc with Some _ -> "y" | None -> "-")
+    | Propose p -> Format.fprintf fmt "propose(j=%d, %a)" p.p_phase V.pp p.p_value
+    | Echo p -> Format.fprintf fmt "echo(j=%d, %a)" p.p_phase V.pp p.p_value
+    | Vote { phase; value; _ } -> Format.fprintf fmt "vote(j=%d, %a)" phase V.pp value
+    | Commit { phase; value; _ } -> Format.fprintf fmt "commit(j=%d, %a)" phase V.pp value
+    | Ack { phase; value; _ } -> Format.fprintf fmt "ack(j=%d, %a)" phase V.pp value
+    | Decided { phase; value; _ } ->
+      Format.fprintf fmt "decided(j=%d, %a)" phase V.pp value
+
+  let pp_msg fmt { round; body } = Format.fprintf fmt "r%d:%a" round pp_body body
+
+  (* Per-phase working memory, bounded against Byzantine spam. *)
+  type scratch = {
+    mutable king_locks : (int * V.t * Certificate.t) list;
+    mutable king_input_qcs : (V.t * Certificate.t) list;
+    mutable proposals : proposal list;
+    mutable votes : (V.t * Pid.Set.t * Pki.Sig.t list) list;
+    mutable commit_cert : (V.t * Certificate.t) option;
+    mutable acks : (V.t * Pid.Set.t * Pki.Sig.t list) list;
+  }
+
+  let fresh_scratch () =
+    {
+      king_locks = [];
+      king_input_qcs = [];
+      proposals = [];
+      votes = [];
+      commit_cert = None;
+      acks = [];
+    }
+
+  type state = {
+    cfg : Config.t;
+    pki : Pki.t;
+    secret : Pki.Secret.t;
+    pid : Pid.t;
+    start_slot : int;
+    round_len : int;
+    input : V.t;
+    buf : (int, (Pid.t * body) list) Hashtbl.t;
+    scratch : (int, scratch) Hashtbl.t;
+    mutable consumed : int;  (* rounds strictly below have been ingested *)
+    mutable popular : V.t option;
+    mutable my_input_qc : (V.t * Certificate.t) option;
+    mutable lock : (int * V.t * Certificate.t) option;
+    mutable decision : V.t option;
+    mutable decide_qc : (int * V.t * Certificate.t) option;
+    mutable announced : bool;
+    mutable decided_at : int option;  (* slot at which [decision] was set *)
+  }
+
+  let phases cfg = cfg.Config.t + 1
+  let king phase = fun cfg -> Pid.rotating_leader ~n:cfg.Config.n ~phase
+
+  (* Round layout: round 0 = input exchange; phase j (1-based) spans rounds
+     base(j) .. base(j)+5 = status, propose, echo, vote, commit, ack. *)
+  let base j = 1 + ((j - 1) * 6)
+  let rounds cfg = 1 + (6 * phases cfg) + 2
+  let horizon cfg ~round_len = (rounds cfg * round_len) + 2
+
+  let scratch_of st j =
+    match Hashtbl.find_opt st.scratch j with
+    | Some s -> s
+    | None ->
+      let s = fresh_scratch () in
+      Hashtbl.add st.scratch j s;
+      s
+
+  let init ~cfg ~pki ~secret ~pid ~input ~start_slot ~round_len =
+    if round_len < 1 then invalid_arg "Echo_phase_king.init: round_len >= 1";
+    Composition.note ~user:"A-fallback (echo-phase-king)"
+      ~uses:"threshold signatures";
+    {
+      cfg;
+      pki;
+      secret;
+      pid;
+      start_slot;
+      round_len;
+      input;
+      buf = Hashtbl.create 64;
+      scratch = Hashtbl.create 16;
+      consumed = 0;
+      popular = None;
+      my_input_qc = None;
+      lock = None;
+      decision = None;
+      decide_qc = None;
+      announced = false;
+      decided_at = None;
+    }
+
+  let decision st = st.decision
+  let decided_at st = st.decided_at
+  let locked_value st = Option.map (fun (_, v, _) -> v) st.lock
+  let popular_value st = st.popular
+
+  let quorum st = Config.small_quorum st.cfg (* t + 1 *)
+
+  let decide st ~phase ~value ~qc =
+    if st.decision = None then begin
+      st.decision <- Some value;
+      st.decide_qc <- Some (phase, value, qc)
+    end
+
+  (* --- ingestion of one buffered round ------------------------------- *)
+
+  let ingest_inputs st entries =
+    (* Tally signed round-0 inputs; discard equivocating signers; a value
+       with t+1 distinct signers is popular and yields an input QC. *)
+    let per_signer : (Pid.t, (V.t * Pki.Sig.t) list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (_src, body) ->
+        match body with
+        | Input { value; share } ->
+          let payload = V.encode value in
+          if
+            Pki.verify st.pki share
+              ~msg:(Certificate.signed_message ~purpose:input_purpose ~payload)
+          then begin
+            let signer = Pki.Sig.signer share in
+            let prev = Option.value ~default:[] (Hashtbl.find_opt per_signer signer) in
+            if not (List.exists (fun (v, _) -> V.equal v value) prev) then
+              Hashtbl.replace per_signer signer ((value, share) :: prev)
+          end
+        | _ -> ())
+      entries;
+    let per_value : (string, V.t * Pki.Sig.t list) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _signer entries ->
+        match entries with
+        | [ (v, share) ] ->
+          (* signers with two or more distinct signed inputs are provably
+             Byzantine: ignore them *)
+          let key = V.encode v in
+          let _, shares =
+            Option.value ~default:(v, []) (Hashtbl.find_opt per_value key)
+          in
+          Hashtbl.replace per_value key (v, share :: shares)
+        | _ -> ())
+      per_signer;
+    Hashtbl.iter
+      (fun _key (v, shares) ->
+        if List.length shares >= quorum st && st.my_input_qc = None then
+          match
+            Certificate.make st.pki ~k:(quorum st) ~purpose:input_purpose
+              ~payload:(V.encode v) shares
+          with
+          | Some qc ->
+            st.popular <- Some v;
+            st.my_input_qc <- Some (v, qc)
+          | None -> ())
+      per_value
+
+  let verify_commit_qc st ~level ~value qc =
+    Certificate.verify_as st.pki qc ~k:(quorum st) ~purpose:commit_purpose
+    && String.equal (Certificate.payload qc) (phased_payload level value)
+
+  let verify_input_qc st ~value qc =
+    Certificate.verify_as st.pki qc ~k:(quorum st) ~purpose:input_purpose
+    && String.equal (Certificate.payload qc) (V.encode value)
+
+  let relock st ~level ~value ~qc =
+    let current = match st.lock with Some (l, _, _) -> l | None -> 0 in
+    if level >= current then st.lock <- Some (level, value, qc)
+
+  let validate_just st (p : proposal) =
+    match p.p_just with
+    | Unjustified -> true
+    | Input_cert qc -> verify_input_qc st ~value:p.p_value qc
+    | Lock_just { level; qc } ->
+      level >= 1 && level <= phases st.cfg
+      && verify_commit_qc st ~level ~value:p.p_value qc
+
+  let add_proposal st j (p : proposal) =
+    let sc = scratch_of st j in
+    let distinct_values =
+      List.sort_uniq V.compare (List.map (fun q -> q.p_value) sc.proposals)
+    in
+    let known v = List.exists (V.equal v) distinct_values in
+    let copies_of v =
+      List.length (List.filter (fun q -> V.equal q.p_value v) sc.proposals)
+    in
+    (* Bound Byzantine spam: at most 3 distinct values (2 already prove
+       equivocation) and 3 copies per value (different justifications). *)
+    if
+      (known p.p_value && copies_of p.p_value < 3)
+      || ((not (known p.p_value)) && List.length distinct_values < 3)
+    then sc.proposals <- p :: sc.proposals
+
+  let ingest_proposal st j (p : proposal) =
+    if p.p_phase = j then begin
+      let payload = phased_payload j p.p_value in
+      let msg = Certificate.signed_message ~purpose:propose_purpose ~payload in
+      if
+        Pid.equal (Pki.Sig.signer p.p_king_sig) (king j st.cfg)
+        && Pki.verify st.pki p.p_king_sig ~msg
+      then
+        add_proposal st j { p with p_just_valid = validate_just st p }
+    end
+
+  let tally table value signer share =
+    let key_eq (v, _, _) = V.equal v value in
+    match List.find_opt key_eq !table with
+    | Some (v, signers, shares) ->
+      if not (Pid.Set.mem signer signers) then
+        table :=
+          (v, Pid.Set.add signer signers, share :: shares)
+          :: List.filter (fun e -> not (key_eq e)) !table
+    | None -> table := (value, Pid.Set.singleton signer, [ share ]) :: !table
+
+  let ingest_round st r entries =
+    let am_i_king j = Pid.equal st.pid (king j st.cfg) in
+    List.iter
+      (fun (_src, body) ->
+        match body with
+        | Input _ -> if r = 0 then () (* handled in bulk below *)
+        | Status { phase = j; lock; input_qc } ->
+          if r = base j && am_i_king j then begin
+            let sc = scratch_of st j in
+            (match lock with
+            | Some (level, v, qc)
+              when level >= 1 && level <= phases st.cfg
+                   && verify_commit_qc st ~level ~value:v qc
+                   && List.length sc.king_locks < st.cfg.Config.n + 1 ->
+              sc.king_locks <- (level, v, qc) :: sc.king_locks
+            | _ -> ());
+            match input_qc with
+            | Some (v, qc)
+              when verify_input_qc st ~value:v qc
+                   && List.length sc.king_input_qcs < st.cfg.Config.n + 1 ->
+              sc.king_input_qcs <- (v, qc) :: sc.king_input_qcs
+            | _ -> ()
+          end
+        | Propose p -> if r = base p.p_phase + 1 then ingest_proposal st p.p_phase p
+        | Echo p -> if r = base p.p_phase + 2 then ingest_proposal st p.p_phase p
+        | Vote { phase = j; value; share } ->
+          if r = base j + 3 && am_i_king j then begin
+            let payload = phased_payload j value in
+            let msg = Certificate.signed_message ~purpose:commit_purpose ~payload in
+            if Pki.verify st.pki share ~msg then begin
+              let sc = scratch_of st j in
+              let tbl = ref sc.votes in
+              tally tbl value (Pki.Sig.signer share) share;
+              sc.votes <- !tbl
+            end
+          end
+        | Commit { phase = j; value; qc } ->
+          if r = base j + 4 && j <= phases st.cfg && verify_commit_qc st ~level:j ~value qc
+          then begin
+            relock st ~level:j ~value ~qc;
+            let sc = scratch_of st j in
+            if sc.commit_cert = None then sc.commit_cert <- Some (value, qc)
+          end
+        | Ack { phase = j; value; share; qc } ->
+          if r = base j + 5 && j <= phases st.cfg && verify_commit_qc st ~level:j ~value qc
+          then begin
+            (* The attached commit certificate travels with every ack, so a
+               single correct acker is enough to re-lock all correct
+               processes (the linchpin of cross-phase safety). *)
+            relock st ~level:j ~value ~qc;
+            let payload = phased_payload j value in
+            let msg = Certificate.signed_message ~purpose:ack_purpose ~payload in
+            if Pki.verify st.pki share ~msg then begin
+              let sc = scratch_of st j in
+              let tbl = ref sc.acks in
+              tally tbl value (Pki.Sig.signer share) share;
+              sc.acks <- !tbl;
+              match
+                List.find_opt
+                  (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
+                  sc.acks
+              with
+              | Some (v, _, shares) -> (
+                match
+                  Certificate.make st.pki ~k:(quorum st) ~purpose:ack_purpose
+                    ~payload:(phased_payload j v) shares
+                with
+                | Some dqc -> decide st ~phase:j ~value:v ~qc:dqc
+                | None -> ())
+              | None -> ()
+            end
+          end
+        | Decided { phase = j; value; qc } ->
+          if
+            j >= 1 && j <= phases st.cfg
+            && Certificate.verify_as st.pki qc ~k:(quorum st) ~purpose:ack_purpose
+            && String.equal (Certificate.payload qc) (phased_payload j value)
+          then decide st ~phase:j ~value ~qc)
+      entries;
+    if r = 0 then ingest_inputs st entries
+
+  (* --- emission at the entry of one round ---------------------------- *)
+
+  let emit st r =
+    let n = st.cfg.Config.n in
+    let bc body = Process.broadcast ~n { round = r; body } in
+    let to_king j body = [ ({ round = r; body }, king j st.cfg) ] in
+    match st.decision with
+    | Some value ->
+      if st.announced then []
+      else begin
+        st.announced <- true;
+        match st.decide_qc with
+        | Some (phase, v, qc) -> bc (Decided { phase; value = v; qc })
+        | None ->
+          (* unreachable: decisions always carry their certificate *)
+          ignore value;
+          []
+      end
+    | None ->
+      if r = 0 then
+        let share =
+          Certificate.share st.pki st.secret ~purpose:input_purpose
+            ~payload:(V.encode st.input)
+        in
+        bc (Input { value = st.input; share })
+      else begin
+        let j = ((r - 1) / 6) + 1 in
+        let off = (r - 1) mod 6 in
+        if j > phases st.cfg then []
+        else
+          match off with
+          | 0 -> to_king j (Status { phase = j; lock = st.lock; input_qc = st.my_input_qc })
+          | 1 ->
+            if Pid.equal st.pid (king j st.cfg) then begin
+              let sc = scratch_of st j in
+              let locks =
+                match st.lock with Some l -> l :: sc.king_locks | None -> sc.king_locks
+              in
+              let value, just =
+                match
+                  List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a) locks
+                with
+                | (level, v, qc) :: _ -> (v, Lock_just { level; qc })
+                | [] -> (
+                  let qcs =
+                    match st.my_input_qc with
+                    | Some q -> q :: sc.king_input_qcs
+                    | None -> sc.king_input_qcs
+                  in
+                  match List.sort (fun (a, _) (b, _) -> V.compare a b) qcs with
+                  | (v, qc) :: _ -> (v, Input_cert qc)
+                  | [] -> (st.input, Unjustified))
+              in
+              let sg =
+                Certificate.share st.pki st.secret ~purpose:propose_purpose
+                  ~payload:(phased_payload j value)
+              in
+              bc
+                (Propose
+                   {
+                     p_phase = j;
+                     p_value = value;
+                     p_just = just;
+                     p_king_sig = sg;
+                     p_just_valid = true;
+                   })
+            end
+            else []
+          | 2 ->
+            (* Forward up to two distinct proposal values: one proves the
+               king spoke, two prove it equivocated. *)
+            let sc = scratch_of st j in
+            let rec distinct acc = function
+              | [] -> List.rev acc
+              | p :: rest ->
+                if List.exists (fun q -> V.equal q.p_value p.p_value) acc then
+                  distinct acc rest
+                else distinct (p :: acc) rest
+            in
+            let chosen =
+              distinct [] sc.proposals |> List.filteri (fun i _ -> i < 2)
+            in
+            List.concat_map (fun p -> bc (Echo p)) chosen
+          | 3 -> (
+            let sc = scratch_of st j in
+            let values =
+              List.sort_uniq V.compare (List.map (fun p -> p.p_value) sc.proposals)
+            in
+            match values with
+            | [ w ] ->
+              let my_level = match st.lock with Some (l, _, _) -> l | None -> 0 in
+              let acceptable (p : proposal) =
+                p.p_just_valid
+                &&
+                match p.p_just with
+                | Lock_just { level; _ } -> level >= my_level
+                | Input_cert _ -> my_level = 0
+                | Unjustified -> my_level = 0 && st.popular = None
+              in
+              let lock_value_match =
+                match st.lock with Some (_, lv, _) -> V.equal lv w | None -> false
+              in
+              if lock_value_match || List.exists acceptable sc.proposals then
+                let share =
+                  Certificate.share st.pki st.secret ~purpose:commit_purpose
+                    ~payload:(phased_payload j w)
+                in
+                to_king j (Vote { phase = j; value = w; share })
+              else []
+            | _ -> [])
+          | 4 ->
+            if Pid.equal st.pid (king j st.cfg) then begin
+              let sc = scratch_of st j in
+              let ready =
+                List.filter
+                  (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
+                  sc.votes
+                |> List.sort (fun (a, _, _) (b, _, _) -> V.compare a b)
+              in
+              match ready with
+              | (v, _, shares) :: _ -> (
+                match
+                  Certificate.make st.pki ~k:(quorum st) ~purpose:commit_purpose
+                    ~payload:(phased_payload j v) shares
+                with
+                | Some qc -> bc (Commit { phase = j; value = v; qc })
+                | None -> [])
+              | [] -> []
+            end
+            else []
+          | 5 -> (
+            let sc = scratch_of st j in
+            match sc.commit_cert with
+            | Some (v, qc) ->
+              let share =
+                Certificate.share st.pki st.secret ~purpose:ack_purpose
+                  ~payload:(phased_payload j v)
+              in
+              bc (Ack { phase = j; value = v; share; qc })
+            | None -> [])
+          | _ -> assert false
+      end
+
+  let step ~slot ~inbox st =
+    List.iter
+      (fun env ->
+        let { round; body } = env.Envelope.msg in
+        if round >= st.consumed && round <= rounds st.cfg then begin
+          let prev = Option.value ~default:[] (Hashtbl.find_opt st.buf round) in
+          Hashtbl.replace st.buf round ((env.Envelope.src, body) :: prev)
+        end)
+      inbox;
+    if slot < st.start_slot || (slot - st.start_slot) mod st.round_len <> 0 then
+      (st, [])
+    else begin
+      let r = (slot - st.start_slot) / st.round_len in
+      if r >= rounds st.cfg then (st, [])
+      else begin
+        (* Ingest every strictly earlier round, in order, then act. *)
+        while st.consumed < r do
+          let k = st.consumed in
+          let entries =
+            Option.value ~default:[] (Hashtbl.find_opt st.buf k) |> List.rev
+          in
+          Hashtbl.remove st.buf k;
+          ingest_round st k entries;
+          st.consumed <- st.consumed + 1
+        done;
+        if st.decision <> None && st.decided_at = None then
+          st.decided_at <- Some slot;
+        (st, emit st r)
+      end
+    end
+end

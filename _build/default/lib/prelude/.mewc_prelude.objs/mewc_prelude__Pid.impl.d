@@ -1,0 +1,1 @@
+lib/prelude/pid.ml: Format Fun Int List Map Set

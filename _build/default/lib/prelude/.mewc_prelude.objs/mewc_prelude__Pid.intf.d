@@ -1,0 +1,1 @@
+lib/prelude/pid.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/prelude/rng.ml: Int64 List

@@ -1,0 +1,59 @@
+type t = {
+  title : string;
+  headers : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~headers = { title; headers; rows = [] }
+
+let add_row t row =
+  let width = List.length t.headers in
+  let len = List.length row in
+  if len > width then invalid_arg "Ascii_table.add_row: too many cells";
+  let padded = row @ List.init (width - len) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let buf = Buffer.create 256 in
+  let sep () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (w - String.length cell + 1) ' ');
+        Buffer.add_char buf '|')
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  if t.title <> "" then begin
+    Buffer.add_string buf t.title;
+    Buffer.add_char buf '\n'
+  end;
+  sep ();
+  line t.headers;
+  sep ();
+  List.iter line rows;
+  if rows <> [] then sep ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the benchmark reports.
+
+    Renders aligned boxes such as:
+
+    {v
+    +----+-----+-------+
+    | n  | f   | words |
+    +----+-----+-------+
+    | 9  | 0   | 42    |
+    +----+-----+-------+
+    v} *)
+
+type t
+
+val create : title:string -> headers:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val render : t -> string
+val print : t -> unit

@@ -1,0 +1,11 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let pp fmt p = Format.fprintf fmt "p%d" p
+let all ~n = List.init n Fun.id
+let is_valid ~n p = 0 <= p && p < n
+let rotating_leader ~n ~phase = phase mod n
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

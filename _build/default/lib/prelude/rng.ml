@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy g = { state = g.state }
+
+(* splitmix64 finalizer (Steele, Lea, Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = create (int64 g)
+
+let int g bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (int64 g) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let float g bound =
+  let u = Int64.to_float (Int64.shift_right_logical (int64 g) 11) in
+  u /. 9007199254740992.0 *. bound
+
+let pick g xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int g (List.length xs))
+
+let shuffle g xs =
+  let tagged = List.map (fun x -> (int64 g, x)) xs in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int64.compare a b) tagged in
+  List.map snd sorted
+
+let sample g k xs =
+  if k > List.length xs then invalid_arg "Rng.sample: k too large";
+  let shuffled = shuffle g xs in
+  List.filteri (fun i _ -> i < k) shuffled

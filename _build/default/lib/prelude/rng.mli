@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every run of the simulator is a pure function of its seed, so any failing
+    execution can be replayed bit-for-bit. We deliberately avoid
+    [Stdlib.Random] to keep the generator stable across OCaml versions. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes an independent generator. *)
+
+val copy : t -> t
+(** [copy g] is a generator that will produce the same stream as [g] without
+    sharing state. *)
+
+val split : t -> t
+(** [split g] derives a new independent generator and advances [g]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [0, bound)]. Requires [bound > 0]. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample g k xs] is [k] distinct elements of [xs] in random order.
+    Requires [k <= List.length xs]. *)

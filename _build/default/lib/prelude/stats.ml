@@ -1,0 +1,60 @@
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let minimum = function [] -> nan | x :: xs -> List.fold_left min x xs
+let maximum = function [] -> nan | x :: xs -> List.fold_left max x xs
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit pts =
+  match pts with
+  | [] | [ _ ] -> invalid_arg "Stats.linear_fit: need at least two points"
+  | _ ->
+    let n = float_of_int (List.length pts) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then
+      invalid_arg "Stats.linear_fit: degenerate x values";
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. n in
+    let ybar = sy /. n in
+    let ss_tot =
+      List.fold_left (fun a (_, y) -> a +. ((y -. ybar) *. (y -. ybar))) 0. pts
+    in
+    let ss_res =
+      List.fold_left
+        (fun a (x, y) ->
+          let e = y -. ((slope *. x) +. intercept) in
+          a +. (e *. e))
+        0. pts
+    in
+    let r2 = if ss_tot < 1e-12 then 1. else 1. -. (ss_res /. ss_tot) in
+    { slope; intercept; r2 }
+
+let loglog_fit pts =
+  let logged =
+    List.filter_map
+      (fun (x, y) -> if x > 0. && y > 0. then Some (log x, log y) else None)
+      pts
+  in
+  linear_fit logged
+
+let ratio_spread pts =
+  let ratios = List.filter_map (fun (x, y) -> if x > 0. then Some (y /. x) else None) pts in
+  (minimum ratios, maximum ratios)

@@ -1,0 +1,30 @@
+(** Small statistics toolkit used by the benchmark harness.
+
+    The Table-1 reproduction fits measured word counts against candidate
+    complexity envelopes (n, n^2, n(f+1)); the fits here are ordinary
+    least-squares, optionally in log-log space to estimate scaling
+    exponents. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination *)
+}
+
+val linear_fit : (float * float) list -> fit
+(** Least-squares fit of [y = slope * x + intercept]. Requires at least two
+    points with distinct x. *)
+
+val loglog_fit : (float * float) list -> fit
+(** Fit of [log y = slope * log x + intercept]; [slope] estimates the scaling
+    exponent of [y] in [x]. Points with non-positive coordinates are
+    dropped. *)
+
+val ratio_spread : (float * float) list -> float * float
+(** [ratio_spread pts] is [(lo, hi)] over the ratios [y /. x]: a cheap check
+    that y = Theta(x) (the ratio band stays within a constant factor). *)

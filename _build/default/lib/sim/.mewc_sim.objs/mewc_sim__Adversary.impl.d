@@ -1,0 +1,1 @@
+lib/sim/adversary.ml: Array Config Envelope List Mewc_crypto Mewc_prelude Printf

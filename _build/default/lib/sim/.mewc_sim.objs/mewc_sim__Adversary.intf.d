@@ -1,0 +1,1 @@
+lib/sim/adversary.mli: Config Envelope Mewc_crypto Mewc_prelude

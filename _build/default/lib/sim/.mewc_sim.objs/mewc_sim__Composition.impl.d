@@ -1,0 +1,1 @@
+lib/sim/composition.ml: Format Hashtbl List Option String

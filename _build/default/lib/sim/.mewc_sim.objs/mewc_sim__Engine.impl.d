@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Adversary Array Config Envelope List Meter Mewc_prelude Option Pid Printf Process Rng Trace

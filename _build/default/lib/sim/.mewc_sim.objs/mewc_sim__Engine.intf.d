@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Adversary Config Meter Mewc_prelude Process Trace

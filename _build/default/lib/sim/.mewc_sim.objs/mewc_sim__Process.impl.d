@@ -1,0 +1,1 @@
+lib/sim/process.ml: Envelope List Mewc_prelude

@@ -1,0 +1,1 @@
+lib/sim/strategies.ml: Adversary Array Hashtbl List Mewc_prelude Pid Printf Process

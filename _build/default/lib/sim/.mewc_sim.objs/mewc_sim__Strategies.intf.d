@@ -1,0 +1,1 @@
+lib/sim/strategies.mli: Adversary Envelope Mewc_prelude Process

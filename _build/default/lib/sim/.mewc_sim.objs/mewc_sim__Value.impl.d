@@ -1,0 +1,1 @@
+lib/sim/value.ml: Bool Format String

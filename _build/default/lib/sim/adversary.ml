@@ -1,0 +1,44 @@
+type ('s, 'm) view = {
+  slot : int;
+  cfg : Config.t;
+  states : 's array;
+  corrupted : bool array;
+  inboxes : 'm Envelope.t list array;
+  correct_outgoing : 'm Envelope.t list;
+}
+
+type ('s, 'm) t = {
+  name : string;
+  corrupt : ('s, 'm) view -> Mewc_prelude.Pid.t list;
+  byz_step : pid:Mewc_prelude.Pid.t -> ('s, 'm) view -> ('m * Mewc_prelude.Pid.t) list;
+}
+
+type ('s, 'm) factory =
+  pki:Mewc_crypto.Pki.t -> secrets:Mewc_crypto.Pki.Secret.t array -> ('s, 'm) t
+
+let const a ~pki:_ ~secrets:_ = a
+
+let honest ~name =
+  { name; corrupt = (fun _ -> []); byz_step = (fun ~pid:_ _ -> []) }
+
+let crash ?(at = 0) ~victims () =
+  {
+    name = Printf.sprintf "crash@%d(%d victims)" at (List.length victims);
+    corrupt = (fun view -> if view.slot = at then victims else []);
+    byz_step = (fun ~pid:_ _ -> []);
+  }
+
+let staggered_crash ~victims ~every =
+  if every <= 0 then invalid_arg "Adversary.staggered_crash: every must be > 0";
+  let arr = Array.of_list victims in
+  {
+    name = Printf.sprintf "staggered-crash(%d victims, every %d)" (Array.length arr) every;
+    corrupt =
+      (fun view ->
+        if view.slot mod every = 0 then begin
+          let idx = view.slot / every in
+          if idx < Array.length arr then [ arr.(idx) ] else []
+        end
+        else []);
+    byz_step = (fun ~pid:_ _ -> []);
+  }

@@ -1,0 +1,60 @@
+(** The adaptive Byzantine adversary (paper §2).
+
+    The adversary may corrupt up to [t] processes {e during} the run
+    (adaptive corruption), sees the entire system state (a strict
+    over-approximation of "rushing": it observes every message, every
+    process's internal state, and the messages correct processes send in the
+    current slot before choosing its own), and drives each corrupted process
+    arbitrarily — except that it cannot forge signatures of processes it has
+    not corrupted, which the crypto layer enforces by construction.
+
+    Corruption is irrevocable and takes effect at the start of a slot,
+    before correct processes step. A process corrupted in slot [s] no longer
+    runs its protocol step in slot [s]; messages it sent earlier are already
+    in flight and will be delivered (the adversary cannot unsend). *)
+
+type ('s, 'm) view = {
+  slot : int;
+  cfg : Config.t;
+  states : 's array;
+      (** protocol states; for corrupted processes, the state frozen at
+          corruption time *)
+  corrupted : bool array;
+  inboxes : 'm Envelope.t list array;  (** what each process received this slot *)
+  correct_outgoing : 'm Envelope.t list;
+      (** messages correct processes send in this slot — empty during the
+          corruption decision, populated for Byzantine steps (rushing) *)
+}
+
+type ('s, 'm) t = {
+  name : string;
+  corrupt : ('s, 'm) view -> Mewc_prelude.Pid.t list;
+      (** Called once per slot before correct processes step: processes to
+          corrupt now. The engine enforces the cumulative budget [t]. *)
+  byz_step : pid:Mewc_prelude.Pid.t -> ('s, 'm) view -> ('m * Mewc_prelude.Pid.t) list;
+      (** Called once per slot for each corrupted process, after correct
+          processes have stepped. Returns the messages that process sends. *)
+}
+
+type ('s, 'm) factory =
+  pki:Mewc_crypto.Pki.t -> secrets:Mewc_crypto.Pki.Secret.t array -> ('s, 'm) t
+(** Adversaries that need to {e sign} (equivocate, forge certificates from
+    corrupted shares, …) are built after the trusted setup, closing over the
+    secrets of the processes they will corrupt — and only those ever get
+    used, mirroring the model: corruption hands the adversary that process's
+    signing key and nothing else. Runners take factories. *)
+
+val const : ('s, 'm) t -> ('s, 'm) factory
+(** Lift an adversary that never signs (crash-style). *)
+
+val honest : name:string -> ('s, 'm) t
+(** Corrupts nobody: failure-free runs (f = 0). *)
+
+val crash : ?at:int -> victims:Mewc_prelude.Pid.t list -> unit -> ('s, 'm) t
+(** Corrupts [victims] at slot [at] (default 0) and keeps them silent
+    forever: pure crash failures, the "benign" end of Byzantine. *)
+
+val staggered_crash :
+  victims:Mewc_prelude.Pid.t list -> every:int -> ('s, 'm) t
+(** Crashes one further victim every [every] slots (first at slot 0) —
+    an adaptive-corruption schedule. *)

@@ -1,0 +1,29 @@
+let table : (string * string, int) Hashtbl.t = Hashtbl.create 32
+
+let note ~user ~uses =
+  let key = (user, uses) in
+  let prev = Option.value ~default:0 (Hashtbl.find_opt table key) in
+  Hashtbl.replace table key (prev + 1)
+
+let edges () =
+  Hashtbl.fold (fun (user, uses) count acc -> (user, uses, count) :: acc) table []
+  |> List.sort compare
+
+let reset () = Hashtbl.reset table
+
+let pp_diagram fmt () =
+  let es = edges () in
+  let users = List.sort_uniq compare (List.map (fun (u, _, _) -> u) es) in
+  let used = List.sort_uniq compare (List.map (fun (_, v, _) -> v) es) in
+  let roots = List.filter (fun u -> not (List.mem u used)) users in
+  let children u =
+    List.filter_map (fun (a, b, c) -> if a = u then Some (b, c) else None) es
+  in
+  let rec render indent u count =
+    let prefix = String.make indent ' ' in
+    (match count with
+    | None -> Format.fprintf fmt "%s%s@." prefix u
+    | Some c -> Format.fprintf fmt "%s%s  (used %d times)@." prefix u c);
+    List.iter (fun (child, c) -> render (indent + 4) child (Some c)) (children u)
+  in
+  List.iter (fun r -> render 0 r None) roots

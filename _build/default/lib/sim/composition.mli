@@ -1,0 +1,20 @@
+(** Runtime instrumentation behind the Figure-1 reproduction.
+
+    The paper's Figure 1 shows which solution uses which primitive ("each
+    box uses the primitives within it"). Rather than redraw it by hand, the
+    protocols register a [user uses primitive] edge whenever the dependency
+    is actually exercised at run time — initialization for structural
+    containment, fallback entry for the [A_fallback] black box — and the
+    FIG1 experiment renders the observed relation.
+
+    The registry is global and monotonic within a process; benchmarks
+    {!reset} it between experiments. *)
+
+val note : user:string -> uses:string -> unit
+val edges : unit -> (string * string * int) list
+(** [(user, uses, count)] triples, sorted. *)
+
+val reset : unit -> unit
+
+val pp_diagram : Format.formatter -> unit -> unit
+(** Renders the containment relation as an indented tree with use counts. *)

@@ -1,0 +1,14 @@
+type t = { n : int; t : int }
+
+let create ~n ~t =
+  if t < 0 then invalid_arg "Config.create: t must be non-negative";
+  if n < (2 * t) + 1 then invalid_arg "Config.create: need n >= 2t + 1";
+  { n; t }
+
+let optimal ~n =
+  if n < 3 || n mod 2 = 0 then invalid_arg "Config.optimal: need odd n >= 3";
+  { n; t = (n - 1) / 2 }
+
+let big_quorum { n; t } = (n + t + 1 + 1) / 2
+let small_quorum { t; _ } = t + 1
+let pp fmt { n; t } = Format.fprintf fmt "(n=%d, t=%d)" n t

@@ -1,0 +1,26 @@
+(** Static system parameters (paper §2).
+
+    A system has [n] processes of which at most [t] may be corrupted over the
+    whole run; the paper's protocols assume optimal resilience [n = 2t + 1].
+    [f] — the number of processes {e actually} corrupted in a given run — is
+    a property of the execution, not of the configuration. *)
+
+type t = private { n : int; t : int }
+
+val create : n:int -> t:int -> t
+(** Requires [n >= 2 * t + 1] and [t >= 0]; raises [Invalid_argument]
+    otherwise. *)
+
+val optimal : n:int -> t
+(** The paper's setting: [t = (n - 1) / 2], i.e. [n = 2t + 1]. Requires odd
+    [n >= 3]. *)
+
+val big_quorum : t -> int
+(** ceil((n + t + 1) / 2) — the paper's key threshold (§6): two quorums of
+    this size intersect in at least [t + 1] processes, hence in at least one
+    correct process, for any [f]. *)
+
+val small_quorum : t -> int
+(** [t + 1] — guarantees at least one correct contributor. *)
+
+val pp : Format.formatter -> t -> unit

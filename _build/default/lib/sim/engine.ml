@@ -1,0 +1,116 @@
+open Mewc_prelude
+
+type ('s, 'm) outcome = {
+  states : 's array;
+  corrupted : Pid.t list;
+  f : int;
+  meter : Meter.t;
+  trace : 'm Trace.t;
+  slots : int;
+}
+
+let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
+    ~adversary () =
+  let n = cfg.Config.n in
+  let shuffle_rng = Option.map Rng.create shuffle_seed in
+  let machines = Array.init n protocol in
+  let states = Array.map (fun m -> m.Process.init) machines in
+  let corrupted = Array.make n false in
+  let corruption_order = ref [] in
+  let meter = Meter.create () in
+  let trace = Trace.create ~enabled:record_trace in
+  let pending = Array.make n [] in
+  (* [pending.(p)] accumulates (reversed) the messages to deliver to [p] at
+     the start of the next slot. *)
+  let deliver () =
+    let order messages =
+      match shuffle_rng with
+      | None -> List.rev messages
+      | Some rng -> Rng.shuffle rng messages
+    in
+    let inboxes = Array.map order pending in
+    Array.fill pending 0 n [];
+    inboxes
+  in
+  let post ~slot ~src (msg, dst) =
+    if not (Pid.is_valid ~n dst) then
+      invalid_arg
+        (Printf.sprintf "Engine.run: p%d sent a message to unknown process %d"
+           src dst);
+    let envelope = { Envelope.src; dst; sent_at = slot; msg } in
+    let byzantine = corrupted.(src) in
+    (* Self-addressed messages cross no link: delivered, but free. *)
+    if dst <> src then Meter.charge meter ~byzantine ~words:(words msg);
+    Trace.record trace ~byzantine_sender:byzantine envelope;
+    pending.(dst) <- envelope :: pending.(dst)
+  in
+  for slot = 0 to horizon - 1 do
+    let inboxes = deliver () in
+    let view outgoing =
+      {
+        Adversary.slot;
+        cfg;
+        states = Array.copy states;
+        corrupted = Array.copy corrupted;
+        inboxes = Array.copy inboxes;
+        correct_outgoing = outgoing;
+      }
+    in
+    (* 1. Adaptive corruption, before correct processes act this slot. *)
+    let new_corruptions = adversary.Adversary.corrupt (view []) in
+    List.iter
+      (fun p ->
+        if not (Pid.is_valid ~n p) then
+          invalid_arg (Printf.sprintf "Engine.run: cannot corrupt unknown process %d" p);
+        if not corrupted.(p) then begin
+          if List.length !corruption_order >= cfg.Config.t then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine.run: adversary %s exceeded the corruption budget t=%d"
+                 adversary.Adversary.name cfg.Config.t);
+          corrupted.(p) <- true;
+          corruption_order := p :: !corruption_order
+        end)
+      new_corruptions;
+    (* 2. Correct processes step. *)
+    let correct_sends = ref [] in
+    for p = 0 to n - 1 do
+      if not corrupted.(p) then begin
+        let state', sends =
+          machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
+        in
+        states.(p) <- state';
+        correct_sends := (p, sends) :: !correct_sends
+      end
+    done;
+    let correct_outgoing =
+      List.concat_map
+        (fun (src, sends) ->
+          List.map
+            (fun (msg, dst) -> { Envelope.src; dst; sent_at = slot; msg })
+            sends)
+        (List.rev !correct_sends)
+    in
+    (* 3. Byzantine processes step, seeing this slot's correct sends. *)
+    let byz_view = view correct_outgoing in
+    let byz_sends = ref [] in
+    for p = 0 to n - 1 do
+      if corrupted.(p) then
+        byz_sends := (p, adversary.Adversary.byz_step ~pid:p byz_view) :: !byz_sends
+    done;
+    (* 4. Post everything. *)
+    List.iter
+      (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+      (List.rev !correct_sends);
+    List.iter
+      (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+      (List.rev !byz_sends)
+  done;
+  {
+    states;
+    corrupted = List.rev !corruption_order;
+    f = List.length !corruption_order;
+    meter;
+    trace;
+    slots = horizon;
+  }

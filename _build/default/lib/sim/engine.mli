@@ -1,0 +1,46 @@
+(** The synchronous execution engine.
+
+    Runs [n] lock-step state machines against an adaptive rushing adversary
+    for a fixed number of δ-slots. Within each slot:
+
+    + messages sent in the previous slot are delivered;
+    + the adversary may corrupt further processes (budget [t] overall);
+    + correct processes step on their inboxes and queue their sends;
+    + the adversary, seeing everything — including this slot's correct
+      sends — produces the corrupted processes' sends (rushing);
+    + the meter charges each send to its sender's class, and all sends are
+      queued for delivery at the next slot.
+
+    Synchronous protocols are clock-driven, so a run executes exactly
+    [horizon] slots; silent processes cost nothing, hence running past a
+    protocol's decision point never inflates word counts. *)
+
+type ('s, 'm) outcome = {
+  states : 's array;
+      (** final protocol states (for corrupted processes: state frozen at
+          corruption time) *)
+  corrupted : Mewc_prelude.Pid.t list;  (** in order of corruption *)
+  f : int;  (** actual number of corruptions — the paper's [f] *)
+  meter : Meter.t;
+  trace : 'm Trace.t;
+  slots : int;
+}
+
+val run :
+  cfg:Config.t ->
+  ?record_trace:bool ->
+  ?shuffle_seed:int64 ->
+  words:('m -> int) ->
+  horizon:int ->
+  protocol:(Mewc_prelude.Pid.t -> ('s, 'm) Process.t) ->
+  adversary:('s, 'm) Adversary.t ->
+  unit ->
+  ('s, 'm) outcome
+(** Raises [Invalid_argument] if the adversary exceeds the corruption budget
+    [cfg.t], corrupts an unknown process, or addresses a message to an
+    unknown process.
+
+    [shuffle_seed] permutes every inbox deterministically before delivery:
+    within a slot the network may present messages in any order, and
+    correct protocols must not care. Tests run the whole suite's scenarios
+    under random inbox orders to enforce that. *)

@@ -1,0 +1,10 @@
+type 'm t = {
+  src : Mewc_prelude.Pid.t;
+  dst : Mewc_prelude.Pid.t;
+  sent_at : int;
+  msg : 'm;
+}
+
+let pp pp_msg fmt e =
+  Format.fprintf fmt "[%d] %a -> %a: %a" e.sent_at Mewc_prelude.Pid.pp e.src
+    Mewc_prelude.Pid.pp e.dst pp_msg e.msg

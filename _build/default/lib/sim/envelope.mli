@@ -1,0 +1,16 @@
+(** A message in flight.
+
+    Links are reliable and authenticated (paper §2): the engine stamps the
+    true sender on every envelope, so a Byzantine process cannot spoof the
+    source of a message — it can only lie {e inside} the payload, where
+    lying is caught (or not) by signature verification. *)
+
+type 'm t = {
+  src : Mewc_prelude.Pid.t;
+  dst : Mewc_prelude.Pid.t;
+  sent_at : int;  (** slot in which the message was sent *)
+  msg : 'm;
+}
+
+val pp :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

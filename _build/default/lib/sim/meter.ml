@@ -1,0 +1,29 @@
+type t = {
+  mutable correct_words : int;
+  mutable correct_messages : int;
+  mutable byz_words : int;
+  mutable byz_messages : int;
+}
+
+let create () =
+  { correct_words = 0; correct_messages = 0; byz_words = 0; byz_messages = 0 }
+
+let charge m ~byzantine ~words =
+  if words < 1 then invalid_arg "Meter.charge: each message is at least 1 word";
+  if byzantine then begin
+    m.byz_words <- m.byz_words + words;
+    m.byz_messages <- m.byz_messages + 1
+  end
+  else begin
+    m.correct_words <- m.correct_words + words;
+    m.correct_messages <- m.correct_messages + 1
+  end
+
+let correct_words m = m.correct_words
+let correct_messages m = m.correct_messages
+let byzantine_words m = m.byz_words
+let byzantine_messages m = m.byz_messages
+
+let pp fmt m =
+  Format.fprintf fmt "correct: %d words / %d msgs; byzantine: %d words / %d msgs"
+    m.correct_words m.correct_messages m.byz_words m.byz_messages

@@ -1,0 +1,24 @@
+(** Communication-complexity accounting (paper §2, "Complexity").
+
+    "The communication complexity of a protocol is the maximum number of
+    words sent by all correct processes, across all runs." Accordingly the
+    meter keeps words sent by correct processes separate from words sent by
+    Byzantine processes; the paper's tables are about the former. Messages a
+    process addresses to itself cross no link and are free.
+
+    Each message counts at least one word (paper: "each message contains at
+    least 1 word"); the per-protocol [words] function enforces that. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> byzantine:bool -> words:int -> unit
+(** Account one message of the given size. *)
+
+val correct_words : t -> int
+val correct_messages : t -> int
+val byzantine_words : t -> int
+val byzantine_messages : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type ('s, 'm) t = {
+  init : 's;
+  step :
+    slot:int -> inbox:'m Envelope.t list -> 's -> 's * ('m * Mewc_prelude.Pid.t) list;
+}
+
+let broadcast ~n msg = List.map (fun p -> (msg, p)) (Mewc_prelude.Pid.all ~n)
+
+let broadcast_others ~n ~self msg =
+  List.filter_map
+    (fun p -> if p = self then None else Some (msg, p))
+    (Mewc_prelude.Pid.all ~n)
+
+let silent init = { init; step = (fun ~slot:_ ~inbox:_ s -> (s, [])) }

@@ -1,0 +1,30 @@
+(** Protocol state machines.
+
+    A process is a deterministic state machine driven by the synchronous
+    engine: at every slot it receives the messages delivered at the start of
+    that slot and emits the messages it sends during it. Time is measured in
+    δ-slots — the known message-delay bound of the synchronous model
+    (paper §2): a message sent in slot [s] is delivered at the start of slot
+    [s + 1]. A paper "round" is a single slot; the fallback's δ' = 2δ rounds
+    span two slots. *)
+
+type ('s, 'm) t = {
+  init : 's;
+  step :
+    slot:int -> inbox:'m Envelope.t list -> 's -> 's * ('m * Mewc_prelude.Pid.t) list;
+      (** [step ~slot ~inbox state] returns the new state and the messages
+          to send, as [(payload, destination)] pairs. The inbox holds
+          everything delivered at the start of [slot] (i.e. sent during
+          [slot - 1]), in arrival order. *)
+}
+
+val broadcast : n:int -> 'm -> ('m * Mewc_prelude.Pid.t) list
+(** [broadcast ~n msg] addresses [msg] to all [n] processes (including the
+    sender itself; self-delivery is free of charge and arrives next slot
+    like any other message). *)
+
+val broadcast_others : n:int -> self:Mewc_prelude.Pid.t -> 'm -> ('m * Mewc_prelude.Pid.t) list
+(** Same, excluding the sender. *)
+
+val silent : 's -> ('s, 'm) t
+(** A machine that never sends anything (used for crashed processes). *)

@@ -1,0 +1,55 @@
+open Mewc_prelude
+
+let deviant ~name ~victims ~machine ~mangle =
+  let states = Hashtbl.create 8 in
+  let byz_step ~pid (view : _ Adversary.view) =
+    if not (List.mem pid victims) then []
+    else begin
+      let m = machine pid in
+      let st =
+        match Hashtbl.find_opt states pid with
+        | Some st -> st
+        | None -> m.Process.init
+      in
+      let inbox = view.Adversary.inboxes.(pid) in
+      let st', sends = m.Process.step ~slot:view.Adversary.slot ~inbox st in
+      Hashtbl.replace states pid st';
+      mangle ~slot:view.Adversary.slot ~pid ~inbox sends
+    end
+  in
+  {
+    Adversary.name;
+    corrupt = (fun view -> if view.Adversary.slot = 0 then victims else []);
+    byz_step;
+  }
+
+let scripted ~name ~victims ~script =
+  {
+    Adversary.name;
+    corrupt = (fun view -> if view.Adversary.slot = 0 then victims else []);
+    byz_step =
+      (fun ~pid view ->
+        if List.mem pid victims then
+          script ~slot:view.Adversary.slot ~pid
+            ~inbox:view.Adversary.inboxes.(pid)
+        else []);
+  }
+
+let compose a b =
+  let owned_by_a = ref Pid.Set.empty in
+  {
+    Adversary.name = Printf.sprintf "%s + %s" a.Adversary.name b.Adversary.name;
+    corrupt =
+      (fun view ->
+        let ca = a.Adversary.corrupt view in
+        let cb = b.Adversary.corrupt view in
+        owned_by_a := List.fold_left (fun s p -> Pid.Set.add p s) !owned_by_a ca;
+        ca @ List.filter (fun p -> not (List.mem p ca)) cb);
+    byz_step =
+      (fun ~pid view ->
+        if Pid.Set.mem pid !owned_by_a then a.Adversary.byz_step ~pid view
+        else
+          match b.Adversary.byz_step ~pid view with
+          | [] -> a.Adversary.byz_step ~pid view
+          | sends -> sends);
+  }

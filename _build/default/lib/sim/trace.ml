@@ -1,0 +1,19 @@
+type 'm event = { envelope : 'm Envelope.t; byzantine_sender : bool }
+type 'm t = { enabled : bool; mutable events : 'm event list (* reversed *) }
+
+let create ~enabled = { enabled; events = [] }
+let enabled t = t.enabled
+
+let record t ~byzantine_sender envelope =
+  if t.enabled then t.events <- { envelope; byzantine_sender } :: t.events
+
+let events t = List.rev t.events
+let length t = List.length t.events
+
+let pp pp_msg fmt t =
+  List.iter
+    (fun { envelope; byzantine_sender } ->
+      Format.fprintf fmt "%s%a@."
+        (if byzantine_sender then "[byz] " else "      ")
+        (Envelope.pp pp_msg) envelope)
+    (events t)

@@ -1,0 +1,20 @@
+(** Execution traces for debugging and for the Figure-1 instrumentation.
+
+    When enabled, the engine records every envelope together with whether
+    its sender was Byzantine at send time. Traces make failed property tests
+    replayable narratives rather than bare seeds. *)
+
+type 'm event = { envelope : 'm Envelope.t; byzantine_sender : bool }
+type 'm t
+
+val create : enabled:bool -> 'm t
+val enabled : 'm t -> bool
+val record : 'm t -> byzantine_sender:bool -> 'm Envelope.t -> unit
+
+val events : 'm t -> 'm event list
+(** In chronological order. *)
+
+val length : 'm t -> int
+
+val pp :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit

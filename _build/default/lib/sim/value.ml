@@ -1,0 +1,29 @@
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val encode : t -> string
+  val words : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Str = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let encode v = v
+  let words _ = 1
+  let pp fmt v = Format.fprintf fmt "%S" v
+end
+
+module Bool = struct
+  type t = bool
+
+  let equal = Bool.equal
+  let compare = Bool.compare
+  let encode = function true -> "1" | false -> "0"
+  let words _ = 1
+  let pp = Format.pp_print_bool
+end

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Adaptive_bb Adversary Alcotest Array Attacks Bool Config Format Fun Instances List Mewc_core Mewc_sim Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Adversary Alcotest Array Dolev_strong List Mewc_baselines Mewc_core Mewc_crypto Mewc_prelude Mewc_sim Naive_bb Printf Strategies Test_util

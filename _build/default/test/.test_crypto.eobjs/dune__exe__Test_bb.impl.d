@@ -1,0 +1,1 @@
+test/test_bb.ml: Adaptive_bb Adversary Alcotest Array Attacks Config Format Instances Int List Mewc_core Mewc_crypto Mewc_sim Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_binary_bb.ml: Adversary Alcotest Array Bool Config Format Instances Int List Mewc_core Mewc_prelude Mewc_sim Printf QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Certificate Int List Mewc_crypto Pki QCheck2 Sha256 String Test_util

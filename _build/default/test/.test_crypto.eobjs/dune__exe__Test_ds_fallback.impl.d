@@ -1,0 +1,1 @@
+test/test_ds_fallback.ml: Adversary Alcotest Array Engine Format Instances List Meter Mewc_baselines Mewc_core Mewc_crypto Mewc_sim Pki Printf Process Test_util Value Weak_ba

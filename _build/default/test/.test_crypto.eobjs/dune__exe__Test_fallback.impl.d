@@ -1,0 +1,1 @@
+test/test_fallback.ml: Adversary Alcotest Array Attacks Config Engine Envelope Instances Int Int64 List Mewc_core Mewc_crypto Mewc_prelude Mewc_sim Printf Process QCheck2 String Test_util Trace

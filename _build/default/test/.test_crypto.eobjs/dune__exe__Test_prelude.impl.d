@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Ascii_table Int List Mewc_prelude Pid Rng Stats String

@@ -1,0 +1,1 @@
+test/test_repeated.ml: Adversary Alcotest Array Format List Mewc_core Mewc_sim Printf Repeated_bb Test_util

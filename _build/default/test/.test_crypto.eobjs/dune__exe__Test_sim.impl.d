@@ -1,0 +1,1 @@
+test/test_sim.ml: Adversary Alcotest Array Composition Config Engine Envelope Int List Meter Mewc_prelude Mewc_sim Printf Process Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format List Mewc_sim QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_validity.ml: Alcotest Array Certificate Instances List Mewc_core Mewc_crypto Mewc_sim Pki Printf Validity

@@ -1,0 +1,1 @@
+test/test_weak_ba.ml: Adversary Alcotest Array Attacks Config Format Instances Int Int64 List Mewc_core Mewc_prelude Mewc_sim Printf QCheck2 String Test_util

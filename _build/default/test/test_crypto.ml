@@ -1,0 +1,219 @@
+open Mewc_crypto
+
+let hex = Sha256.to_hex
+
+let check_digest msg expected () =
+  Alcotest.(check string) "digest" expected (hex (Sha256.digest msg))
+
+let sha256_vectors =
+  [
+    ( "empty string",
+      "",
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" );
+    ( "abc",
+      "abc",
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad" );
+    ( "two blocks",
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "448 bits (padding edge)",
+      String.make 56 'x',
+      Sha256.to_hex (Sha256.digest (String.make 56 'x')) );
+  ]
+
+(* Padding edges: every length around the 64-byte block boundary must hash
+   without error and injectively (distinct inputs, distinct digests). *)
+let padding_edges () =
+  let digests =
+    List.map
+      (fun len -> hex (Sha256.digest (String.make len 'a')))
+      [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 127; 128; 129 ]
+  in
+  let distinct = List.sort_uniq String.compare digests in
+  Alcotest.(check int) "all distinct" (List.length digests) (List.length distinct)
+
+let million_a () =
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (hex (Sha256.digest (String.make 1_000_000 'a')))
+
+let hmac_rfc4231_case2 () =
+  (* RFC 4231 test case 2: key "Jefe". *)
+  Alcotest.(check string) "hmac"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (hex (Sha256.hmac ~key:"Jefe" "what do ya want for nothing?"))
+
+let hmac_long_key () =
+  (* Keys longer than one block are themselves hashed (RFC 2104). *)
+  let key = String.make 131 '\xaa' in
+  Alcotest.(check string) "hmac"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (hex
+       (Sha256.hmac ~key
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let setup n = Pki.setup ~seed:42L ~n ()
+
+let sign_verify () =
+  let pki, secrets = setup 5 in
+  let sg = Pki.sign pki secrets.(2) "hello" in
+  Alcotest.(check bool) "verifies" true (Pki.verify pki sg ~msg:"hello");
+  Alcotest.(check bool) "wrong msg" false (Pki.verify pki sg ~msg:"hellp");
+  Alcotest.(check int) "signer" 2 (Pki.Sig.signer sg)
+
+let cross_pki_rejected () =
+  let pki_a, secrets_a = Pki.setup ~seed:1L ~n:5 () in
+  let pki_b, _ = Pki.setup ~seed:2L ~n:5 () in
+  let sg = Pki.sign pki_a secrets_a.(0) "m" in
+  Alcotest.(check bool) "own pki" true (Pki.verify pki_a sg ~msg:"m");
+  Alcotest.(check bool) "other pki" false (Pki.verify pki_b sg ~msg:"m")
+
+let shares pki secrets msg idxs = List.map (fun i -> Pki.sign pki secrets.(i) msg) idxs
+
+let threshold_combine () =
+  let pki, secrets = setup 7 in
+  let sh = shares pki secrets "v" [ 0; 1; 2; 3 ] in
+  (match Pki.combine pki ~k:4 ~msg:"v" sh with
+  | Some ts ->
+    Alcotest.(check bool) "verifies" true (Pki.verify_tsig pki ts ~k:4 ~msg:"v");
+    Alcotest.(check bool) "wrong msg" false (Pki.verify_tsig pki ts ~k:4 ~msg:"w");
+    Alcotest.(check int) "cardinality" 4 (Pki.Tsig.cardinality ts)
+  | None -> Alcotest.fail "combine failed with enough shares");
+  Alcotest.(check bool) "too few" true
+    (Pki.combine pki ~k:4 ~msg:"v" (shares pki secrets "v" [ 0; 1; 2 ]) = None)
+
+let threshold_duplicates_dont_count () =
+  let pki, secrets = setup 7 in
+  let s0 = Pki.sign pki secrets.(0) "v" in
+  let sh = [ s0; s0; s0; Pki.sign pki secrets.(1) "v" ] in
+  Alcotest.(check bool) "dups rejected" true (Pki.combine pki ~k:3 ~msg:"v" sh = None)
+
+let threshold_invalid_shares_filtered () =
+  let pki, secrets = setup 7 in
+  let bad = Pki.sign pki secrets.(2) "other-message" in
+  let sh = bad :: shares pki secrets "v" [ 0; 1 ] in
+  Alcotest.(check bool) "invalid filtered" true
+    (Pki.combine pki ~k:3 ~msg:"v" sh = None)
+
+let threshold_deterministic () =
+  let pki, secrets = setup 7 in
+  let sh = shares pki secrets "v" [ 4; 1; 3; 0; 2 ] in
+  match (Pki.combine pki ~k:3 ~msg:"v" sh, Pki.combine pki ~k:3 ~msg:"v" (List.rev sh)) with
+  | Some a, Some b -> Alcotest.(check bool) "equal" true (Pki.Tsig.equal a b)
+  | _ -> Alcotest.fail "combine failed"
+
+let certificate_roundtrip () =
+  let pki, secrets = setup 7 in
+  let share i =
+    Certificate.share pki secrets.(i) ~purpose:"test" ~payload:"42"
+  in
+  let sh = List.map share [ 0; 1; 2; 5 ] in
+  match Certificate.make pki ~k:4 ~purpose:"test" ~payload:"42" sh with
+  | None -> Alcotest.fail "make failed"
+  | Some c ->
+    Alcotest.(check bool) "verify" true (Certificate.verify pki c ~k:4);
+    Alcotest.(check bool) "verify_as" true
+      (Certificate.verify_as pki c ~k:4 ~purpose:"test");
+    Alcotest.(check bool) "wrong purpose" false
+      (Certificate.verify_as pki c ~k:4 ~purpose:"other");
+    Alcotest.(check string) "payload" "42" (Certificate.payload c);
+    Alcotest.(check int) "words" 1 (Certificate.words c)
+
+let certificate_purpose_domain_separation () =
+  (* A share for one purpose must not contribute to a certificate for
+     another purpose even with identical payloads. *)
+  let pki, secrets = setup 7 in
+  let alien =
+    List.map
+      (fun i -> Certificate.share pki secrets.(i) ~purpose:"a" ~payload:"x")
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "cross-purpose rejected" true
+    (Certificate.make pki ~k:3 ~purpose:"b" ~payload:"x" alien = None)
+
+let certificate_higher_k_rejected () =
+  let pki, secrets = setup 7 in
+  let sh =
+    List.map
+      (fun i -> Certificate.share pki secrets.(i) ~purpose:"p" ~payload:"y")
+      [ 0; 1; 2 ]
+  in
+  match Certificate.make pki ~k:3 ~purpose:"p" ~payload:"y" sh with
+  | None -> Alcotest.fail "make failed"
+  | Some c ->
+    Alcotest.(check bool) "k=3 ok" true (Certificate.verify pki c ~k:3);
+    Alcotest.(check bool) "k=4 rejected" false (Certificate.verify pki c ~k:4)
+
+let counters () =
+  let pki, secrets = setup 3 in
+  Pki.reset_counters pki;
+  let sg = Pki.sign pki secrets.(0) "m" in
+  ignore (Pki.verify pki sg ~msg:"m");
+  Alcotest.(check int) "signs" 1 (Pki.signatures_created pki);
+  Alcotest.(check bool) "verifies counted" true (Pki.verifications_performed pki >= 1)
+
+let qcheck_sign_verify =
+  Test_util.qcheck_case ~name:"sign/verify roundtrip on random messages"
+    QCheck2.Gen.string (fun msg ->
+      let pki, secrets = Pki.setup ~seed:7L ~n:3 () in
+      let sg = Pki.sign pki secrets.(1) msg in
+      Pki.verify pki sg ~msg)
+
+let qcheck_threshold_subsets =
+  Test_util.qcheck_case ~name:"any k distinct valid shares combine"
+    QCheck2.Gen.(list_size (int_range 1 10) int)
+    (fun idxs ->
+      let pki, secrets = Pki.setup ~seed:9L ~n:10 () in
+      let idxs =
+        List.sort_uniq Int.compare (List.map (fun i -> abs i mod 10) idxs)
+      in
+      let sh = List.map (fun i -> Pki.sign pki secrets.(i) "m") idxs in
+      let k = List.length idxs in
+      if k = 0 then true
+      else
+        match Pki.combine pki ~k ~msg:"m" sh with
+        | Some ts -> Pki.verify_tsig pki ts ~k ~msg:"m"
+        | None -> false)
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha256",
+        List.map
+          (fun (name, msg, expected) ->
+            Alcotest.test_case name `Quick (check_digest msg expected))
+          sha256_vectors
+        @ [
+            Alcotest.test_case "padding edges" `Quick padding_edges;
+            Alcotest.test_case "million 'a'" `Slow million_a;
+          ] );
+      ( "hmac",
+        [
+          Alcotest.test_case "rfc4231 case 2" `Quick hmac_rfc4231_case2;
+          Alcotest.test_case "long key" `Quick hmac_long_key;
+        ] );
+      ( "signatures",
+        [
+          Alcotest.test_case "sign/verify" `Quick sign_verify;
+          Alcotest.test_case "cross-pki rejected" `Quick cross_pki_rejected;
+          Alcotest.test_case "counters" `Quick counters;
+          qcheck_sign_verify;
+        ] );
+      ( "threshold",
+        [
+          Alcotest.test_case "combine & verify" `Quick threshold_combine;
+          Alcotest.test_case "duplicates don't count" `Quick
+            threshold_duplicates_dont_count;
+          Alcotest.test_case "invalid shares filtered" `Quick
+            threshold_invalid_shares_filtered;
+          Alcotest.test_case "deterministic" `Quick threshold_deterministic;
+          qcheck_threshold_subsets;
+        ] );
+      ( "certificates",
+        [
+          Alcotest.test_case "roundtrip" `Quick certificate_roundtrip;
+          Alcotest.test_case "purpose domain separation" `Quick
+            certificate_purpose_domain_separation;
+          Alcotest.test_case "higher k rejected" `Quick certificate_higher_k_rejected;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+open Mewc_prelude
+
+let rotating_leader () =
+  (* Paper: leader of phase j is p_(j mod n); phases 1..n cover every
+     process exactly once. *)
+  let n = 7 in
+  let leaders = List.init n (fun i -> Pid.rotating_leader ~n ~phase:(i + 1)) in
+  Alcotest.(check (list int)) "bijection" [ 1; 2; 3; 4; 5; 6; 0 ] leaders
+
+let pid_all () =
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (Pid.all ~n:3);
+  Alcotest.(check bool) "valid" true (Pid.is_valid ~n:3 2);
+  Alcotest.(check bool) "invalid" false (Pid.is_valid ~n:3 3);
+  Alcotest.(check bool) "negative" false (Pid.is_valid ~n:3 (-1))
+
+let rng_deterministic () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  let xs g = List.init 20 (fun _ -> Rng.int g 1000) in
+  Alcotest.(check (list int)) "same stream" (xs a) (xs b)
+
+let rng_bounds () =
+  let g = Rng.create 5L in
+  for _ = 1 to 1000 do
+    let x = Rng.int g 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of bounds: %d" x
+  done
+
+let rng_sample_distinct () =
+  let g = Rng.create 11L in
+  let s = Rng.sample g 5 [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq Int.compare s))
+
+let rng_split_independent () =
+  let g = Rng.create 3L in
+  let h = Rng.split g in
+  let xs = List.init 10 (fun _ -> Rng.int g 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int h 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let stats_linear_fit () =
+  let pts = List.init 10 (fun i -> (float_of_int i, (3. *. float_of_int i) +. 2.)) in
+  let fit = Stats.linear_fit pts in
+  Alcotest.(check (float 1e-9)) "slope" 3. fit.Stats.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 2. fit.Stats.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1. fit.Stats.r2
+
+let stats_loglog_exponent () =
+  let pts = List.init 8 (fun i -> let x = float_of_int (i + 2) in (x, 5. *. (x ** 2.))) in
+  let fit = Stats.loglog_fit pts in
+  Alcotest.(check (float 1e-6)) "exponent" 2. fit.Stats.slope
+
+let stats_basic () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "stddev" 1. (Stats.stddev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.minimum [ 3.; 1.; 2. ]);
+  Alcotest.(check (float 1e-9)) "max" 3. (Stats.maximum [ 3.; 1.; 2. ])
+
+let stats_ratio_spread () =
+  let lo, hi = Stats.ratio_spread [ (1., 2.); (2., 5.); (4., 8.) ] in
+  Alcotest.(check (float 1e-9)) "lo" 2. lo;
+  Alcotest.(check (float 1e-9)) "hi" 2.5 hi
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let table_render () =
+  let t = Ascii_table.create ~title:"T" ~headers:[ "a"; "bb" ] in
+  Ascii_table.add_row t [ "1"; "2" ];
+  Ascii_table.add_row t [ "333" ];
+  let s = Ascii_table.render t in
+  Alcotest.(check bool) "has title" true (contains s "T\n");
+  Alcotest.(check bool) "row padded" true (contains s "| 333 |");
+  Alcotest.(check bool) "headers" true (contains s "| a   | bb |")
+
+let table_too_many_cells () =
+  let t = Ascii_table.create ~title:"" ~headers:[ "a" ] in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Ascii_table.add_row: too many cells") (fun () ->
+      Ascii_table.add_row t [ "1"; "2" ])
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "pid",
+        [
+          Alcotest.test_case "rotating leader" `Quick rotating_leader;
+          Alcotest.test_case "all/is_valid" `Quick pid_all;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "bounds" `Quick rng_bounds;
+          Alcotest.test_case "sample distinct" `Quick rng_sample_distinct;
+          Alcotest.test_case "split independent" `Quick rng_split_independent;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "linear fit" `Quick stats_linear_fit;
+          Alcotest.test_case "loglog exponent" `Quick stats_loglog_exponent;
+          Alcotest.test_case "basics" `Quick stats_basic;
+          Alcotest.test_case "ratio spread" `Quick stats_ratio_spread;
+        ] );
+      ( "ascii table",
+        [
+          Alcotest.test_case "render" `Quick table_render;
+          Alcotest.test_case "too many cells" `Quick table_too_many_cells;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Multi-shot BB: the replicated log. *)
+
+open Mewc_sim
+open Mewc_core
+
+let cfg = Test_util.cfg
+
+let propose pid i = Printf.sprintf "cmd-%d-by-p%d" i pid
+
+let correct_logs (o : Repeated_bb.outcome) =
+  Array.to_list o.logs
+  |> List.mapi (fun p l -> (p, l))
+  |> List.filter (fun (p, _) -> not (List.mem p o.corrupted))
+
+let check_logs_agree o =
+  match correct_logs o with
+  | [] -> Alcotest.fail "no correct replicas"
+  | (_, reference) :: rest ->
+    List.iter
+      (fun (p, l) ->
+        if l <> reference then Alcotest.failf "replica p%d's log diverges" p)
+      rest;
+    reference
+
+let honest_log () =
+  let n = 9 in
+  let o =
+    Repeated_bb.run ~cfg:(cfg n) ~length:5 ~propose
+      ~adversary:(Adversary.const (Adversary.honest ~name:"h"))
+      ()
+  in
+  let log = check_logs_agree o in
+  Array.iteri
+    (fun i entry ->
+      let expected = Repeated_bb.Committed (propose (i mod n) i) in
+      match entry with
+      | Some e when Repeated_bb.equal_entry e expected -> ()
+      | Some e ->
+        Alcotest.failf "slot %d: got %s" i (Format.asprintf "%a" Repeated_bb.pp_entry e)
+      | None -> Alcotest.failf "slot %d undecided" i)
+    log
+
+let byzantine_proposer_skipped () =
+  (* The proposer of slot 2 crashes just before its slot: that slot commits
+     ⊥ (skipped); all other slots commit their proposers' commands. *)
+  let n = 9 in
+  let stride = Repeated_bb.stride (cfg n) in
+  let o =
+    Repeated_bb.run ~cfg:(cfg n) ~length:5 ~propose
+      ~adversary:
+        (Adversary.const (Adversary.crash ~at:(2 * stride) ~victims:[ 2 ] ()))
+      ()
+  in
+  let log = check_logs_agree o in
+  (match log.(2) with
+  | Some Repeated_bb.Skipped -> ()
+  | Some e ->
+    Alcotest.failf "slot 2: expected skip, got %s"
+      (Format.asprintf "%a" Repeated_bb.pp_entry e)
+  | None -> Alcotest.fail "slot 2 undecided");
+  List.iter
+    (fun i ->
+      match log.(i) with
+      | Some (Repeated_bb.Committed v) ->
+        Alcotest.(check string) (Printf.sprintf "slot %d" i) (propose (i mod n) i) v
+      | _ -> Alcotest.failf "slot %d not committed" i)
+    [ 0; 1; 3; 4 ]
+
+let early_crash_tolerated () =
+  let n = 9 in
+  let o =
+    Repeated_bb.run ~cfg:(cfg n) ~length:4 ~propose
+      ~adversary:(Adversary.const (Adversary.crash ~victims:[ 5; 6 ] ()))
+      ()
+  in
+  let log = check_logs_agree o in
+  Array.iteri
+    (fun i e ->
+      if e = None then Alcotest.failf "slot %d undecided" i)
+    log
+
+let words_amortize_linearly () =
+  (* The per-slot cost must not grow with the log length: each BB instance
+     is independent and adaptive. *)
+  let n = 9 in
+  let per_slot length =
+    let o =
+      Repeated_bb.run ~cfg:(cfg n) ~length ~propose
+        ~adversary:(Adversary.const (Adversary.honest ~name:"h"))
+        ()
+    in
+    o.Repeated_bb.words_per_slot
+  in
+  let a = per_slot 2 and b = per_slot 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-slot cost flat (%.1f vs %.1f)" a b)
+    true
+    (abs_float (a -. b) /. a < 0.05)
+
+let () =
+  Alcotest.run "repeated BB (replicated log)"
+    [
+      ( "log",
+        [
+          Alcotest.test_case "honest log" `Quick honest_log;
+          Alcotest.test_case "byzantine proposer skipped" `Quick
+            byzantine_proposer_skipped;
+          Alcotest.test_case "crashes tolerated" `Quick early_crash_tolerated;
+          Alcotest.test_case "per-slot cost flat" `Slow words_amortize_linearly;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+open Mewc_sim
+
+let config_validation () =
+  Alcotest.check_raises "even n"
+    (Invalid_argument "Config.optimal: need odd n >= 3") (fun () ->
+      ignore (Config.optimal ~n:4));
+  Alcotest.check_raises "resilience"
+    (Invalid_argument "Config.create: need n >= 2t + 1") (fun () ->
+      ignore (Config.create ~n:4 ~t:2));
+  let cfg = Config.create ~n:7 ~t:2 in
+  Alcotest.(check int) "n" 7 cfg.Config.n;
+  Alcotest.(check int) "t" 2 cfg.Config.t
+
+let big_quorum_formula () =
+  (* ceil((n+t+1)/2), cross-checked against float arithmetic. *)
+  List.iter
+    (fun n ->
+      let cfg = Config.optimal ~n in
+      let expected =
+        int_of_float (ceil (float_of_int (n + cfg.Config.t + 1) /. 2.))
+      in
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) expected (Config.big_quorum cfg))
+    [ 3; 5; 7; 9; 11; 21; 33; 65 ]
+
+let quorum_intersection () =
+  (* The paper's §6 key fact: two big quorums intersect in >= t+1 processes,
+     hence in a correct one, for every n = 2t+1. *)
+  List.iter
+    (fun n ->
+      let cfg = Config.optimal ~n in
+      let q = Config.big_quorum cfg in
+      let min_intersection = (2 * q) - n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d" n)
+        true
+        (min_intersection >= cfg.Config.t + 1))
+    [ 3; 5; 7; 9; 11; 21; 33; 65; 129 ]
+
+(* A ping protocol: process 0 sends one message to 1 at slot 0; 1 replies. *)
+type ping_state = { got : int list }
+
+let ping_protocol pid =
+  {
+    Process.init = { got = [] };
+    step =
+      (fun ~slot ~inbox st ->
+        let st =
+          { got = st.got @ List.map (fun e -> e.Envelope.sent_at) inbox }
+        in
+        if slot = 0 && pid = 0 then (st, [ ("ping", 1) ])
+        else if pid = 1 && inbox <> [] then (st, [ ("pong", 0) ])
+        else (st, []));
+  }
+
+let delivery_next_slot () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let res =
+    Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:4 ~protocol:ping_protocol
+      ~adversary:(Adversary.honest ~name:"h") ()
+  in
+  (* p1 received the slot-0 ping (delivered at slot 1), p0 the slot-1 pong. *)
+  Alcotest.(check (list int)) "p1 got ping sent at 0" [ 0 ] res.Engine.states.(1).got;
+  Alcotest.(check (list int)) "p0 got pong sent at 1" [ 1 ] res.Engine.states.(0).got;
+  Alcotest.(check int) "words" 2 (Meter.correct_words res.Engine.meter)
+
+let self_sends_free () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let protocol pid =
+    {
+      Process.init = 0;
+      step =
+        (fun ~slot ~inbox st ->
+          let st = st + List.length inbox in
+          if slot = 0 then (st, [ ("self", pid) ]) else (st, []));
+    }
+  in
+  let res =
+    Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:3 ~protocol
+      ~adversary:(Adversary.honest ~name:"h") ()
+  in
+  Alcotest.(check int) "no words charged" 0 (Meter.correct_words res.Engine.meter);
+  Alcotest.(check int) "but delivered" 1 res.Engine.states.(0)
+
+let corruption_budget_enforced () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let adversary =
+    {
+      Adversary.name = "greedy";
+      corrupt = (fun view -> if view.Adversary.slot = 0 then [ 0; 1 ] else []);
+      byz_step = (fun ~pid:_ _ -> []);
+    }
+  in
+  let run () =
+    ignore
+      (Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:2
+         ~protocol:(fun _ -> Process.silent ()) ~adversary ())
+  in
+  Alcotest.check_raises "budget"
+    (Invalid_argument "Engine.run: adversary greedy exceeded the corruption budget t=1")
+    run
+
+let rushing_adversary_sees_current_slot () =
+  (* The Byzantine step must observe messages correct processes send in the
+     same slot. *)
+  let cfg = Config.create ~n:3 ~t:1 in
+  let saw = ref false in
+  let protocol pid =
+    {
+      Process.init = ();
+      step =
+        (fun ~slot ~inbox:_ st ->
+          if slot = 1 && pid = 0 then (st, [ ("secret", 2) ]) else (st, []));
+    }
+  in
+  let adversary =
+    {
+      Adversary.name = "rusher";
+      corrupt = (fun view -> if view.Adversary.slot = 0 then [ 1 ] else []);
+      byz_step =
+        (fun ~pid:_ view ->
+          if
+            List.exists
+              (fun e -> e.Envelope.msg = "secret")
+              view.Adversary.correct_outgoing
+          then saw := true;
+          []);
+    }
+  in
+  ignore
+    (Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:3 ~protocol ~adversary ());
+  Alcotest.(check bool) "saw in-flight message" true !saw
+
+let corrupted_stop_stepping () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let steps = Array.make 3 0 in
+  let protocol pid =
+    {
+      Process.init = ();
+      step =
+        (fun ~slot:_ ~inbox:_ st ->
+          steps.(pid) <- steps.(pid) + 1;
+          (st, []));
+    }
+  in
+  let res =
+    Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:5 ~protocol
+      ~adversary:(Adversary.crash ~at:2 ~victims:[ 1 ] ()) ()
+  in
+  Alcotest.(check int) "p0 stepped every slot" 5 steps.(0);
+  Alcotest.(check int) "p1 stopped at corruption" 2 steps.(1);
+  Alcotest.(check (list int)) "corrupted" [ 1 ] res.Engine.corrupted;
+  Alcotest.(check int) "f" 1 res.Engine.f
+
+let byzantine_words_separate () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let protocol _ =
+    {
+      Process.init = ();
+      step = (fun ~slot ~inbox:_ st -> if slot = 0 then (st, [ ("m", 1) ]) else (st, []));
+    }
+  in
+  let adversary =
+    {
+      Adversary.name = "chatter";
+      corrupt = (fun view -> if view.Adversary.slot = 0 then [ 2 ] else []);
+      byz_step =
+        (fun ~pid:_ view ->
+          if view.Adversary.slot = 0 then [ ("byz", 0); ("byz", 1) ] else []);
+    }
+  in
+  let res = Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:2 ~protocol ~adversary () in
+  (* Correct senders: p0 -> p1 charged; p1 -> p1 self free. *)
+  Alcotest.(check int) "correct words" 1 (Meter.correct_words res.Engine.meter);
+  Alcotest.(check int) "byz words" 2 (Meter.byzantine_words res.Engine.meter)
+
+let trace_records () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let protocol _ =
+    {
+      Process.init = ();
+      step = (fun ~slot ~inbox:_ st -> if slot = 0 then (st, [ ("m", 1) ]) else (st, []));
+    }
+  in
+  let res =
+    Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:2 ~protocol
+      ~adversary:(Adversary.honest ~name:"h") ()
+  in
+  Alcotest.(check int) "events" 3 (Trace.length res.Engine.trace);
+  let disabled =
+    Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:2 ~protocol
+      ~adversary:(Adversary.honest ~name:"h") ()
+  in
+  Alcotest.(check int) "disabled" 0 (Trace.length disabled.Engine.trace)
+
+let invalid_destination () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let protocol _ =
+    {
+      Process.init = ();
+      step = (fun ~slot ~inbox:_ st -> if slot = 0 then (st, [ ("m", 99) ]) else (st, []));
+    }
+  in
+  Alcotest.check_raises "invalid dst"
+    (Invalid_argument "Engine.run: p0 sent a message to unknown process 99")
+    (fun () ->
+      ignore
+        (Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:1 ~protocol
+           ~adversary:(Adversary.honest ~name:"h") ()))
+
+let staggered_crash_schedule () =
+  let cfg = Config.create ~n:7 ~t:3 in
+  let res =
+    Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:10
+      ~protocol:(fun _ -> Process.silent ())
+      ~adversary:(Adversary.staggered_crash ~victims:[ 1; 2; 3 ] ~every:3) ()
+  in
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] res.Engine.corrupted
+
+let meter_validation () =
+  let m = Meter.create () in
+  Alcotest.check_raises "zero words"
+    (Invalid_argument "Meter.charge: each message is at least 1 word") (fun () ->
+      Meter.charge m ~byzantine:false ~words:0)
+
+let shuffle_deterministic () =
+  let cfg = Config.create ~n:5 ~t:2 in
+  let protocol pid =
+    {
+      Process.init = [];
+      step =
+        (fun ~slot ~inbox st ->
+          let st = st @ List.map (fun e -> e.Envelope.src) inbox in
+          if slot = 0 then (st, List.map (fun p -> (pid, p)) (Mewc_prelude.Pid.all ~n:5))
+          else (st, []));
+    }
+  in
+  let run seed =
+    let res =
+      Engine.run ~cfg ?shuffle_seed:seed ~words:(fun _ -> 1) ~horizon:3
+        ~protocol ~adversary:(Adversary.honest ~name:"h") ()
+    in
+    Array.to_list res.Engine.states
+  in
+  Alcotest.(check bool) "same seed, same order" true
+    (run (Some 5L) = run (Some 5L));
+  Alcotest.(check bool) "different seeds differ somewhere" true
+    (run (Some 1L) <> run (Some 2L) || run (Some 1L) <> run (Some 3L));
+  (* Shuffling permutes but never loses or duplicates messages. *)
+  List.iter
+    (fun inbox ->
+      Alcotest.(check (list int)) "same multiset" [ 0; 1; 2; 3; 4 ]
+        (List.sort Int.compare inbox))
+    (run (Some 9L))
+
+let composition_registry () =
+  Composition.reset ();
+  Composition.note ~user:"a" ~uses:"b";
+  Composition.note ~user:"a" ~uses:"b";
+  Composition.note ~user:"b" ~uses:"c";
+  Alcotest.(check (list (triple string string int)))
+    "edges"
+    [ ("a", "b", 2); ("b", "c", 1) ]
+    (Composition.edges ());
+  Composition.reset ();
+  Alcotest.(check int) "reset" 0 (List.length (Composition.edges ()))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick config_validation;
+          Alcotest.test_case "big quorum formula" `Quick big_quorum_formula;
+          Alcotest.test_case "quorum intersection" `Quick quorum_intersection;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery next slot" `Quick delivery_next_slot;
+          Alcotest.test_case "self sends free" `Quick self_sends_free;
+          Alcotest.test_case "corruption budget" `Quick corruption_budget_enforced;
+          Alcotest.test_case "rushing adversary" `Quick rushing_adversary_sees_current_slot;
+          Alcotest.test_case "corrupted stop stepping" `Quick corrupted_stop_stepping;
+          Alcotest.test_case "byzantine words separate" `Quick byzantine_words_separate;
+          Alcotest.test_case "trace recording" `Quick trace_records;
+          Alcotest.test_case "invalid destination" `Quick invalid_destination;
+          Alcotest.test_case "staggered crash" `Quick staggered_crash_schedule;
+          Alcotest.test_case "meter validation" `Quick meter_validation;
+        ] );
+      ( "composition",
+        [ Alcotest.test_case "registry" `Quick composition_registry ] );
+      ( "shuffling",
+        [ Alcotest.test_case "deterministic permutation" `Quick shuffle_deterministic ] );
+    ]

@@ -1,0 +1,55 @@
+(* Shared assertions for the protocol test suites. *)
+
+
+let cfg n = Mewc_sim.Config.optimal ~n
+
+(* All correct processes decided, and on the same value. *)
+let check_agreement ~pp ~equal ~corrupted (decisions : 'o option array) =
+  let correct =
+    Array.to_list decisions
+    |> List.mapi (fun p d -> (p, d))
+    |> List.filter (fun (p, _) -> not (List.mem p corrupted))
+  in
+  let decided =
+    List.map
+      (fun (p, d) ->
+        match d with
+        | Some v -> (p, v)
+        | None ->
+          Alcotest.failf "termination violated: correct p%d did not decide" p)
+      correct
+  in
+  match decided with
+  | [] -> Alcotest.fail "no correct processes in the run"
+  | (_, first) :: rest ->
+    List.iter
+      (fun (p, v) ->
+        if not (equal v first) then
+          Alcotest.failf "agreement violated: p%d decided %s, expected %s" p
+            (Format.asprintf "%a" pp v)
+            (Format.asprintf "%a" pp first))
+      rest;
+    first
+
+let check_all_decide ~pp ~equal ~expected ~corrupted decisions =
+  let got = check_agreement ~pp ~equal ~corrupted decisions in
+  if not (equal got expected) then
+    Alcotest.failf "decided %s, expected %s"
+      (Format.asprintf "%a" pp got)
+      (Format.asprintf "%a" pp expected)
+
+let pp_str fmt s = Format.fprintf fmt "%S" s
+
+let first_k_excluding ~excluding k =
+  (* The k smallest pids not in [excluding] and not 0. *)
+  let rec go acc p =
+    if List.length acc = k then List.rev acc
+    else if p = 0 || List.mem p excluding then go acc (p + 1)
+    else go (p :: acc) (p + 1)
+  in
+  go [] 1
+
+let qcheck_case ?(count = 50) ~name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let pids_upto k = List.init k (fun i -> i + 1)
