@@ -1,1 +1,1 @@
-bench/main.ml: Adversary Analyze Array Bechamel Benchmark Config Experiments Hashtbl Instances List Measure Mewc_baselines Mewc_core Mewc_sim Printf Staged String Sys Test Time Toolkit
+bench/main.ml: Adversary Analyze Array Bechamel Benchmark Config Experiments Hashtbl Instances List Measure Mewc_baselines Mewc_core Mewc_prelude Mewc_sim Printf Staged String Sys Test Time Toolkit

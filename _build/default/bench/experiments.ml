@@ -627,6 +627,53 @@ let ablation_fallback () =
     [ 9; 13; 17 ];
   table
 
+(* ---- observability export ------------------------------------------------ *)
+
+let observability_json () =
+  (* The Table-1 rows at n = 21, re-run with the meter's per-slot and
+     per-process series attached (schema mewc-meter/1 per run), so the word
+     counts in the tables above can be broken down slot by slot offline. *)
+  let n = 21 in
+  let c = cfg n in
+  let t = c.Config.t in
+  let entry ~protocol ~spec (o : _ Instances.agreement_outcome) =
+    Jsonx.Obj
+      [
+        ("protocol", Jsonx.Str protocol);
+        ("n", Jsonx.Int n);
+        ("t", Jsonx.Int t);
+        ("f_spec", Jsonx.Str spec);
+        ("f", Jsonx.Int o.Instances.f);
+        ("words", Jsonx.Int o.Instances.words);
+        ("messages", Jsonx.Int o.Instances.messages);
+        ("latency", Jsonx.Int o.Instances.latency);
+        ("slots", Jsonx.Int o.Instances.slots);
+        ("meter", Meter.snapshot_to_json o.Instances.meter);
+      ]
+  in
+  let runs =
+    List.concat_map
+      (fun spec ->
+        let f = f_of_spec ~t spec in
+        [
+          entry ~protocol:"bb" ~spec
+            (Instances.run_bb ~cfg:c ~input:"payload" ~adversary:(crash_first f) ());
+          entry ~protocol:"weak-ba" ~spec
+            (Instances.run_weak_ba ~cfg:c ~inputs:(Array.make n "v")
+               ~adversary:(crash_first f) ());
+          entry ~protocol:"strong-ba" ~spec
+            (Instances.run_strong_ba ~cfg:c ~inputs:(Array.make n true)
+               ~adversary:(crash_first f) ());
+        ])
+      fs
+  in
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "mewc-observability/1");
+      ("experiment", Jsonx.Str "table1 per-slot word series, n=21");
+      ("runs", Jsonx.Arr runs);
+    ]
+
 let all_tables () =
   [
     Ascii_table.render (table1_bb ());

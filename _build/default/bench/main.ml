@@ -87,7 +87,17 @@ let run_timings () =
         analysis)
     bench_tests
 
+let write_observability () =
+  let path = "BENCH_observability.json" in
+  let oc = open_out path in
+  output_string oc (Mewc_prelude.Jsonx.to_string (Experiments.observability_json ()));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[OBS] wrote %s (per-slot word series for the Table-1 rows)\n%!"
+    path
+
 let () =
   let skip_timings = Array.exists (String.equal "--no-timings") Sys.argv in
   run_tables ();
+  write_observability ();
   if not skip_timings then run_timings ()

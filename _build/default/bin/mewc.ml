@@ -2,14 +2,18 @@
 
    Examples:
      mewc run -p bb -n 9 --adversary crash -f 2
-     mewc run -p weak-ba -n 21 --adversary busy-leaders -f 4 --seed 7
+     mewc run -p weak-ba -n 21 --adversary busy-leaders -f 4 --seed 7 --trace
      mewc run -p strong-ba -n 9 --adversary withholding-leader
      mewc run -p fallback -n 9 --adversary equivocating-king
      mewc run -p dolev-strong -n 9
-   Prints per-process decisions and the run's communication metering. *)
+     mewc trace -p weak-ba -n 9 --adversary crash -f 2 --format csv -o run.csv
+   `run` prints per-process decisions and the run's communication metering
+   (with --trace, also the per-slot word series); `trace` emits the full
+   structured execution trace as JSON (schema mewc-trace/1) or CSV. *)
 
 open Mewc_sim
 open Mewc_core
+module Jsonx = Mewc_prelude.Jsonx
 
 let pr fmt = Printf.printf fmt
 
@@ -26,6 +30,14 @@ let protocol_conv =
       ("naive-bb", Naive_bb);
     ]
 
+let protocol_name = function
+  | Bb -> "bb"
+  | Weak_ba -> "weak-ba"
+  | Strong_ba -> "strong-ba"
+  | Fallback -> "fallback"
+  | Dolev_strong -> "dolev-strong"
+  | Naive_bb -> "naive-bb"
+
 let adversaries =
   [
     "honest";
@@ -41,7 +53,74 @@ let adversaries =
 
 let victims f = List.init f (fun i -> i + 1)
 
-let print_outcome ~show pr_decisions (o : _ Instances.agreement_outcome) =
+(* ---- adversary resolution, shared by `run` and `trace` ------------------- *)
+
+let honest ~pki ~secrets =
+  Adversary.const (Adversary.honest ~name:"honest") ~pki ~secrets
+
+let crash ~f ~pki ~secrets =
+  Adversary.const (Adversary.crash ~victims:(victims f) ()) ~pki ~secrets
+
+let staggered ~f ~pki ~secrets =
+  Adversary.const
+    (Adversary.staggered_crash ~victims:(victims f) ~every:3)
+    ~pki ~secrets
+
+let generic ~f name =
+  match name with
+  | "honest" -> Ok honest
+  | "crash" -> Ok (crash ~f)
+  | "staggered" -> Ok (staggered ~f)
+  | other -> Error other
+
+let unsupported p a =
+  pr "adversary %S is not applicable to protocol %s\n" a p;
+  exit 2
+
+let bb_adversary ~cfg ~f ~input adversary =
+  match generic ~f adversary with
+  | Ok a -> a
+  | Error "equivocating-sender" ->
+    Attacks.bb_equivocating_sender ~cfg ~sender:0 ~v1:input ~v2:(input ^ "'")
+  | Error a -> unsupported "bb" a
+
+let wba_adversary ~cfg ~n ~t ~f adversary =
+  match generic ~f adversary with
+  | Ok a -> a
+  | Error "busy-leaders" -> Attacks.wba_busy_byz_leaders ~cfg ~leaders:(victims f)
+  | Error "lonely-decider" -> Attacks.wba_lonely_decider ~cfg ~lucky:(t + 1)
+  | Error "help-spam" ->
+    Attacks.wba_help_req_spammers ~cfg ~spammers:(List.init f (fun i -> n - 1 - i))
+  | Error a -> unsupported "weak-ba" a
+
+let sba_adversary ~cfg ~n ~f adversary =
+  match generic ~f adversary with
+  | Ok a -> a
+  | Error "withholding-leader" ->
+    Attacks.sba_withholding_leader ~cfg ~leader:0 ~lucky:(min 3 (n - 1))
+  | Error a -> unsupported "strong-ba" a
+
+let epk_adversary ~cfg ~f ~input adversary =
+  match generic ~f adversary with
+  | Ok a -> a
+  | Error "equivocating-king" ->
+    Attacks.epk_equivocating_king ~cfg ~king:1 ~v1:(input ^ "1") ~v2:(input ^ "2")
+  | Error a -> unsupported "fallback" a
+
+(* ---- `run` ---------------------------------------------------------------- *)
+
+let print_per_slot (s : Meter.snapshot) =
+  pr "\nper-slot words (silent slots omitted; %d slots total):\n"
+    (List.length s.Meter.per_slot);
+  pr "  %6s %8s %10s %10s\n" "slot" "words" "messages" "byz_words";
+  List.iter
+    (fun (r : Meter.row) ->
+      if r.Meter.messages > 0 || r.Meter.byz_messages > 0 then
+        pr "  %6d %8d %10d %10d\n" r.Meter.ix r.Meter.words r.Meter.messages
+          r.Meter.byz_words)
+    s.Meter.per_slot
+
+let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) =
   pr_decisions ();
   pr "\nrun summary:\n";
   pr "  f (actual corruptions)     %d%s\n" o.Instances.f
@@ -58,7 +137,8 @@ let print_outcome ~show pr_decisions (o : _ Instances.agreement_outcome) =
     pr "  non-silent phases          %d\n" o.Instances.nonsilent_phases;
     pr "  help requests              %d\n" o.Instances.help_requests;
     pr "  fallback runs              %d\n" o.Instances.fallback_runs
-  end
+  end;
+  if trace then print_per_slot o.Instances.meter
 
 let decision_line p d = pr "  p%-3d decided %s\n" p d
 
@@ -67,49 +147,13 @@ let run_cmd protocol n adversary f seed input trace =
   let t = cfg.Config.t in
   let f = min f t in
   let seed = Int64.of_int seed in
-  let honest ~pki ~secrets =
-    Adversary.const (Adversary.honest ~name:"honest") ~pki ~secrets
-  in
-  let crash ~pki ~secrets =
-    Adversary.const (Adversary.crash ~victims:(victims f) ()) ~pki ~secrets
-  in
-  let staggered ~pki ~secrets =
-    Adversary.const
-      (Adversary.staggered_crash ~victims:(victims f) ~every:3)
-      ~pki ~secrets
-  in
-  let generic name =
-    match name with
-    | "honest" -> Ok honest
-    | "crash" -> Ok crash
-    | "staggered" -> Ok staggered
-    | other -> Error other
-  in
-  let unsupported p a =
-    pr "adversary %S is not applicable to protocol %s\n" a p;
-    exit 2
-  in
-  ignore trace;
   pr "mewc: n=%d t=%d protocol=%s adversary=%s f=%d seed=%Ld\n\n" n t
-    (match protocol with
-    | Bb -> "bb"
-    | Weak_ba -> "weak-ba"
-    | Strong_ba -> "strong-ba"
-    | Fallback -> "fallback"
-    | Dolev_strong -> "dolev-strong"
-    | Naive_bb -> "naive-bb")
-    adversary f seed;
+    (protocol_name protocol) adversary f seed;
   match protocol with
   | Bb ->
-    let adv =
-      match generic adversary with
-      | Ok a -> a
-      | Error "equivocating-sender" ->
-        Attacks.bb_equivocating_sender ~cfg ~sender:0 ~v1:input ~v2:(input ^ "'")
-      | Error a -> unsupported "bb" a
-    in
+    let adv = bb_adversary ~cfg ~f ~input adversary in
     let o = Instances.run_bb ~cfg ~seed ~input ~adversary:adv () in
-    print_outcome ~show:true
+    print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
           (fun p d ->
@@ -122,20 +166,11 @@ let run_cmd protocol n adversary f seed input trace =
           o.Instances.decisions)
       o
   | Weak_ba ->
-    let adv =
-      match generic adversary with
-      | Ok a -> a
-      | Error "busy-leaders" -> Attacks.wba_busy_byz_leaders ~cfg ~leaders:(victims f)
-      | Error "lonely-decider" -> Attacks.wba_lonely_decider ~cfg ~lucky:(t + 1)
-      | Error "help-spam" ->
-        Attacks.wba_help_req_spammers ~cfg
-          ~spammers:(List.init f (fun i -> n - 1 - i))
-      | Error a -> unsupported "weak-ba" a
-    in
+    let adv = wba_adversary ~cfg ~n ~t ~f adversary in
     let o =
       Instances.run_weak_ba ~cfg ~seed ~inputs:(Array.make n input) ~adversary:adv ()
     in
-    print_outcome ~show:true
+    print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
           (fun p d ->
@@ -148,19 +183,13 @@ let run_cmd protocol n adversary f seed input trace =
           o.Instances.decisions)
       o
   | Strong_ba ->
-    let adv =
-      match generic adversary with
-      | Ok a -> a
-      | Error "withholding-leader" ->
-        Attacks.sba_withholding_leader ~cfg ~leader:0 ~lucky:(min 3 (n - 1))
-      | Error a -> unsupported "strong-ba" a
-    in
+    let adv = sba_adversary ~cfg ~n ~f adversary in
     let o =
       Instances.run_strong_ba ~cfg ~seed
         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
         ~adversary:adv ()
     in
-    print_outcome ~show:true
+    print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
           (fun p d ->
@@ -172,19 +201,13 @@ let run_cmd protocol n adversary f seed input trace =
           o.Instances.decisions)
       o
   | Fallback ->
-    let adv =
-      match generic adversary with
-      | Ok a -> a
-      | Error "equivocating-king" ->
-        Attacks.epk_equivocating_king ~cfg ~king:1 ~v1:(input ^ "1") ~v2:(input ^ "2")
-      | Error a -> unsupported "fallback" a
-    in
+    let adv = epk_adversary ~cfg ~f ~input adversary in
     let o =
       Instances.run_fallback ~cfg ~seed
         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
         ~adversary:adv ()
     in
-    print_outcome ~show:false
+    print_outcome ~show:false ~trace
       (fun () ->
         Array.iteri
           (fun p d ->
@@ -195,7 +218,7 @@ let run_cmd protocol n adversary f seed input trace =
       o
   | Dolev_strong ->
     let adv =
-      match generic adversary with Ok a -> a | Error a -> unsupported "dolev-strong" a
+      match generic ~f adversary with Ok a -> a | Error a -> unsupported "dolev-strong" a
     in
     let o = Mewc_baselines.Dolev_strong.run ~cfg ~seed ~input ~adversary:adv () in
     Array.iteri
@@ -210,7 +233,7 @@ let run_cmd protocol n adversary f seed input trace =
       o.Mewc_baselines.Dolev_strong.messages o.Mewc_baselines.Dolev_strong.signatures
   | Naive_bb ->
     let adv =
-      match generic adversary with Ok a -> a | Error a -> unsupported "naive-bb" a
+      match generic ~f adversary with Ok a -> a | Error a -> unsupported "naive-bb" a
     in
     let o = Mewc_baselines.Naive_bb.run ~cfg ~seed ~input ~adversary:adv () in
     Array.iteri
@@ -224,41 +247,127 @@ let run_cmd protocol n adversary f seed input trace =
     pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Naive_bb.words
       o.Mewc_baselines.Naive_bb.messages o.Mewc_baselines.Naive_bb.signatures
 
+(* ---- `trace` --------------------------------------------------------------- *)
+
+type trace_format = Json | Csv
+
+let trace_cmd protocol n adversary f seed input format output =
+  let cfg = Config.optimal ~n in
+  let t = cfg.Config.t in
+  let f = min f t in
+  let seed = Int64.of_int seed in
+  let trace_json =
+    match protocol with
+    | Bb ->
+      (Instances.run_bb ~cfg ~seed ~record_trace:true ~input
+         ~adversary:(bb_adversary ~cfg ~f ~input adversary) ())
+        .Instances.trace_json
+    | Weak_ba ->
+      (Instances.run_weak_ba ~cfg ~seed ~record_trace:true
+         ~inputs:(Array.make n input)
+         ~adversary:(wba_adversary ~cfg ~n ~t ~f adversary) ())
+        .Instances.trace_json
+    | Strong_ba ->
+      (Instances.run_strong_ba ~cfg ~seed ~record_trace:true
+         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
+         ~adversary:(sba_adversary ~cfg ~n ~f adversary) ())
+        .Instances.trace_json
+    | Fallback ->
+      (Instances.run_fallback ~cfg ~seed ~record_trace:true
+         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
+         ~adversary:(epk_adversary ~cfg ~f ~input adversary) ())
+        .Instances.trace_json
+    | Dolev_strong | Naive_bb ->
+      pr "trace is only available for the paper's protocols (bb, weak-ba, \
+          strong-ba, fallback)\n";
+      exit 2
+  in
+  let json =
+    match trace_json with
+    | Some j -> j
+    | None -> failwith "mewc trace: runner produced no trace"
+  in
+  let text =
+    match format with
+    | Json -> Jsonx.to_string json ^ "\n"
+    | Csv -> (
+      (* The CSV goes through of_json, so every export also exercises the
+         parse side of the mewc-trace/1 schema. *)
+      match Trace.of_json ~decode:Fun.id json with
+      | Ok tr -> Trace.to_csv ~encode:Fun.id tr
+      | Error e -> failwith ("mewc trace: trace does not reparse: " ^ e))
+  in
+  match output with
+  | None -> print_string text
+  | Some path -> (
+    match open_out path with
+    | exception Sys_error e ->
+      Printf.eprintf "mewc trace: cannot write %s: %s\n" path e;
+      exit 1
+    | oc ->
+      output_string oc text;
+      close_out oc;
+      pr "wrote %s (%s, protocol=%s adversary=%s f=%d seed=%Ld)\n" path
+        (match format with Json -> "json" | Csv -> "csv")
+        (protocol_name protocol) adversary f seed)
+
 open Cmdliner
 
+let protocol_arg =
+  Arg.(
+    required
+    & opt (some protocol_conv) None
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"One of bb, weak-ba, strong-ba, fallback, dolev-strong, naive-bb.")
+
+let n_arg =
+  Arg.(value & opt int 9 & info [ "n" ] ~docv:"N" ~doc:"System size (odd, n = 2t+1).")
+
+let adversary_arg =
+  Arg.(
+    value & opt string "honest"
+    & info [ "a"; "adversary" ] ~docv:"ADVERSARY"
+        ~doc:(Printf.sprintf "One of: %s." (String.concat ", " adversaries)))
+
+let f_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "f" ] ~docv:"F" ~doc:"Number of victims for crash-style adversaries.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let input_arg =
+  Arg.(
+    value & opt string "value"
+    & info [ "i"; "input" ] ~docv:"VALUE" ~doc:"Input / broadcast value.")
+
 let run_term =
-  let protocol =
-    Arg.(
-      required
-      & opt (some protocol_conv) None
-      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
-          ~doc:"One of bb, weak-ba, strong-ba, fallback, dolev-strong, naive-bb.")
-  in
-  let n =
-    Arg.(value & opt int 9 & info [ "n" ] ~docv:"N" ~doc:"System size (odd, n = 2t+1).")
-  in
-  let adversary =
-    Arg.(
-      value & opt string "honest"
-      & info [ "a"; "adversary" ] ~docv:"ADVERSARY"
-          ~doc:
-            (Printf.sprintf "One of: %s." (String.concat ", " adversaries)))
-  in
-  let f =
-    Arg.(
-      value & opt int 0
-      & info [ "f" ] ~docv:"F" ~doc:"Number of victims for crash-style adversaries.")
-  in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.") in
-  let input =
-    Arg.(
-      value & opt string "value"
-      & info [ "i"; "input" ] ~docv:"VALUE" ~doc:"Input / broadcast value.")
-  in
   let trace =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Reserved: record the execution trace.")
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Also print the per-slot word/message series of the run.")
   in
-  Term.(const run_cmd $ protocol $ n $ adversary $ f $ seed $ input $ trace)
+  Term.(
+    const run_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
+    $ input_arg $ trace)
+
+let trace_term =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("json", Json); ("csv", Csv) ]) Json
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output format: json or csv.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Term.(
+    const trace_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
+    $ input_arg $ format $ output)
 
 let cmd =
   let info =
@@ -267,6 +376,15 @@ let cmd =
         "Adaptive Byzantine Agreement with fewer words (Cohen, Keidar, \
          Spiegelman; PODC 2022) - protocol runner"
   in
-  Cmd.group info [ Cmd.v (Cmd.info "run" ~doc:"Run one protocol execution.") run_term ]
+  Cmd.group info
+    [
+      Cmd.v (Cmd.info "run" ~doc:"Run one protocol execution.") run_term;
+      Cmd.v
+        (Cmd.info "trace"
+           ~doc:
+             "Run one protocol execution and emit its structured trace \
+              (mewc-trace/1) as JSON or CSV.")
+        trace_term;
+    ]
 
 let () = exit (Cmd.eval cmd)

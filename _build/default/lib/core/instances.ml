@@ -24,6 +24,8 @@ type 'o agreement_outcome = {
   nonsilent_phases : int;
   help_requests : int;
   latency : int;
+  meter : Meter.snapshot;
+  trace_json : Mewc_prelude.Jsonx.t option;
 }
 
 (* Latest decision slot among correct processes; -1 if one never decided. *)
@@ -38,6 +40,48 @@ let latency_of ~corrupted ~decided_at states =
          | acc, Some s -> max acc s)
        0
 
+(* A monitor violation escaping a runner gains the run's seeds, so it is a
+   replayable counterexample and not just a bare assertion failure. *)
+let replayable ~seed ~shuffle_seed run =
+  try run ()
+  with Monitor.Violation v ->
+    let shuffle =
+      match shuffle_seed with
+      | None -> "none"
+      | Some s -> Int64.to_string s
+    in
+    raise
+      (Monitor.Violation
+         {
+           v with
+           Monitor.reason =
+             Printf.sprintf "%s [replay: seed=%Ld shuffle_seed=%s]"
+               v.Monitor.reason seed shuffle;
+         })
+
+(* Below this many corruptions the adaptive protocols stay on their
+   O(n(f+1)) path; at or above it the fallback (and its O(n^2) class) is
+   reachable (Lemma 6). *)
+let fallback_threshold cfg = (cfg.Config.n - cfg.Config.t - 1) / 2
+
+(* Empirical word/latency envelopes, calibrated against the simulator over
+   n in 5..33 and the whole adversary zoo, with ~2x headroom. They are
+   deliberately in the paper's complexity *class* — 32·n(f+1) is still
+   O(n(f+1)) — so a regression that breaks the class trips the monitor while
+   constant-factor noise does not. *)
+let weak_word_bound cfg ~f =
+  let n = cfg.Config.n in
+  if f < fallback_threshold cfg then 32 * n * (f + 1) else 8 * n * n * (f + 1)
+
+let std_monitors ~cfg ~word_name ~word_bound ~early_name ~early_bound =
+  [
+    Monitor.corruption_budget ~cfg;
+    Monitor.agreement ~cfg ();
+    Monitor.word_bound ~name:word_name ~bound:word_bound;
+    Monitor.early_termination ~name:early_name ~bound:early_bound;
+    Monitor.metering ();
+  ]
+
 module Epk_bool = Mewc_fallback.Echo_phase_king.Make (Value.Bool)
 
 module Fallback_bool = struct
@@ -48,8 +92,8 @@ end
 
 module Strong_bool = Ff_strong_ba.Make (Fallback_bool)
 
-let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(round_len = 1)
-    ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
+let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
   let n = cfg.Config.n in
   if Array.length inputs <> n then
     invalid_arg "run_fallback: need one input per process";
@@ -63,9 +107,18 @@ let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(round_len = 1)
     }
   in
   let adversary = adversary ~pki ~secrets in
+  let horizon = Epk_str.horizon cfg ~round_len in
+  let monitors =
+    std_monitors ~cfg ~word_name:"epk-words"
+      ~word_bound:(fun ~f -> 16 * n * n * (f + 1))
+      ~early_name:"epk-latency"
+      ~early_bound:(fun ~f -> min horizon (round_len * (10 + (7 * f)) + round_len))
+  in
   let res =
-    Engine.run ~cfg ?shuffle_seed ~words:Epk_str.words
-      ~horizon:(Epk_str.horizon cfg ~round_len) ~protocol ~adversary ()
+    replayable ~seed ~shuffle_seed (fun () ->
+        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
+          ~decided:Epk_str.decision ~words:Epk_str.words ~horizon ~protocol
+          ~adversary ())
   in
   {
     decisions = Array.map Epk_str.decision res.Engine.states;
@@ -82,6 +135,14 @@ let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(round_len = 1)
     latency =
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Epk_str.decided_at
         res.Engine.states;
+    meter = Meter.snapshot res.Engine.meter;
+    trace_json =
+      (if record_trace then
+         Some
+           (Trace.to_json
+              ~encode:(Format.asprintf "%a" Epk_str.pp_msg)
+              res.Engine.trace)
+       else None);
   }
 
 let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
@@ -99,9 +160,28 @@ let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
     }
   in
   let adversary = adversary ~pki ~secrets in
+  let horizon = Weak_str.horizon cfg in
+  let monitors =
+    match quorum_override with
+    | Some _ ->
+      (* The ablation knob breaks quorum intersection by design; agreement,
+         termination and word bounds are exactly what it sacrifices. *)
+      [ Monitor.corruption_budget ~cfg; Monitor.metering () ]
+    | None ->
+      std_monitors ~cfg ~word_name:"weak-ba-words"
+        ~word_bound:(weak_word_bound cfg)
+        ~early_name:"weak-ba-latency"
+        ~early_bound:(fun ~f ->
+          if f < fallback_threshold cfg then (6 * (f + 1)) + 10 else horizon)
+  in
   let res =
-    Engine.run ~cfg ?shuffle_seed ~record_trace ~words:Weak_str.words
-      ~horizon:(Weak_str.horizon cfg) ~protocol ~adversary ()
+    replayable ~seed ~shuffle_seed (fun () ->
+        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
+          ~decided:(fun st ->
+            Option.map
+              (Format.asprintf "%a" Weak_str.pp_outcome)
+              (Weak_str.decision st))
+          ~words:Weak_str.words ~horizon ~protocol ~adversary ())
   in
   let correct_states =
     Array.to_list res.Engine.states
@@ -123,6 +203,14 @@ let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
     latency =
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Weak_str.decided_at
         res.Engine.states;
+    meter = Meter.snapshot res.Engine.meter;
+    trace_json =
+      (if record_trace then
+         Some
+           (Trace.to_json
+              ~encode:(Format.asprintf "%a" Weak_str.pp_msg)
+              res.Engine.trace)
+       else None);
   }
 
 let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
@@ -139,9 +227,22 @@ let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
     }
   in
   let adversary = adversary ~pki ~secrets in
+  let horizon = Adaptive_bb.horizon cfg in
+  let monitors =
+    std_monitors ~cfg ~word_name:"bb-words" ~word_bound:(weak_word_bound cfg)
+      ~early_name:"bb-latency"
+      ~early_bound:(fun ~f ->
+        if f < fallback_threshold cfg then (3 * n) + (6 * (f + 2)) + 12
+        else horizon)
+  in
   let res =
-    Engine.run ~cfg ?shuffle_seed ~record_trace ~words:Adaptive_bb.words
-      ~horizon:(Adaptive_bb.horizon cfg) ~protocol ~adversary ()
+    replayable ~seed ~shuffle_seed (fun () ->
+        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
+          ~decided:(fun st ->
+            Option.map
+              (Format.asprintf "%a" Adaptive_bb.pp_decision)
+              (Adaptive_bb.decision st))
+          ~words:Adaptive_bb.words ~horizon ~protocol ~adversary ())
   in
   let correct_states =
     Array.to_list res.Engine.states
@@ -163,12 +264,20 @@ let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
     latency =
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Adaptive_bb.decided_at
         res.Engine.states;
+    meter = Meter.snapshot res.Engine.meter;
+    trace_json =
+      (if record_trace then
+         Some
+           (Trace.to_json
+              ~encode:(Format.asprintf "%a" Adaptive_bb.pp_msg)
+              res.Engine.trace)
+       else None);
   }
 
 module Binary_bb_bool = Binary_bb.Make (Fallback_bool)
 
-let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(sender = 0) ~input
-    ~adversary () =
+let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(sender = 0) ~input ~adversary () =
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
   let protocol pid =
@@ -181,9 +290,20 @@ let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(sender = 0) ~input
     }
   in
   let adversary = adversary ~pki ~secrets in
+  let horizon = Binary_bb_bool.horizon cfg in
+  let monitors =
+    std_monitors ~cfg ~word_name:"binary-bb-words"
+      ~word_bound:(fun ~f ->
+        if f = 0 then 16 * n else 16 * n * n * (f + 1))
+      ~early_name:"binary-bb-latency"
+      ~early_bound:(fun ~f -> if f = 0 then 8 else horizon)
+  in
   let res =
-    Engine.run ~cfg ?shuffle_seed ~words:Binary_bb_bool.words
-      ~horizon:(Binary_bb_bool.horizon cfg) ~protocol ~adversary ()
+    replayable ~seed ~shuffle_seed (fun () ->
+        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
+          ~decided:(fun st ->
+            Option.map string_of_bool (Binary_bb_bool.decision st))
+          ~words:Binary_bb_bool.words ~horizon ~protocol ~adversary ())
   in
   let correct_states =
     Array.to_list res.Engine.states
@@ -206,6 +326,14 @@ let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(sender = 0) ~input
     latency =
       latency_of ~corrupted:res.Engine.corrupted
         ~decided_at:Binary_bb_bool.decided_at res.Engine.states;
+    meter = Meter.snapshot res.Engine.meter;
+    trace_json =
+      (if record_trace then
+         Some
+           (Trace.to_json
+              ~encode:(Format.asprintf "%a" Binary_bb_bool.pp_msg)
+              res.Engine.trace)
+       else None);
   }
 
 let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
@@ -223,9 +351,20 @@ let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
     }
   in
   let adversary = adversary ~pki ~secrets in
+  let horizon = Strong_bool.horizon cfg in
+  let monitors =
+    std_monitors ~cfg ~word_name:"strong-ba-words"
+      ~word_bound:(fun ~f ->
+        if f = 0 then 16 * n else 16 * n * n * (f + 1))
+      ~early_name:"strong-ba-latency"
+      ~early_bound:(fun ~f -> if f = 0 then 6 else horizon)
+  in
   let res =
-    Engine.run ~cfg ?shuffle_seed ~record_trace ~words:Strong_bool.words
-      ~horizon:(Strong_bool.horizon cfg) ~protocol ~adversary ()
+    replayable ~seed ~shuffle_seed (fun () ->
+        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
+          ~decided:(fun st ->
+            Option.map string_of_bool (Strong_bool.decision st))
+          ~words:Strong_bool.words ~horizon ~protocol ~adversary ())
   in
   let correct_states =
     Array.to_list res.Engine.states
@@ -247,4 +386,12 @@ let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
     latency =
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Strong_bool.decided_at
         res.Engine.states;
+    meter = Meter.snapshot res.Engine.meter;
+    trace_json =
+      (if record_trace then
+         Some
+           (Trace.to_json
+              ~encode:(Format.asprintf "%a" Strong_bool.pp_msg)
+              res.Engine.trace)
+       else None);
   }

@@ -1,6 +1,16 @@
 (** Ready-made protocol instantiations over the two value domains the paper
     considers (multi-valued and binary), with the fallback black box plugged
-    in, plus turnkey runners used by tests, examples and benchmarks. *)
+    in, plus turnkey runners used by tests, examples and benchmarks.
+
+    Every runner installs the standard online monitor suite
+    ({!Mewc_sim.Monitor}): corruption-budget sanity, agreement-once-decided
+    (with termination), the protocol's adaptive word bound at the realized
+    [f], its early-termination latency envelope, and meter/engine
+    consistency. A violated invariant raises {!Mewc_sim.Monitor.Violation}
+    with the run's [seed]/[shuffle_seed] appended, so every failure is a
+    replayable counterexample. The one exception: [run_weak_ba] with
+    [quorum_override] (the deliberately unsafe ablation) keeps only the
+    budget and metering monitors, since breaking agreement is the point. *)
 
 module Epk_str : module type of Mewc_fallback.Echo_phase_king.Make (Mewc_sim.Value.Str)
 (** The echo-phase-king instance over multi-valued inputs, with its full
@@ -33,12 +43,19 @@ type 'o agreement_outcome = {
   latency : int;
       (** slots (= δ units) until the {e last} correct process decided;
           -1 if some correct process never decided (a bug caught by tests) *)
+  meter : Mewc_sim.Meter.snapshot;
+      (** per-slot and per-process word/message series for this run *)
+  trace_json : Mewc_prelude.Jsonx.t option;
+      (** the run's structured trace (schema ["mewc-trace/1"], message
+          payloads rendered via the protocol's printer); [Some] iff
+          [record_trace] was set *)
 }
 
 val run_fallback :
   cfg:Mewc_sim.Config.t ->
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
+  ?record_trace:bool ->
   ?round_len:int ->
   ?start_slot:(Mewc_prelude.Pid.t -> int) ->
   inputs:string array ->
@@ -99,6 +116,7 @@ val run_binary_bb :
   cfg:Mewc_sim.Config.t ->
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
+  ?record_trace:bool ->
   ?sender:Mewc_prelude.Pid.t ->
   input:bool ->
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->

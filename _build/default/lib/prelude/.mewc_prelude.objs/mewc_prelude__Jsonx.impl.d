@@ -1,0 +1,1 @@
+lib/prelude/jsonx.ml: Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/prelude/jsonx.mli: Format

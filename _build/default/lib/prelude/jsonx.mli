@@ -1,0 +1,37 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability layer (structured traces, meter snapshots, the
+    [BENCH_observability.json] export) needs machine-readable output, and the
+    round-trip tests need to parse it back; the sealed container has no JSON
+    package, so this is a small self-contained implementation. Object field
+    order is preserved, which keeps serialization deterministic — two equal
+    documents print to byte-identical strings. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with standard escaping. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same rendering as {!to_string}. *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!to_string}; also accepts arbitrary inter-token whitespace.
+    Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val equal : t -> t -> bool
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing fields and non-objects. *)
+
+val get_int : t -> int option
+val get_bool : t -> bool option
+val get_str : t -> string option
+val get_list : t -> t list option

@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Adversary Array Config Envelope List Meter Mewc_prelude Option Pid Printf Process Rng Trace
+lib/sim/engine.ml: Adversary Array Config Envelope List Meter Mewc_prelude Monitor Option Pid Printf Process Rng String Trace

@@ -1,1 +1,1 @@
-lib/sim/engine.mli: Adversary Config Meter Mewc_prelude Process Trace
+lib/sim/engine.mli: Adversary Config Meter Mewc_prelude Monitor Process Trace

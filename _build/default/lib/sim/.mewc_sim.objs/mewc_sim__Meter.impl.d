@@ -1,1 +1,1 @@
-lib/sim/meter.ml: Format
+lib/sim/meter.ml: Format Hashtbl Int List Mewc_prelude

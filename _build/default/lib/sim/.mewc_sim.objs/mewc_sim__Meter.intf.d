@@ -1,1 +1,1 @@
-lib/sim/meter.mli: Format
+lib/sim/meter.mli: Format Mewc_prelude

@@ -1,0 +1,1 @@
+lib/sim/monitor.ml: Config Envelope Format Hashtbl List Mewc_prelude Printf String Trace

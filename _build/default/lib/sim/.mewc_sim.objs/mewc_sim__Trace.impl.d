@@ -1,1 +1,1 @@
-lib/sim/trace.ml: Envelope Format List
+lib/sim/trace.ml: Buffer Envelope Format List Mewc_prelude Option Printf Result String

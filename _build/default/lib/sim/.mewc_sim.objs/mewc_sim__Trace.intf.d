@@ -1,1 +1,1 @@
-lib/sim/trace.mli: Envelope Format
+lib/sim/trace.mli: Envelope Format Mewc_prelude

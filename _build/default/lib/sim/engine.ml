@@ -9,8 +9,8 @@ type ('s, 'm) outcome = {
   slots : int;
 }
 
-let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
-    ~adversary () =
+let run ~cfg ?(record_trace = false) ?shuffle_seed ?(monitors = [])
+    ?decided ~words ~horizon ~protocol ~adversary () =
   let n = cfg.Config.n in
   let shuffle_rng = Option.map Rng.create shuffle_seed in
   let machines = Array.init n protocol in
@@ -19,6 +19,14 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
   let corruption_order = ref [] in
   let meter = Meter.create () in
   let trace = Trace.create ~enabled:record_trace in
+  (* Events are only materialized when someone is looking: a recording trace
+     or at least one monitor. The meter's per-slot series is always on. *)
+  let observing = record_trace || monitors <> [] in
+  let emit ev =
+    Trace.record trace ev;
+    List.iter (fun m -> m.Monitor.on_event ev) monitors
+  in
+  let prev_decided = Array.make n None in
   let pending = Array.make n [] in
   (* [pending.(p)] accumulates (reversed) the messages to deliver to [p] at
      the start of the next slot. *)
@@ -39,12 +47,18 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
            src dst);
     let envelope = { Envelope.src; dst; sent_at = slot; msg } in
     let byzantine = corrupted.(src) in
-    (* Self-addressed messages cross no link: delivered, but free. *)
-    if dst <> src then Meter.charge meter ~byzantine ~words:(words msg);
-    Trace.record trace ~byzantine_sender:byzantine envelope;
+    let charged =
+      Meter.charge meter ~byzantine ~src ~dst ~words:(words msg)
+    in
+    if observing then
+      emit
+        (Trace.Send
+           { envelope; byzantine_sender = byzantine; words = words msg; charged });
     pending.(dst) <- envelope :: pending.(dst)
   in
   for slot = 0 to horizon - 1 do
+    Meter.begin_slot meter ~slot;
+    if observing then emit (Trace.Slot_start slot);
     let inboxes = deliver () in
     let view outgoing =
       {
@@ -69,7 +83,11 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
                  "Engine.run: adversary %s exceeded the corruption budget t=%d"
                  adversary.Adversary.name cfg.Config.t);
           corrupted.(p) <- true;
-          corruption_order := p :: !corruption_order
+          corruption_order := p :: !corruption_order;
+          if observing then
+            emit
+              (Trace.Corruption
+                 { slot; pid = p; f = List.length !corruption_order })
         end)
       new_corruptions;
     (* 2. Correct processes step. *)
@@ -83,6 +101,24 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
         correct_sends := (p, sends) :: !correct_sends
       end
     done;
+    (* 2b. Decision transitions, for the observability stream. *)
+    (match decided with
+    | Some decided when observing ->
+      for p = 0 to n - 1 do
+        if not corrupted.(p) then begin
+          match (prev_decided.(p), decided states.(p)) with
+          | None, (Some value as d) ->
+            prev_decided.(p) <- d;
+            emit (Trace.Decision { slot; pid = p; value })
+          | Some v0, (Some value as d) when not (String.equal v0 value) ->
+            (* A re-decision is a protocol bug; surface it to the monitors
+               rather than silencing it here. *)
+            prev_decided.(p) <- d;
+            emit (Trace.Decision { slot; pid = p; value })
+          | _ -> ()
+        end
+      done
+    | _ -> ());
     let correct_outgoing =
       List.concat_map
         (fun (src, sends) ->
@@ -106,6 +142,7 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ~words ~horizon ~protocol
       (fun (src, sends) -> List.iter (post ~slot ~src) sends)
       (List.rev !byz_sends)
   done;
+  List.iter (fun m -> m.Monitor.on_finish ~slots:horizon) monitors;
   {
     states;
     corrupted = List.rev !corruption_order;

@@ -13,7 +13,17 @@
 
     Synchronous protocols are clock-driven, so a run executes exactly
     [horizon] slots; silent processes cost nothing, hence running past a
-    protocol's decision point never inflates word counts. *)
+    protocol's decision point never inflates word counts.
+
+    {2 Observability}
+
+    The engine emits a typed event stream — {!Trace.event} — covering slot
+    boundaries, corruptions, sends (with word costs and charge outcomes),
+    and decision transitions. The stream feeds two consumers: the run's
+    {!Trace.t} (when [record_trace]) and any installed {!Monitor.t}s, which
+    check invariants online and raise {!Monitor.Violation} fail-fast. When
+    neither is present, events are not materialized at all; the meter's
+    per-slot series stays on regardless. *)
 
 type ('s, 'm) outcome = {
   states : 's array;
@@ -30,6 +40,8 @@ val run :
   cfg:Config.t ->
   ?record_trace:bool ->
   ?shuffle_seed:int64 ->
+  ?monitors:'m Monitor.t list ->
+  ?decided:('s -> string option) ->
   words:('m -> int) ->
   horizon:int ->
   protocol:(Mewc_prelude.Pid.t -> ('s, 'm) Process.t) ->
@@ -38,9 +50,15 @@ val run :
   ('s, 'm) outcome
 (** Raises [Invalid_argument] if the adversary exceeds the corruption budget
     [cfg.t], corrupts an unknown process, or addresses a message to an
-    unknown process.
+    unknown process. Raises {!Monitor.Violation} as soon as an installed
+    monitor's invariant breaks.
 
     [shuffle_seed] permutes every inbox deterministically before delivery:
     within a slot the network may present messages in any order, and
     correct protocols must not care. Tests run the whole suite's scenarios
-    under random inbox orders to enforce that. *)
+    under random inbox orders to enforce that.
+
+    [decided] renders a state's decision, if any; when given (and someone is
+    observing), the engine emits a {!Trace.Decision} event in the slot a
+    correct process's decision first becomes — or, protocol bug, changes
+    to — that printed value. *)

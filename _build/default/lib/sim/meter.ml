@@ -1,29 +1,149 @@
-type t = {
-  mutable correct_words : int;
-  mutable correct_messages : int;
+module Jsonx = Mewc_prelude.Jsonx
+
+type cell = {
+  mutable words : int;
+  mutable messages : int;
   mutable byz_words : int;
   mutable byz_messages : int;
 }
 
+let fresh_cell () = { words = 0; messages = 0; byz_words = 0; byz_messages = 0 }
+
+type t = {
+  totals : cell;
+  mutable current_slot : int;
+  mutable max_slot : int;  (* highest slot begun; -1 before any *)
+  per_slot : (int, cell) Hashtbl.t;
+  per_process : (int, cell) Hashtbl.t;
+}
+
 let create () =
-  { correct_words = 0; correct_messages = 0; byz_words = 0; byz_messages = 0 }
+  {
+    totals = fresh_cell ();
+    current_slot = 0;
+    max_slot = -1;
+    per_slot = Hashtbl.create 64;
+    per_process = Hashtbl.create 16;
+  }
 
-let charge m ~byzantine ~words =
+let begin_slot m ~slot =
+  m.current_slot <- slot;
+  if slot > m.max_slot then m.max_slot <- slot
+
+let cell_of tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> c
+  | None ->
+    let c = fresh_cell () in
+    Hashtbl.add tbl key c;
+    c
+
+let charge m ~byzantine ~src ~dst ~words =
   if words < 1 then invalid_arg "Meter.charge: each message is at least 1 word";
-  if byzantine then begin
-    m.byz_words <- m.byz_words + words;
-    m.byz_messages <- m.byz_messages + 1
-  end
+  if src = dst then false (* self-addressed: crosses no link, free *)
   else begin
-    m.correct_words <- m.correct_words + words;
-    m.correct_messages <- m.correct_messages + 1
+    let slot_cell = cell_of m.per_slot m.current_slot in
+    let proc_cell = cell_of m.per_process src in
+    if m.current_slot > m.max_slot then m.max_slot <- m.current_slot;
+    List.iter
+      (fun c ->
+        if byzantine then begin
+          c.byz_words <- c.byz_words + words;
+          c.byz_messages <- c.byz_messages + 1
+        end
+        else begin
+          c.words <- c.words + words;
+          c.messages <- c.messages + 1
+        end)
+      [ m.totals; slot_cell; proc_cell ];
+    true
   end
 
-let correct_words m = m.correct_words
-let correct_messages m = m.correct_messages
-let byzantine_words m = m.byz_words
-let byzantine_messages m = m.byz_messages
+let correct_words m = m.totals.words
+let correct_messages m = m.totals.messages
+let byzantine_words m = m.totals.byz_words
+let byzantine_messages m = m.totals.byz_messages
+
+let reset m =
+  m.totals.words <- 0;
+  m.totals.messages <- 0;
+  m.totals.byz_words <- 0;
+  m.totals.byz_messages <- 0;
+  m.current_slot <- 0;
+  m.max_slot <- -1;
+  Hashtbl.reset m.per_slot;
+  Hashtbl.reset m.per_process
+
+type row = {
+  ix : int;
+  words : int;
+  messages : int;
+  byz_words : int;
+  byz_messages : int;
+}
+
+type snapshot = {
+  correct_words : int;
+  correct_messages : int;
+  byz_words : int;
+  byz_messages : int;
+  per_slot : row list;
+  per_process : row list;
+}
+
+let row_of ix (c : cell) =
+  {
+    ix;
+    words = c.words;
+    messages = c.messages;
+    byz_words = c.byz_words;
+    byz_messages = c.byz_messages;
+  }
+
+let zero_row ix = { ix; words = 0; messages = 0; byz_words = 0; byz_messages = 0 }
+
+let snapshot m =
+  let per_slot =
+    List.init (m.max_slot + 1) (fun slot ->
+        match Hashtbl.find_opt m.per_slot slot with
+        | Some c -> row_of slot c
+        | None -> zero_row slot)
+  in
+  let per_process =
+    Hashtbl.fold (fun pid c acc -> row_of pid c :: acc) m.per_process []
+    |> List.sort (fun a b -> Int.compare a.ix b.ix)
+  in
+  {
+    correct_words = m.totals.words;
+    correct_messages = m.totals.messages;
+    byz_words = m.totals.byz_words;
+    byz_messages = m.totals.byz_messages;
+    per_slot;
+    per_process;
+  }
+
+let row_to_json key r =
+  Jsonx.Obj
+    [
+      (key, Jsonx.Int r.ix);
+      ("words", Jsonx.Int r.words);
+      ("messages", Jsonx.Int r.messages);
+      ("byz_words", Jsonx.Int r.byz_words);
+      ("byz_messages", Jsonx.Int r.byz_messages);
+    ]
+
+let snapshot_to_json s =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "mewc-meter/1");
+      ("correct_words", Jsonx.Int s.correct_words);
+      ("correct_messages", Jsonx.Int s.correct_messages);
+      ("byz_words", Jsonx.Int s.byz_words);
+      ("byz_messages", Jsonx.Int s.byz_messages);
+      ("per_slot", Jsonx.Arr (List.map (row_to_json "slot") s.per_slot));
+      ("per_process", Jsonx.Arr (List.map (row_to_json "pid") s.per_process));
+    ]
 
 let pp fmt m =
   Format.fprintf fmt "correct: %d words / %d msgs; byzantine: %d words / %d msgs"
-    m.correct_words m.correct_messages m.byz_words m.byz_messages
+    m.totals.words m.totals.messages m.totals.byz_words m.totals.byz_messages

@@ -1,0 +1,166 @@
+type violation = { monitor : string; slot : int; reason : string }
+
+exception Violation of violation
+
+let pp_violation fmt { monitor; slot; reason } =
+  Format.fprintf fmt "monitor %S violated at slot %d: %s" monitor slot reason
+
+type 'm t = {
+  name : string;
+  on_event : 'm Trace.event -> unit;
+  on_finish : slots:int -> unit;
+}
+
+let make ~name ?on_event ?on_finish () =
+  let violate ~slot reason = raise (Violation { monitor = name; slot; reason }) in
+  {
+    name;
+    on_event =
+      (match on_event with None -> fun _ -> () | Some f -> f ~violate);
+    on_finish =
+      (match on_finish with
+      | None -> fun ~slots:_ -> ()
+      | Some f -> f ~violate);
+  }
+
+let all monitors =
+  {
+    name = String.concat "+" (List.map (fun m -> m.name) monitors);
+    on_event = (fun ev -> List.iter (fun m -> m.on_event ev) monitors);
+    on_finish = (fun ~slots -> List.iter (fun m -> m.on_finish ~slots) monitors);
+  }
+
+let replay monitors ~slots trace =
+  let m = all monitors in
+  List.iter m.on_event (Trace.events trace);
+  m.on_finish ~slots
+
+(* ---- the standard invariants ------------------------------------------- *)
+
+let corruption_budget ~cfg =
+  let seen = Hashtbl.create 8 in
+  let count = ref 0 in
+  let current_slot = ref 0 in
+  make ~name:"corruption-budget"
+    ~on_event:(fun ~violate -> function
+      | Trace.Slot_start s -> current_slot := s
+      | Trace.Corruption { slot; pid; f } ->
+        if slot <> !current_slot then
+          violate ~slot
+            (Printf.sprintf "corruption stamped slot %d inside slot %d" slot
+               !current_slot);
+        if not (Mewc_prelude.Pid.is_valid ~n:cfg.Config.n pid) then
+          violate ~slot (Printf.sprintf "corrupted unknown process %d" pid);
+        if Hashtbl.mem seen pid then
+          violate ~slot (Printf.sprintf "p%d corrupted twice" pid);
+        Hashtbl.add seen pid ();
+        incr count;
+        if f <> !count then
+          violate ~slot
+            (Printf.sprintf "corruption count stamped %d, observed %d" f !count);
+        if !count > cfg.Config.t then
+          violate ~slot
+            (Printf.sprintf "budget exceeded: %d corruptions > t=%d" !count
+               cfg.Config.t)
+      | _ -> ())
+    ()
+
+let agreement ?(require_termination = true) ~cfg () =
+  let decided : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let corrupted = Hashtbl.create 8 in
+  let first : (int * string) option ref = ref None in
+  make ~name:"agreement"
+    ~on_event:(fun ~violate -> function
+      | Trace.Corruption { pid; _ } -> Hashtbl.replace corrupted pid ()
+      | Trace.Decision { slot; pid; value } -> (
+        (match Hashtbl.find_opt decided pid with
+        | Some prior when not (String.equal prior value) ->
+          violate ~slot
+            (Printf.sprintf "p%d re-decided %s after deciding %s" pid value prior)
+        | _ -> ());
+        Hashtbl.replace decided pid value;
+        match !first with
+        | None -> first := Some (pid, value)
+        | Some (p0, v0) ->
+          if not (String.equal v0 value) then
+            violate ~slot
+              (Printf.sprintf "p%d decided %s but p%d decided %s" pid value p0 v0))
+      | _ -> ())
+    ~on_finish:(fun ~violate ~slots ->
+      if require_termination then
+        List.iter
+          (fun p ->
+            if not (Hashtbl.mem corrupted p || Hashtbl.mem decided p) then
+              violate ~slot:slots
+                (Printf.sprintf "termination: correct p%d never decided" p))
+          (Mewc_prelude.Pid.all ~n:cfg.Config.n))
+    ()
+
+let word_bound ~name ~bound =
+  let f = ref 0 in
+  let words = ref 0 in
+  let check ~violate ~slot =
+    let b = bound ~f:!f in
+    if !words > b then
+      violate ~slot
+        (Printf.sprintf "correct senders spent %d words > bound %d at f=%d"
+           !words b !f)
+  in
+  make ~name
+    ~on_event:(fun ~violate -> function
+      | Trace.Corruption { f = f'; _ } -> f := f'
+      | Trace.Send { envelope; byzantine_sender; words = w; charged } ->
+        if charged && not byzantine_sender then begin
+          words := !words + w;
+          check ~violate ~slot:envelope.Envelope.sent_at
+        end
+      | _ -> ())
+    ~on_finish:(fun ~violate ~slots -> check ~violate ~slot:slots)
+    ()
+
+let early_termination ~name ~bound =
+  let f = ref 0 in
+  let last_decision = ref None in
+  make ~name
+    ~on_event:(fun ~violate:_ -> function
+      | Trace.Corruption { f = f'; _ } -> f := f'
+      | Trace.Decision { slot; _ } -> (
+        match !last_decision with
+        | Some s when s >= slot -> ()
+        | _ -> last_decision := Some slot)
+      | _ -> ())
+    ~on_finish:(fun ~violate ~slots:_ ->
+      match !last_decision with
+      | None -> ()
+      | Some s ->
+        let b = bound ~f:!f in
+        if s > b then
+          violate ~slot:s
+            (Printf.sprintf "last decision at slot %d > bound %d at f=%d" s b !f))
+    ()
+
+let metering () =
+  let corrupted = Hashtbl.create 8 in
+  make ~name:"metering"
+    ~on_event:(fun ~violate -> function
+      | Trace.Corruption { pid; _ } -> Hashtbl.replace corrupted pid ()
+      | Trace.Send { envelope = { Envelope.src; dst; sent_at; _ }; byzantine_sender; words; charged }
+        ->
+        if words < 1 then
+          violate ~slot:sent_at
+            (Printf.sprintf "p%d -> p%d carries %d words (< 1)" src dst words);
+        if src = dst && charged then
+          violate ~slot:sent_at
+            (Printf.sprintf "self-send of p%d was charged" src);
+        if src <> dst && not charged then
+          violate ~slot:sent_at
+            (Printf.sprintf "p%d -> p%d crossed a link uncharged" src dst);
+        let byz = Hashtbl.mem corrupted src in
+        if byz <> byzantine_sender then
+          violate ~slot:sent_at
+            (Printf.sprintf
+               "p%d is %scorrupted but its send is flagged %sbyzantine" src
+               (if byz then "" else "not ")
+               (if byzantine_sender then "" else "not "))
+      | _ -> ())
+    ()

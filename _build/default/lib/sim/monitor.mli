@@ -1,0 +1,76 @@
+(** Online invariant monitors over the engine's event stream.
+
+    A monitor is a stateful observer of the same typed events a {!Trace}
+    stores: the engine feeds every event to every installed monitor as it
+    happens, and calls [on_finish] once the horizon is reached. A violated
+    invariant raises {!Violation} immediately (fail-fast), carrying the
+    monitor's name, the slot, and a human-readable reason — together with
+    the run's seeds (which the caller knows) that makes every violation a
+    replayable counterexample.
+
+    Monitors derive everything they check from the event stream itself:
+    the realized [f] from [Corruption] events, the paper's word measure
+    from charged non-Byzantine [Send]s, decisions from [Decision] events.
+    A monitor therefore works identically online (installed in
+    {!Engine.run}) and offline ({!replay} over a recorded trace). *)
+
+type violation = { monitor : string; slot : int; reason : string }
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type 'm t = {
+  name : string;
+  on_event : 'm Trace.event -> unit;
+  on_finish : slots:int -> unit;
+}
+
+val make :
+  name:string ->
+  ?on_event:(violate:(slot:int -> string -> unit) -> 'm Trace.event -> unit) ->
+  ?on_finish:(violate:(slot:int -> string -> unit) -> slots:int -> unit) ->
+  unit ->
+  'm t
+(** Build a custom monitor; [violate] raises {!Violation} tagged with the
+    monitor's name. *)
+
+val all : 'm t list -> 'm t
+(** Compose monitors into one that forwards every event to each in order. *)
+
+val replay : 'm t list -> slots:int -> 'm Trace.t -> unit
+(** Drive monitors from a recorded trace: every event in order, then
+    [on_finish]. Raises {!Violation} exactly as an online run would. *)
+
+(** {2 The standard invariants} *)
+
+val corruption_budget : cfg:Config.t -> 'm t
+(** The adversary's corruption schedule is sane: at most [cfg.t] corruptions
+    overall, [f] counts up by exactly 1 per corruption, no process is
+    corrupted twice, pids are valid, and corruption stamps are within the
+    current slot. *)
+
+val agreement : ?require_termination:bool -> cfg:Config.t -> unit -> 'm t
+(** Agreement-once-decided: all [Decision] values across the run are equal,
+    and no process ever re-decides a different value. With
+    [require_termination] (default [true]), also checks at the end of the
+    run that every never-corrupted process decided. *)
+
+val word_bound : name:string -> bound:(f:int -> int) -> 'm t
+(** The paper's adaptive per-execution bounds: the cumulative word count of
+    correct senders (charged, non-Byzantine sends) never exceeds
+    [bound ~f] for the {e realized} number of corruptions [f] so far —
+    checked after every send, and again at the end of the run against the
+    final [f]. Corruption precedes the spending it induces (the adversary
+    corrupts at slot start, before processes step), so the online check is
+    sound for adaptive bounds of the O(n(f+1)) family. *)
+
+val early_termination : name:string -> bound:(f:int -> int) -> 'm t
+(** Early termination: at the end of the run, the last [Decision] slot is at
+    most [bound ~f] for the realized [f]. Protocols instantiate [bound]
+    with their constant-round (small f) latency envelope. *)
+
+val metering : unit -> 'm t
+(** Meter/engine consistency on every [Send]: word cost is at least 1,
+    self-addressed sends are never charged, cross-process sends always are,
+    and the [byzantine] flag matches the corruption events seen so far. *)

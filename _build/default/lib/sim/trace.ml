@@ -1,19 +1,225 @@
-type 'm event = { envelope : 'm Envelope.t; byzantine_sender : bool }
-type 'm t = { enabled : bool; mutable events : 'm event list (* reversed *) }
+module Jsonx = Mewc_prelude.Jsonx
 
-let create ~enabled = { enabled; events = [] }
+type 'm send = {
+  envelope : 'm Envelope.t;
+  byzantine_sender : bool;
+  words : int;
+  charged : bool;
+}
+
+type 'm event =
+  | Slot_start of int
+  | Corruption of { slot : int; pid : Mewc_prelude.Pid.t; f : int }
+  | Send of 'm send
+  | Decision of { slot : int; pid : Mewc_prelude.Pid.t; value : string }
+
+type 'm t = {
+  enabled : bool;
+  mutable rev_events : 'm event list;
+  mutable count : int;
+  mutable forward : 'm event list option;  (* memoized [events] *)
+}
+
+let create ~enabled = { enabled; rev_events = []; count = 0; forward = None }
 let enabled t = t.enabled
 
-let record t ~byzantine_sender envelope =
-  if t.enabled then t.events <- { envelope; byzantine_sender } :: t.events
+let record t ev =
+  if t.enabled then begin
+    t.rev_events <- ev :: t.rev_events;
+    t.count <- t.count + 1;
+    t.forward <- None
+  end
 
-let events t = List.rev t.events
-let length t = List.length t.events
+let events t =
+  match t.forward with
+  | Some evs -> evs
+  | None ->
+    let evs = List.rev t.rev_events in
+    t.forward <- Some evs;
+    evs
+
+let length t = t.count
+
+let sends t =
+  List.filter_map (function Send s -> Some s | _ -> None) (events t)
+
+let equal_event eq_msg a b =
+  match (a, b) with
+  | Slot_start s, Slot_start s' -> s = s'
+  | Corruption a, Corruption b -> a.slot = b.slot && a.pid = b.pid && a.f = b.f
+  | Send a, Send b ->
+    a.byzantine_sender = b.byzantine_sender
+    && a.words = b.words && a.charged = b.charged
+    && a.envelope.Envelope.src = b.envelope.Envelope.src
+    && a.envelope.Envelope.dst = b.envelope.Envelope.dst
+    && a.envelope.Envelope.sent_at = b.envelope.Envelope.sent_at
+    && eq_msg a.envelope.Envelope.msg b.envelope.Envelope.msg
+  | Decision a, Decision b ->
+    a.slot = b.slot && a.pid = b.pid && String.equal a.value b.value
+  | _ -> false
+
+let equal eq_msg a b = List.equal (equal_event eq_msg) (events a) (events b)
 
 let pp pp_msg fmt t =
   List.iter
-    (fun { envelope; byzantine_sender } ->
-      Format.fprintf fmt "%s%a@."
-        (if byzantine_sender then "[byz] " else "      ")
-        (Envelope.pp pp_msg) envelope)
+    (fun ev ->
+      match ev with
+      | Slot_start s -> Format.fprintf fmt "-- slot %d --@." s
+      | Corruption { slot; pid; f } ->
+        Format.fprintf fmt "[%d] corrupt p%d (f=%d)@." slot pid f
+      | Send { envelope; byzantine_sender; words; charged } ->
+        Format.fprintf fmt "%s%a (%d word%s%s)@."
+          (if byzantine_sender then "[byz] " else "      ")
+          (Envelope.pp pp_msg) envelope words
+          (if words = 1 then "" else "s")
+          (if charged then "" else ", free")
+      | Decision { slot; pid; value } ->
+        Format.fprintf fmt "[%d] p%d decides %s@." slot pid value)
     (events t)
+
+(* ---- serialization ----------------------------------------------------- *)
+
+let schema = "mewc-trace/1"
+
+let event_to_json ~encode = function
+  | Slot_start s -> Jsonx.Obj [ ("type", Jsonx.Str "slot"); ("slot", Jsonx.Int s) ]
+  | Corruption { slot; pid; f } ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "corrupt");
+        ("slot", Jsonx.Int slot);
+        ("pid", Jsonx.Int pid);
+        ("f", Jsonx.Int f);
+      ]
+  | Send { envelope = { Envelope.src; dst; sent_at; msg }; byzantine_sender; words; charged }
+    ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "send");
+        ("slot", Jsonx.Int sent_at);
+        ("src", Jsonx.Int src);
+        ("dst", Jsonx.Int dst);
+        ("words", Jsonx.Int words);
+        ("byzantine", Jsonx.Bool byzantine_sender);
+        ("charged", Jsonx.Bool charged);
+        ("msg", Jsonx.Str (encode msg));
+      ]
+  | Decision { slot; pid; value } ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "decide");
+        ("slot", Jsonx.Int slot);
+        ("pid", Jsonx.Int pid);
+        ("value", Jsonx.Str value);
+      ]
+
+let to_json ~encode t =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str schema);
+      ("events", Jsonx.Arr (List.map (event_to_json ~encode) (events t)));
+    ]
+
+let event_of_json ~decode j =
+  let field name get =
+    match Option.bind (Jsonx.member name j) get with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = field "type" Jsonx.get_str in
+  match kind with
+  | "slot" ->
+    let* s = field "slot" Jsonx.get_int in
+    Ok (Slot_start s)
+  | "corrupt" ->
+    let* slot = field "slot" Jsonx.get_int in
+    let* pid = field "pid" Jsonx.get_int in
+    let* f = field "f" Jsonx.get_int in
+    Ok (Corruption { slot; pid; f })
+  | "send" ->
+    let* sent_at = field "slot" Jsonx.get_int in
+    let* src = field "src" Jsonx.get_int in
+    let* dst = field "dst" Jsonx.get_int in
+    let* words = field "words" Jsonx.get_int in
+    let* byzantine_sender = field "byzantine" Jsonx.get_bool in
+    let* charged = field "charged" Jsonx.get_bool in
+    let* msg = field "msg" Jsonx.get_str in
+    Ok
+      (Send
+         {
+           envelope = { Envelope.src; dst; sent_at; msg = decode msg };
+           byzantine_sender;
+           words;
+           charged;
+         })
+  | "decide" ->
+    let* slot = field "slot" Jsonx.get_int in
+    let* pid = field "pid" Jsonx.get_int in
+    let* value = field "value" Jsonx.get_str in
+    Ok (Decision { slot; pid; value })
+  | other -> Error (Printf.sprintf "unknown event type %S" other)
+
+let of_json ~decode j =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Jsonx.member "schema" j) Jsonx.get_str with
+    | Some s when String.equal s schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
+    | None -> Error "missing schema tag"
+  in
+  let* events =
+    match Option.bind (Jsonx.member "events" j) Jsonx.get_list with
+    | Some evs -> Ok evs
+    | None -> Error "missing events array"
+  in
+  let t = create ~enabled:true in
+  let* () =
+    List.fold_left
+      (fun acc ev ->
+        let* () = acc in
+        let* ev = event_of_json ~decode ev in
+        record t ev;
+        Ok ())
+      (Ok ()) events
+  in
+  Ok t
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv ~encode t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "type,slot,src,dst,pid,words,byzantine,charged,detail\n";
+  let line kind ~slot ?src ?dst ?pid ?words ?byzantine ?charged ?(detail = "") () =
+    let opt_int = function Some i -> string_of_int i | None -> "" in
+    let opt_bool = function Some b -> string_of_bool b | None -> "" in
+    Buffer.add_string buf
+      (String.concat ","
+         [
+           kind;
+           string_of_int slot;
+           opt_int src;
+           opt_int dst;
+           opt_int pid;
+           opt_int words;
+           opt_bool byzantine;
+           opt_bool charged;
+           csv_escape detail;
+         ]);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (function
+      | Slot_start s -> line "slot" ~slot:s ()
+      | Corruption { slot; pid; f } ->
+        line "corrupt" ~slot ~pid ~detail:(Printf.sprintf "f=%d" f) ()
+      | Send { envelope = { Envelope.src; dst; sent_at; msg }; byzantine_sender; words; charged }
+        ->
+        line "send" ~slot:sent_at ~src ~dst ~words ~byzantine:byzantine_sender
+          ~charged ~detail:(encode msg) ()
+      | Decision { slot; pid; value } -> line "decide" ~slot ~pid ~detail:value ())
+    (events t);
+  Buffer.contents buf

@@ -1,20 +1,66 @@
-(** Execution traces for debugging and for the Figure-1 instrumentation.
+(** Structured execution traces.
 
-    When enabled, the engine records every envelope together with whether
-    its sender was Byzantine at send time. Traces make failed property tests
-    replayable narratives rather than bare seeds. *)
+    When enabled, the engine records a typed event log of the whole run:
+    slot boundaries, adaptive corruptions (with slot stamps and the running
+    corruption count), every message send (with its word cost and whether
+    the meter charged it), and per-process decisions. The same event stream
+    drives the online {!Monitor} invariant checkers, so a trace is exactly
+    what a monitor saw. Traces make failed property tests replayable
+    narratives rather than bare seeds, and serialize to JSON/CSV for
+    offline analysis ([mewc trace], [BENCH_observability.json]). *)
 
-type 'm event = { envelope : 'm Envelope.t; byzantine_sender : bool }
+type 'm send = {
+  envelope : 'm Envelope.t;
+  byzantine_sender : bool;  (** sender was corrupted at send time *)
+  words : int;  (** word cost per the protocol's wire format *)
+  charged : bool;
+      (** whether the meter accounted it (self-addressed sends are free) *)
+}
+
+type 'm event =
+  | Slot_start of int  (** a δ-slot begins *)
+  | Corruption of { slot : int; pid : Mewc_prelude.Pid.t; f : int }
+      (** the adversary corrupted [pid]; [f] is the corruption count
+          including this one *)
+  | Send of 'm send
+  | Decision of { slot : int; pid : Mewc_prelude.Pid.t; value : string }
+      (** [pid]'s decision became [value] (printed form) in [slot] *)
+
 type 'm t
 
 val create : enabled:bool -> 'm t
 val enabled : 'm t -> bool
-val record : 'm t -> byzantine_sender:bool -> 'm Envelope.t -> unit
+
+val record : 'm t -> 'm event -> unit
+(** No-op when the trace is disabled. *)
 
 val events : 'm t -> 'm event list
-(** In chronological order. *)
+(** In chronological order. Memoized: repeated calls between records cost
+    O(1). *)
 
 val length : 'm t -> int
+(** O(1). *)
+
+val sends : 'm t -> 'm send list
+(** Just the message sends, in chronological order. *)
+
+val equal : ('m -> 'm -> bool) -> 'm t -> 'm t -> bool
+(** Event-by-event equality (ignores the [enabled] flag). *)
 
 val pp :
   (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit
+
+(** {2 Serialization}
+
+    The JSON schema is ["mewc-trace/1"]: an object with a [schema] tag and
+    an [events] array; message payloads are embedded via [encode]. CSV has
+    one event per line with columns
+    [type,slot,src,dst,pid,words,byzantine,charged,detail]. *)
+
+val to_json : encode:('m -> string) -> 'm t -> Mewc_prelude.Jsonx.t
+
+val of_json :
+  decode:(string -> 'm) -> Mewc_prelude.Jsonx.t -> ('m t, string) result
+(** Inverse of {!to_json} (the result is an enabled trace). *)
+
+val to_csv : encode:('m -> string) -> 'm t -> string

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Array Envelope Format Fun Instances Int64 List Mewc_core Mewc_prelude Mewc_sim Monitor Printf QCheck2 String Test_util Trace

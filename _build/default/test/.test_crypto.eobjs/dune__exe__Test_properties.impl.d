@@ -1,1 +1,1 @@
-test/test_properties.ml: Adaptive_bb Adversary Alcotest Array Attacks Config Format Instances Int Int64 List Mewc_core Mewc_sim Printf QCheck2 String Test_util
+test/test_properties.ml: Adaptive_bb Adversary Alcotest Array Attacks Config Format Instances Int64 List Mewc_core Mewc_prelude Mewc_sim Printf QCheck2 String Test_util

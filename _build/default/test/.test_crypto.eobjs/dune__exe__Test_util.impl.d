@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Format List Mewc_sim QCheck2 QCheck_alcotest
+test/test_util.ml: Adversary Alcotest Array Attacks Format Int List Mewc_core Mewc_sim Printf QCheck2 QCheck_alcotest String

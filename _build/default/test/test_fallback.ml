@@ -192,10 +192,10 @@ let trace_shows_quiescence () =
     |> List.fold_left max 0
   in
   let late_correct_sends =
-    Trace.events res.Engine.trace
-    |> List.filter (fun ev ->
-           (not ev.Trace.byzantine_sender)
-           && ev.Trace.envelope.Envelope.sent_at > last_decision + 1)
+    Trace.sends res.Engine.trace
+    |> List.filter (fun s ->
+           (not s.Trace.byzantine_sender)
+           && s.Trace.envelope.Envelope.sent_at > last_decision + 1)
   in
   Alcotest.(check int)
     (Printf.sprintf "no correct traffic after slot %d" (last_decision + 1))

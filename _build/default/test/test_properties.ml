@@ -6,56 +6,10 @@ open Mewc_core
 module W = Instances.Weak_str
 
 let cfg = Test_util.cfg
-
-type adversary_pick =
-  | Honest
-  | Crash of int list
-  | Staggered of int list * int
-  | Busy_leaders of int list
-  | Exclusive_finalizer of int * int
-  | Help_spam of int list
-
-let pp_pick = function
-  | Honest -> "honest"
-  | Crash vs -> Printf.sprintf "crash[%s]" (String.concat "," (List.map string_of_int vs))
-  | Staggered (vs, e) ->
-    Printf.sprintf "staggered[%s]/%d" (String.concat "," (List.map string_of_int vs)) e
-  | Busy_leaders vs ->
-    Printf.sprintf "busy[%s]" (String.concat "," (List.map string_of_int vs))
-  | Exclusive_finalizer (l, x) -> Printf.sprintf "finalizer(%d->%d)" l x
-  | Help_spam vs ->
-    Printf.sprintf "spam[%s]" (String.concat "," (List.map string_of_int vs))
-
-let clamp_victims ~n ~t victims =
-  List.sort_uniq Int.compare (List.filter (fun v -> v >= 1 && v < n) victims)
-  |> List.filteri (fun i _ -> i < t)
-
-let gen_pick n t =
-  QCheck2.Gen.(
-    let victims = list_size (int_range 0 t) (int_range 1 (n - 1)) in
-    oneof
-      [
-        return Honest;
-        map (fun vs -> Crash (clamp_victims ~n ~t vs)) victims;
-        map2
-          (fun vs e -> Staggered (clamp_victims ~n ~t vs, 1 + e))
-          victims (int_range 0 6);
-        map (fun vs -> Busy_leaders (clamp_victims ~n ~t vs)) victims;
-        map2
-          (fun l x -> Exclusive_finalizer (1 + (l mod t), x mod n))
-          (int_range 0 100) (int_range 0 100);
-        map (fun vs -> Help_spam (clamp_victims ~n ~t vs)) victims;
-      ])
-
-let to_weak_adversary c = function
-  | Honest -> Adversary.const (Adversary.honest ~name:"h")
-  | Crash vs -> Adversary.const (Adversary.crash ~victims:vs ())
-  | Staggered (vs, e) -> Adversary.const (Adversary.staggered_crash ~victims:vs ~every:e)
-  | Busy_leaders vs -> Attacks.wba_busy_byz_leaders ~cfg:c ~leaders:vs
-  | Exclusive_finalizer (l, x) ->
-    if l = x then Adversary.const (Adversary.crash ~victims:[ l ] ())
-    else Attacks.wba_exclusive_finalizer ~cfg:c ~leader:l ~lucky:x
-  | Help_spam vs -> Attacks.wba_help_req_spammers ~cfg:c ~spammers:vs
+let pp_pick = Test_util.pp_pick
+let clamp_victims = Test_util.clamp_victims
+let gen_pick = Test_util.gen_pick
+let to_weak_adversary = Test_util.to_weak_adversary
 
 let correct_decisions (o : _ Instances.agreement_outcome) =
   Array.to_list o.decisions
@@ -169,6 +123,32 @@ let determinism =
       in
       go () = go ())
 
+let trace_replay_byte_identical =
+  Test_util.qcheck_case ~count:25
+    ~name:"same seed+shuffle_seed reproduce byte-identical traces"
+    QCheck2.Gen.(
+      oneofl [ 5; 7 ] >>= fun n ->
+      let t = (n - 1) / 2 in
+      triple (return n) (gen_pick n t)
+        (pair (int_range 0 1000) (int_range 0 1000)))
+    (fun (n, pick, (seed, shuffle)) ->
+      let c = cfg n in
+      let go () =
+        let o =
+          Instances.run_weak_ba ~cfg:c ~seed:(Int64.of_int seed)
+            ~shuffle_seed:(Int64.of_int shuffle) ~record_trace:true
+            ~inputs:(Array.init n (fun i -> Printf.sprintf "v%d" (i mod 2)))
+            ~adversary:(to_weak_adversary c pick) ()
+        in
+        match o.Instances.trace_json with
+        | Some j -> Mewc_prelude.Jsonx.to_string j
+        | None -> QCheck2.Test.fail_report "record_trace produced no trace"
+      in
+      let a = go () and b = go () in
+      if not (String.equal a b) then
+        QCheck2.Test.fail_reportf "adversary=%s traces diverge" (pp_pick pick)
+      else true)
+
 let signature_complexity_tracks_words =
   Test_util.qcheck_case ~count:10
     ~name:"failure-free weak BA: O(n) signatures too"
@@ -236,6 +216,7 @@ let () =
           bb_validity_random;
           epk_unanimity_random_kings;
           determinism;
+          trace_replay_byte_identical;
           signature_complexity_tracks_words;
           fuzzer_safety;
         ] );

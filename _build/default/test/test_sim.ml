@@ -185,7 +185,12 @@ let trace_records () =
     Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:2 ~protocol
       ~adversary:(Adversary.honest ~name:"h") ()
   in
-  Alcotest.(check int) "events" 3 (Trace.length res.Engine.trace);
+  (* 2 slot boundaries + 3 sends (one per process, all addressed to p1). *)
+  Alcotest.(check int) "events" 5 (Trace.length res.Engine.trace);
+  let sends = Trace.sends res.Engine.trace in
+  Alcotest.(check int) "sends" 3 (List.length sends);
+  Alcotest.(check int) "exactly p1's self-send uncharged" 1
+    (List.length (List.filter (fun s -> not s.Trace.charged) sends));
   let disabled =
     Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:2 ~protocol
       ~adversary:(Adversary.honest ~name:"h") ()
@@ -220,7 +225,93 @@ let meter_validation () =
   let m = Meter.create () in
   Alcotest.check_raises "zero words"
     (Invalid_argument "Meter.charge: each message is at least 1 word") (fun () ->
-      Meter.charge m ~byzantine:false ~words:0)
+      ignore (Meter.charge m ~byzantine:false ~src:0 ~dst:1 ~words:0));
+  Alcotest.check_raises "zero-word self-send still a wire-format bug"
+    (Invalid_argument "Meter.charge: each message is at least 1 word") (fun () ->
+      ignore (Meter.charge m ~byzantine:false ~src:2 ~dst:2 ~words:0));
+  Alcotest.(check bool) "self-send free" false
+    (Meter.charge m ~byzantine:false ~src:2 ~dst:2 ~words:5);
+  Alcotest.(check int) "self-send accounted nothing" 0 (Meter.correct_words m);
+  Alcotest.(check bool) "cross-send charged" true
+    (Meter.charge m ~byzantine:false ~src:0 ~dst:1 ~words:3);
+  Alcotest.(check int) "words" 3 (Meter.correct_words m);
+  Alcotest.(check int) "messages" 1 (Meter.correct_messages m)
+
+let meter_snapshot_isolation () =
+  let m = Meter.create () in
+  Meter.begin_slot m ~slot:0;
+  ignore (Meter.charge m ~byzantine:false ~src:0 ~dst:1 ~words:2);
+  Meter.begin_slot m ~slot:1;
+  (* slot 1 stays silent, but must still appear as a zero row *)
+  Meter.begin_slot m ~slot:2;
+  ignore (Meter.charge m ~byzantine:true ~src:4 ~dst:1 ~words:7);
+  let s = Meter.snapshot m in
+  Alcotest.(check (list int)) "dense per-slot words" [ 2; 0; 0 ]
+    (List.map (fun (r : Meter.row) -> r.Meter.words) s.Meter.per_slot);
+  Alcotest.(check (list int)) "dense per-slot byz words" [ 0; 0; 7 ]
+    (List.map (fun (r : Meter.row) -> r.Meter.byz_words) s.Meter.per_slot);
+  Alcotest.(check (list int)) "senders" [ 0; 4 ]
+    (List.map (fun (r : Meter.row) -> r.Meter.ix) s.Meter.per_process);
+  (* Snapshot isolation: later charges never leak into an older snapshot. *)
+  ignore (Meter.charge m ~byzantine:false ~src:0 ~dst:2 ~words:100);
+  Alcotest.(check int) "snapshot frozen" 2 s.Meter.correct_words;
+  Alcotest.(check int) "meter moved on" 102 (Meter.correct_words m);
+  Meter.reset m;
+  Alcotest.(check int) "reset zeroes totals" 0 (Meter.correct_words m);
+  Alcotest.(check int) "reset zeroes series" 0
+    (List.length (Meter.snapshot m).Meter.per_slot);
+  Alcotest.(check int) "old snapshot survives reset" 2 s.Meter.correct_words
+
+let zero_horizon () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let res =
+    Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:0
+      ~protocol:ping_protocol ~adversary:(Adversary.honest ~name:"h") ()
+  in
+  Alcotest.(check int) "no slots" 0 res.Engine.slots;
+  Alcotest.(check int) "no events" 0 (Trace.length res.Engine.trace);
+  Alcotest.(check int) "no words" 0 (Meter.correct_words res.Engine.meter);
+  Alcotest.(check int) "no per-slot rows" 0
+    (List.length (Meter.snapshot res.Engine.meter).Meter.per_slot);
+  Alcotest.(check int) "f" 0 res.Engine.f
+
+let double_corruption_single_charge () =
+  (* Naming an already-corrupted victim again must not consume budget (here
+     t = 1, so a double charge would raise) nor emit a second event. *)
+  let cfg = Config.create ~n:3 ~t:1 in
+  let adversary =
+    {
+      Adversary.name = "stutter";
+      corrupt =
+        (fun view ->
+          match view.Adversary.slot with 0 -> [ 1; 1 ] | 1 -> [ 1 ] | _ -> []);
+      byz_step = (fun ~pid:_ _ -> []);
+    }
+  in
+  let res =
+    Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:3
+      ~protocol:(fun _ -> Process.silent ()) ~adversary ()
+  in
+  Alcotest.(check int) "f" 1 res.Engine.f;
+  Alcotest.(check (list int)) "corrupted once" [ 1 ] res.Engine.corrupted;
+  let corruptions =
+    Trace.events res.Engine.trace
+    |> List.filter (function Trace.Corruption _ -> true | _ -> false)
+  in
+  Alcotest.(check int) "one corruption event" 1 (List.length corruptions)
+
+let per_slot_series () =
+  let cfg = Config.create ~n:3 ~t:1 in
+  let res =
+    Engine.run ~cfg ~words:(fun _ -> 1) ~horizon:4 ~protocol:ping_protocol
+      ~adversary:(Adversary.honest ~name:"h") ()
+  in
+  let s = Meter.snapshot res.Engine.meter in
+  (* ping in slot 0, pong in slot 1, then silence — but all 4 slots show. *)
+  Alcotest.(check (list int)) "per-slot words" [ 1; 1; 0; 0 ]
+    (List.map (fun (r : Meter.row) -> r.Meter.words) s.Meter.per_slot);
+  Alcotest.(check (list int)) "per-process senders" [ 0; 1 ]
+    (List.map (fun (r : Meter.row) -> r.Meter.ix) s.Meter.per_process)
 
 let shuffle_deterministic () =
   let cfg = Config.create ~n:5 ~t:2 in
@@ -285,6 +376,10 @@ let () =
           Alcotest.test_case "invalid destination" `Quick invalid_destination;
           Alcotest.test_case "staggered crash" `Quick staggered_crash_schedule;
           Alcotest.test_case "meter validation" `Quick meter_validation;
+          Alcotest.test_case "meter snapshot isolation" `Quick meter_snapshot_isolation;
+          Alcotest.test_case "zero horizon" `Quick zero_horizon;
+          Alcotest.test_case "double corruption" `Quick double_corruption_single_charge;
+          Alcotest.test_case "per-slot series" `Quick per_slot_series;
         ] );
       ( "composition",
         [ Alcotest.test_case "registry" `Quick composition_registry ] );

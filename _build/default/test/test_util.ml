@@ -53,3 +53,62 @@ let qcheck_case ?(count = 50) ~name gen law =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
 
 let pids_upto k = List.init k (fun i -> i + 1)
+
+(* ---- the adversary zoo --------------------------------------------------
+
+   A generator of adversaries for the weak-BA runner, shared by the
+   randomized property suite and the monitor suite: honest runs, (staggered)
+   crashes, and the §6 attack library. *)
+
+type adversary_pick =
+  | Honest
+  | Crash of int list
+  | Staggered of int list * int
+  | Busy_leaders of int list
+  | Exclusive_finalizer of int * int
+  | Help_spam of int list
+
+let pp_pick = function
+  | Honest -> "honest"
+  | Crash vs -> Printf.sprintf "crash[%s]" (String.concat "," (List.map string_of_int vs))
+  | Staggered (vs, e) ->
+    Printf.sprintf "staggered[%s]/%d" (String.concat "," (List.map string_of_int vs)) e
+  | Busy_leaders vs ->
+    Printf.sprintf "busy[%s]" (String.concat "," (List.map string_of_int vs))
+  | Exclusive_finalizer (l, x) -> Printf.sprintf "finalizer(%d->%d)" l x
+  | Help_spam vs ->
+    Printf.sprintf "spam[%s]" (String.concat "," (List.map string_of_int vs))
+
+let clamp_victims ~n ~t victims =
+  List.sort_uniq Int.compare (List.filter (fun v -> v >= 1 && v < n) victims)
+  |> List.filteri (fun i _ -> i < t)
+
+let gen_pick n t =
+  QCheck2.Gen.(
+    let victims = list_size (int_range 0 t) (int_range 1 (n - 1)) in
+    oneof
+      [
+        return Honest;
+        map (fun vs -> Crash (clamp_victims ~n ~t vs)) victims;
+        map2
+          (fun vs e -> Staggered (clamp_victims ~n ~t vs, 1 + e))
+          victims (int_range 0 6);
+        map (fun vs -> Busy_leaders (clamp_victims ~n ~t vs)) victims;
+        map2
+          (fun l x -> Exclusive_finalizer (1 + (l mod t), x mod n))
+          (int_range 0 100) (int_range 0 100);
+        map (fun vs -> Help_spam (clamp_victims ~n ~t vs)) victims;
+      ])
+
+let to_weak_adversary c =
+  let open Mewc_sim in
+  let open Mewc_core in
+  function
+  | Honest -> Adversary.const (Adversary.honest ~name:"h")
+  | Crash vs -> Adversary.const (Adversary.crash ~victims:vs ())
+  | Staggered (vs, e) -> Adversary.const (Adversary.staggered_crash ~victims:vs ~every:e)
+  | Busy_leaders vs -> Attacks.wba_busy_byz_leaders ~cfg:c ~leaders:vs
+  | Exclusive_finalizer (l, x) ->
+    if l = x then Adversary.const (Adversary.crash ~victims:[ l ] ())
+    else Attacks.wba_exclusive_finalizer ~cfg:c ~leader:l ~lucky:x
+  | Help_spam vs -> Attacks.wba_help_req_spammers ~cfg:c ~spammers:vs
