@@ -1,7 +1,13 @@
 (* `dune exec bench/main.exe` regenerates every table and figure of the
-   paper (see DESIGN.md §3 for the experiment index) and then runs Bechamel
-   wall-clock benchmarks — one Test.make per Table-1 row. Pass
-   --no-timings to skip the Bechamel stage. *)
+   paper (see DESIGN.md §3 for the experiment index), runs the perf sweep
+   (sequential vs domain-parallel, BENCH_perf.json, schema mewc-perf/1) and
+   then Bechamel wall-clock benchmarks — one Test.make per Table-1 row.
+
+   Flags:
+     --no-timings   skip the Bechamel stage
+     --jobs N       domains for the parallel perf pass (default: all cores)
+     --smoke        CI gate: only the small perf grid, parallel vs
+                    sequential, exit 1 if outputs differ (no files written) *)
 
 open Mewc_sim
 open Mewc_core
@@ -96,8 +102,63 @@ let write_observability () =
   Printf.printf "[OBS] wrote %s (per-slot word series for the Table-1 rows)\n%!"
     path
 
+(* ---- perf baseline: sequential vs domain-parallel sweep ------------------ *)
+
+let print_report (r : Sweep.report) =
+  Printf.printf
+    "[PERF-SWEEP] %d points, %d cores, jobs=%d: sequential %.2fs, parallel \
+     %.2fs, speedup %.2fx, parallel %s sequential\n%!"
+    (List.length r.Sweep.rows) r.Sweep.cores r.Sweep.jobs r.Sweep.sequential_s
+    r.Sweep.parallel_s r.Sweep.speedup
+    (if r.Sweep.identical then "==" else "!=")
+
+let run_perf ~jobs =
+  let report = Sweep.run_perf ?jobs Sweep.standard_grid in
+  print_report report;
+  let path = "BENCH_perf.json" in
+  let oc = open_out path in
+  output_string oc (Mewc_prelude.Jsonx.to_string (Sweep.report_to_json report));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[PERF-SWEEP] wrote %s (schema mewc-perf/1)\n%!" path;
+  if not report.Sweep.identical then begin
+    prerr_endline "[PERF-SWEEP] FATAL: parallel sweep diverged from sequential";
+    exit 1
+  end
+
+let run_smoke ~jobs =
+  (* The CI gate: big enough to cross the fallback threshold, fast enough
+     to run on every build. A divergence between the parallel and
+     sequential pass — or any monitor violation inside a run — fails it. *)
+  let jobs = match jobs with Some j -> Some j | None -> Some 2 in
+  let report = Sweep.run_perf ?jobs Sweep.smoke_grid in
+  print_report report;
+  List.iter (fun r -> print_endline ("  " ^ Sweep.row_to_line r)) report.Sweep.rows;
+  if not report.Sweep.identical then begin
+    prerr_endline "[SMOKE] FATAL: parallel sweep diverged from sequential";
+    exit 1
+  end;
+  print_endline "[SMOKE] ok: parallel sweep byte-identical to sequential"
+
 let () =
-  let skip_timings = Array.exists (String.equal "--no-timings") Sys.argv in
-  run_tables ();
-  write_observability ();
-  if not skip_timings then run_timings ()
+  let argv = Array.to_list Sys.argv in
+  let skip_timings = List.mem "--no-timings" argv in
+  let smoke = List.mem "--smoke" argv in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: v :: _ -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 -> Some j
+        | _ -> failwith "bench: --jobs expects a positive integer")
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  if smoke then run_smoke ~jobs
+  else begin
+    run_tables ();
+    write_observability ();
+    run_perf ~jobs;
+    if not skip_timings then run_timings ()
+  end

@@ -132,6 +132,10 @@ let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) 
   pr "  messages                   %d\n" o.Instances.messages;
   pr "  words (byzantine senders)  %d\n" o.Instances.byz_words;
   pr "  signatures created         %d\n" o.Instances.signatures;
+  let c = o.Instances.crypto in
+  pr "  crypto cache (hit/miss)    verify %d/%d, aggregate %d/%d\n"
+    c.Mewc_crypto.Pki.verify_hits c.Mewc_crypto.Pki.verify_misses
+    c.Mewc_crypto.Pki.agg_hits c.Mewc_crypto.Pki.agg_misses;
   pr "  slots simulated            %d\n" o.Instances.slots;
   if show then begin
     pr "  non-silent phases          %d\n" o.Instances.nonsilent_phases;
@@ -311,6 +315,32 @@ let trace_cmd protocol n adversary f seed input format output =
         (match format with Json -> "json" | Csv -> "csv")
         (protocol_name protocol) adversary f seed)
 
+(* ---- `bench` --------------------------------------------------------------- *)
+
+let bench_cmd jobs smoke output =
+  let grid = if smoke then Sweep.smoke_grid else Sweep.standard_grid in
+  let report = Sweep.run_perf ?jobs grid in
+  pr
+    "mewc bench: %d points (%s grid), %d cores, jobs=%d\n\
+    \  sequential    %.2fs\n\
+    \  parallel      %.2fs\n\
+    \  speedup       %.2fx\n\
+    \  parallel output %s sequential output\n"
+    (List.length report.Sweep.rows)
+    (if smoke then "smoke" else "standard")
+    report.Sweep.cores report.Sweep.jobs report.Sweep.sequential_s
+    report.Sweep.parallel_s report.Sweep.speedup
+    (if report.Sweep.identical then "==" else "!= (BUG)");
+  (match output with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Jsonx.to_string (Sweep.report_to_json report));
+    output_char oc '\n';
+    close_out oc;
+    pr "wrote %s (schema mewc-perf/1)\n" path);
+  if not report.Sweep.identical then exit 1
+
 open Cmdliner
 
 let protocol_arg =
@@ -369,6 +399,32 @@ let trace_term =
     const trace_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
     $ input_arg $ format $ output)
 
+let bench_term =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for the parallel sweep pass (default: all cores, \
+             $(b,Domain.recommended_domain_count)).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Run the small CI grid (n ∈ {9, 13}) instead of the standard \
+                perf grid (n up to 401).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the mewc-perf/1 JSON report to FILE.")
+  in
+  Term.(const bench_cmd $ jobs $ smoke $ output)
+
 let cmd =
   let info =
     Cmd.info "mewc" ~version:"1.0.0"
@@ -385,6 +441,14 @@ let cmd =
              "Run one protocol execution and emit its structured trace \
               (mewc-trace/1) as JSON or CSV.")
         trace_term;
+      Cmd.v
+        (Cmd.info "bench"
+           ~doc:
+             "Run the (protocol, n, f) perf sweep sequentially and \
+              domain-parallel, report wall-clock, speedup and crypto-cache \
+              hit rates (mewc-perf/1), and verify the parallel output is \
+              byte-identical to the sequential one.")
+        bench_term;
     ]
 
 let () = exit (Cmd.eval cmd)

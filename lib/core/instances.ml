@@ -25,6 +25,7 @@ type 'o agreement_outcome = {
   help_requests : int;
   latency : int;
   meter : Meter.snapshot;
+  crypto : Mewc_crypto.Pki.cache_stats;
   trace_json : Mewc_prelude.Jsonx.t option;
 }
 
@@ -136,6 +137,7 @@ let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Epk_str.decided_at
         res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
+    crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
          Some
@@ -204,6 +206,7 @@ let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Weak_str.decided_at
         res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
+    crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
          Some
@@ -265,6 +268,7 @@ let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Adaptive_bb.decided_at
         res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
+    crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
          Some
@@ -327,6 +331,7 @@ let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
       latency_of ~corrupted:res.Engine.corrupted
         ~decided_at:Binary_bb_bool.decided_at res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
+    crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
          Some
@@ -387,6 +392,7 @@ let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
       latency_of ~corrupted:res.Engine.corrupted ~decided_at:Strong_bool.decided_at
         res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
+    crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
          Some

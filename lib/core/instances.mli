@@ -45,6 +45,9 @@ type 'o agreement_outcome = {
           -1 if some correct process never decided (a bug caught by tests) *)
   meter : Mewc_sim.Meter.snapshot;
       (** per-slot and per-process word/message series for this run *)
+  crypto : Mewc_crypto.Pki.cache_stats;
+      (** hit/miss counters of this run's PKI memo tables (share-tag and
+          aggregate-tag caches) *)
   trace_json : Mewc_prelude.Jsonx.t option;
       (** the run's structured trace (schema ["mewc-trace/1"], message
           payloads rendered via the protocol's printer); [Some] iff

@@ -1,0 +1,201 @@
+open Mewc_prelude
+open Mewc_sim
+
+type point = { protocol : string; n : int; f_spec : string }
+
+type row = {
+  point : point;
+  t : int;
+  f : int;
+  words : int;
+  messages : int;
+  signatures : int;
+  latency : int;
+  slots : int;
+  fallback_runs : int;
+  crypto : Mewc_crypto.Pki.cache_stats;
+}
+
+let pp_point fmt p =
+  Format.fprintf fmt "%s n=%d f=%s" p.protocol p.n p.f_spec
+
+let protocols = [ "bb"; "weak-ba"; "strong-ba"; "fallback" ]
+let f_specs = [ "0"; "1"; "t/2"; "t" ]
+
+let f_of_spec ~t = function
+  | "0" -> 0
+  | "1" -> min 1 t
+  | "t/2" -> t / 2
+  | "t" -> t
+  | s -> invalid_arg ("Sweep: unknown f spec " ^ s)
+
+let grid ~ns ~full_f_at =
+  List.concat_map
+    (fun n ->
+      List.concat_map
+        (fun protocol ->
+          let specs =
+            (* Beyond [full_f_at], only weak BA keeps its faulty points:
+               they drive the quadratic fallback — the crypto-cache hot
+               spot — while the other protocols' failure-free points
+               already show the O(n) scaling. This keeps a sequential
+               standard-grid pass in the tens of seconds. *)
+            if n <= full_f_at || String.equal protocol "weak-ba" then f_specs
+            else [ "0" ]
+          in
+          (* The standalone A_fallback is Θ(n²) words over Θ(t) rounds —
+             ~n³ work — so its largest point alone would dwarf the rest of
+             the grid; cap it at n = 201. *)
+          if String.equal protocol "fallback" && n > 201 then []
+          else List.map (fun f_spec -> { protocol; n; f_spec }) specs)
+        protocols)
+    ns
+
+let standard_grid = grid ~ns:[ 21; 101; 201; 401 ] ~full_f_at:21
+let smoke_grid = grid ~ns:[ 9; 13 ] ~full_f_at:13
+
+(* Every point runs from its own seed, derived from nothing but the point:
+   reruns — sequential, parallel, or out of order — replay bit for bit. *)
+let seed_of { protocol; n; f_spec } =
+  let h = Hashtbl.hash (protocol, n, f_spec) in
+  Int64.logor (Int64.of_int h) (Int64.shift_left (Int64.of_int n) 32)
+
+let crash_first f ~pki:_ ~secrets:_ =
+  Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ()
+
+let run_point point =
+  let cfg = Config.optimal ~n:point.n in
+  let t = cfg.Config.t in
+  let f = f_of_spec ~t point.f_spec in
+  let seed = seed_of point in
+  let of_outcome (o : _ Instances.agreement_outcome) =
+    {
+      point;
+      t;
+      f = o.Instances.f;
+      words = o.Instances.words;
+      messages = o.Instances.messages;
+      signatures = o.Instances.signatures;
+      latency = o.Instances.latency;
+      slots = o.Instances.slots;
+      fallback_runs = o.Instances.fallback_runs;
+      crypto = o.Instances.crypto;
+    }
+  in
+  match point.protocol with
+  | "bb" -> of_outcome (Instances.run_bb ~cfg ~seed ~input:"payload" ~adversary:(crash_first f) ())
+  | "weak-ba" ->
+    of_outcome
+      (Instances.run_weak_ba ~cfg ~seed ~inputs:(Array.make point.n "v")
+         ~adversary:(crash_first f) ())
+  | "strong-ba" ->
+    of_outcome
+      (Instances.run_strong_ba ~cfg ~seed ~inputs:(Array.make point.n true)
+         ~adversary:(crash_first f) ())
+  | "fallback" ->
+    of_outcome
+      (Instances.run_fallback ~cfg ~seed
+         ~inputs:(Array.init point.n (fun i -> Printf.sprintf "x%d" (i mod 3)))
+         ~adversary:(crash_first f) ())
+  | p -> invalid_arg ("Sweep.run_point: unknown protocol " ^ p)
+
+let run_all ?(jobs = 1) points = Pool.map_list ~jobs run_point points
+
+let row_to_line r =
+  Printf.sprintf
+    "%s n=%d t=%d f_spec=%s f=%d words=%d messages=%d signatures=%d latency=%d \
+     slots=%d fallback_runs=%d verify=%d/%d agg=%d/%d"
+    r.point.protocol r.point.n r.t r.point.f_spec r.f r.words r.messages
+    r.signatures r.latency r.slots r.fallback_runs r.crypto.Mewc_crypto.Pki.verify_hits
+    r.crypto.Mewc_crypto.Pki.verify_misses r.crypto.Mewc_crypto.Pki.agg_hits
+    r.crypto.Mewc_crypto.Pki.agg_misses
+
+let row_to_json r =
+  Jsonx.Obj
+    [
+      ("protocol", Jsonx.Str r.point.protocol);
+      ("n", Jsonx.Int r.point.n);
+      ("t", Jsonx.Int r.t);
+      ("f_spec", Jsonx.Str r.point.f_spec);
+      ("f", Jsonx.Int r.f);
+      ("words", Jsonx.Int r.words);
+      ("messages", Jsonx.Int r.messages);
+      ("signatures", Jsonx.Int r.signatures);
+      ("latency", Jsonx.Int r.latency);
+      ("slots", Jsonx.Int r.slots);
+      ("fallback_runs", Jsonx.Int r.fallback_runs);
+      ("crypto_cache", Mewc_crypto.Pki.cache_stats_to_json r.crypto);
+    ]
+
+type report = {
+  rows : row list;
+  sequential_s : float;
+  parallel_s : float;
+  jobs : int;
+  cores : int;
+  speedup : float;
+  identical : bool;
+}
+
+let run_perf ?jobs points =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let seq_rows, sequential_s = timed (fun () -> run_all ~jobs:1 points) in
+  let par_rows, parallel_s = timed (fun () -> run_all ~jobs points) in
+  let identical =
+    List.equal String.equal (List.map row_to_line seq_rows)
+      (List.map row_to_line par_rows)
+  in
+  {
+    rows = seq_rows;
+    sequential_s;
+    parallel_s;
+    jobs;
+    cores = Pool.default_jobs ();
+    speedup = (if parallel_s > 0.0 then sequential_s /. parallel_s else 1.0);
+    identical;
+  }
+
+(* Aggregate cache traffic per protocol: the per-protocol hit rate is the
+   headline number ("how much re-hashing the caches removed for weak BA"). *)
+let per_protocol_crypto rows =
+  List.filter_map
+    (fun proto ->
+      let of_proto = List.filter (fun r -> String.equal r.point.protocol proto) rows in
+      if of_proto = [] then None
+      else begin
+        let sum f = List.fold_left (fun acc r -> acc + f r.crypto) 0 of_proto in
+        let open Mewc_crypto.Pki in
+        let stats =
+          {
+            verify_hits = sum (fun c -> c.verify_hits);
+            verify_misses = sum (fun c -> c.verify_misses);
+            agg_hits = sum (fun c -> c.agg_hits);
+            agg_misses = sum (fun c -> c.agg_misses);
+          }
+        in
+        Some (proto, cache_stats_to_json stats)
+      end)
+    protocols
+
+let report_to_json r =
+  Jsonx.Obj
+    [
+      ("schema", Jsonx.Str "mewc-perf/1");
+      ( "experiment",
+        Jsonx.Str
+          "sweep wall-clock: sequential vs domain-parallel, with crypto-cache \
+           hit rates" );
+      ("cores", Jsonx.Int r.cores);
+      ("jobs", Jsonx.Int r.jobs);
+      ("sequential_wall_s", Jsonx.Float r.sequential_s);
+      ("parallel_wall_s", Jsonx.Float r.parallel_s);
+      ("speedup", Jsonx.Float r.speedup);
+      ("parallel_identical_to_sequential", Jsonx.Bool r.identical);
+      ("crypto_cache_by_protocol", Jsonx.Obj (per_protocol_crypto r.rows));
+      ("rows", Jsonx.Arr (List.map row_to_json r.rows));
+    ]

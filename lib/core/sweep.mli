@@ -1,0 +1,82 @@
+(** Parameter sweeps over (protocol, n, f), runnable on one core or many.
+
+    One sweep {e point} is an independent deterministic simulation: it
+    builds its own PKI, RNG, meter and trace from a seed that is a pure
+    function of the point, so points can run in any order — or in parallel
+    on OCaml 5 domains via {!Mewc_prelude.Pool} — and produce identical
+    {!row}s. [bench/main.exe], [mewc bench] and the CI smoke gate all run
+    through this module, and the byte-identical-under-parallelism property
+    is enforced by tests and by {!run_perf} itself on every invocation.
+
+    Timing lives {e outside} the rows: a row is everything deterministic
+    about a point (words, latency, signatures, crypto-cache counters …),
+    while wall-clock measurements go next to them in the report, so
+    "parallel output ≡ sequential output" is a byte-level comparison. *)
+
+type point = {
+  protocol : string;  (** "bb" | "weak-ba" | "strong-ba" | "fallback" *)
+  n : int;
+  f_spec : string;  (** "0" | "1" | "t/2" | "t" — resolved against t at run time *)
+}
+
+type row = {
+  point : point;
+  t : int;
+  f : int;  (** realized corruptions *)
+  words : int;
+  messages : int;
+  signatures : int;
+  latency : int;
+  slots : int;
+  fallback_runs : int;
+  crypto : Mewc_crypto.Pki.cache_stats;
+}
+
+val pp_point : Format.formatter -> point -> unit
+
+val standard_grid : point list
+(** The perf-baseline grid: n ∈ \{21, 101, 201, 401\}. All four f-specs at
+    n = 21; at larger n the f = t/2 and f = t points are kept only for
+    weak BA (they exercise the quadratic fallback, the crypto-cache hot
+    spot) and the other protocols run failure-free — keeping a full
+    sequential pass in the tens of seconds, not minutes. The standalone
+    A_fallback (Θ(n²) words over Θ(t) rounds, ~n³ work) is capped at
+    n = 201 for the same reason. *)
+
+val smoke_grid : point list
+(** A seconds-scale grid (n ∈ \{9, 13\}, all protocols and f-specs) for CI:
+    big enough to cross the fallback threshold, small enough to gate every
+    build. *)
+
+val run_point : point -> row
+(** Run one point (seed fixed by the point; crash-first adversary). *)
+
+val run_all : ?jobs:int -> point list -> row list
+(** All points, order-preserving. [jobs] > 1 fans the points across that
+    many domains with {!Mewc_prelude.Pool}'s deterministic chunking;
+    default 1 (sequential, no domains spawned). *)
+
+val row_to_json : row -> Mewc_prelude.Jsonx.t
+val row_to_line : row -> string
+(** Canonical one-line rendering; the parallel-equals-sequential checks
+    compare these byte for byte. *)
+
+type report = {
+  rows : row list;  (** from the sequential pass *)
+  sequential_s : float;
+  parallel_s : float;
+  jobs : int;
+  cores : int;  (** [Pool.default_jobs ()] on this machine *)
+  speedup : float;  (** sequential_s /. parallel_s *)
+  identical : bool;  (** parallel rows ≡ sequential rows, byte for byte *)
+}
+
+val run_perf : ?jobs:int -> point list -> report
+(** Runs the grid twice — sequentially, then with [jobs] domains (default
+    {!Mewc_prelude.Pool.default_jobs}) — times both passes, and compares
+    the row renderings byte for byte. *)
+
+val report_to_json : report -> Mewc_prelude.Jsonx.t
+(** Schema ["mewc-perf/1"]: machine facts (cores, jobs), both wall-clock
+    times, the speedup, the identity verdict, per-protocol crypto-cache
+    hit rates, and every row. *)

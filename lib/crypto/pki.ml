@@ -1,28 +1,76 @@
 open Mewc_prelude
 
+(* Bounded memo table. MAC keys are fixed at setup and never rotate, so a
+   cached tag can never go stale — the only invalidation is the capacity
+   epoch-clear, which is a pure perf event, never a correctness one. *)
+module Memo = struct
+  type t = {
+    tbl : (string, Sha256.t) Hashtbl.t;
+    capacity : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ~capacity = { tbl = Hashtbl.create 256; capacity; hits = 0; misses = 0 }
+
+  let find_or_add m key compute =
+    match Hashtbl.find_opt m.tbl key with
+    | Some v ->
+      m.hits <- m.hits + 1;
+      v
+    | None ->
+      m.misses <- m.misses + 1;
+      let v = compute () in
+      if Hashtbl.length m.tbl >= m.capacity then Hashtbl.reset m.tbl;
+      Hashtbl.add m.tbl key v;
+      v
+
+  let reset m =
+    Hashtbl.reset m.tbl;
+    m.hits <- 0;
+    m.misses <- 0
+end
+
+let default_cache_capacity = 1 lsl 14
+
 type t = {
   n : int;
   mac_keys : string array;  (* trusted setup; used for verification only *)
+  hmac_keys : Sha256.key array;  (* same keys, HMAC midstates precomputed *)
+  tag_memo : Memo.t;  (* (signer, msg) -> expected share tag *)
+  agg_memo : Memo.t;  (* (signer set, msg) -> aggregate tag *)
   mutable signs : int;
   mutable verifies : int;
   mutable combines : int;
 }
 
 module Secret = struct
-  type nonrec t = { owner : Pid.t; mac_key : string }
+  type nonrec t = { owner : Pid.t; hmac_key : Sha256.key }
 
   let owner s = s.owner
 end
 
-let setup ?(seed = 0x5EEDL) ~n () =
+let setup ?(seed = 0x5EEDL) ?(cache_capacity = default_cache_capacity) ~n () =
   let rng = Rng.create seed in
   let mac_keys =
     Array.init n (fun i ->
         Printf.sprintf "mewc-key-%d-%Lx-%Lx" i (Rng.int64 rng) (Rng.int64 rng))
   in
-  let pki = { n; mac_keys; signs = 0; verifies = 0; combines = 0 } in
+  let hmac_keys = Array.map Sha256.hmac_key mac_keys in
+  let pki =
+    {
+      n;
+      mac_keys;
+      hmac_keys;
+      tag_memo = Memo.create ~capacity:cache_capacity;
+      agg_memo = Memo.create ~capacity:cache_capacity;
+      signs = 0;
+      verifies = 0;
+      combines = 0;
+    }
+  in
   let secrets =
-    Array.init n (fun i -> { Secret.owner = i; mac_key = mac_keys.(i) })
+    Array.init n (fun i -> { Secret.owner = i; hmac_key = hmac_keys.(i) })
   in
   (pki, secrets)
 
@@ -44,12 +92,20 @@ end
 
 let sign t (secret : Secret.t) msg =
   t.signs <- t.signs + 1;
-  { Sig.signer = secret.Secret.owner; tag = Sha256.hmac ~key:secret.Secret.mac_key msg }
+  { Sig.signer = secret.Secret.owner; tag = Sha256.hmac_with secret.Secret.hmac_key msg }
+
+(* The genuine share tag of signer [p] on [msg], memoized. The key has no
+   ambiguity: the signer id contains no ':' and everything after the first
+   ':' is the message verbatim. *)
+let share_tag t p msg =
+  Memo.find_or_add t.tag_memo
+    (string_of_int p ^ ":" ^ msg)
+    (fun () -> Sha256.hmac_with t.hmac_keys.(p) msg)
 
 let verify t (s : Sig.t) ~msg =
   t.verifies <- t.verifies + 1;
   Pid.is_valid ~n:t.n s.Sig.signer
-  && Sha256.equal s.Sig.tag (Sha256.hmac ~key:t.mac_keys.(s.Sig.signer) msg)
+  && Sha256.equal s.Sig.tag (share_tag t s.Sig.signer msg)
 
 module Tsig = struct
   type t = { signers : Pid.Set.t; tag : Sha256.t }
@@ -63,14 +119,27 @@ end
 
 (* The aggregate tag binds the signer set and the message: it is the digest
    of the individual HMAC tags in signer order, which only someone holding
-   (or having verified) k genuine shares can compute. *)
+   (or having verified) k genuine shares can compute. Memoized per
+   (signer set, msg): combine computes it and verify_tsig re-derives it for
+   the same set on the receiving side, usually n times per certificate. *)
 let aggregate_tag t signers ~msg =
-  let buf = Buffer.create 256 in
-  Pid.Set.iter
-    (fun p ->
-      Buffer.add_string buf (Sha256.to_raw (Sha256.hmac ~key:t.mac_keys.(p) msg)))
-    signers;
-  Sha256.digest (Buffer.contents buf)
+  let key =
+    let b = Buffer.create 64 in
+    Pid.Set.iter
+      (fun p ->
+        Buffer.add_string b (string_of_int p);
+        Buffer.add_char b ',')
+      signers;
+    Buffer.add_char b ':';
+    Buffer.add_string b msg;
+    Buffer.contents b
+  in
+  Memo.find_or_add t.agg_memo key (fun () ->
+      let buf = Buffer.create 256 in
+      Pid.Set.iter
+        (fun p -> Buffer.add_string buf (Sha256.to_raw (share_tag t p msg)))
+        signers;
+      Sha256.digest (Buffer.contents buf))
 
 let combine t ~k ~msg shares =
   t.combines <- t.combines + 1;
@@ -97,7 +166,41 @@ let signatures_created t = t.signs
 let verifications_performed t = t.verifies
 let combines_performed t = t.combines
 
+type cache_stats = {
+  verify_hits : int;
+  verify_misses : int;
+  agg_hits : int;
+  agg_misses : int;
+}
+
+let cache_stats t =
+  {
+    verify_hits = t.tag_memo.Memo.hits;
+    verify_misses = t.tag_memo.Memo.misses;
+    agg_hits = t.agg_memo.Memo.hits;
+    agg_misses = t.agg_memo.Memo.misses;
+  }
+
+let no_cache_stats = { verify_hits = 0; verify_misses = 0; agg_hits = 0; agg_misses = 0 }
+
+let hit_rate ~hits ~misses =
+  if hits + misses = 0 then 0.0
+  else float_of_int hits /. float_of_int (hits + misses)
+
+let cache_stats_to_json (s : cache_stats) =
+  Jsonx.Obj
+    [
+      ("verify_hits", Jsonx.Int s.verify_hits);
+      ("verify_misses", Jsonx.Int s.verify_misses);
+      ("verify_hit_rate", Jsonx.Float (hit_rate ~hits:s.verify_hits ~misses:s.verify_misses));
+      ("agg_hits", Jsonx.Int s.agg_hits);
+      ("agg_misses", Jsonx.Int s.agg_misses);
+      ("agg_hit_rate", Jsonx.Float (hit_rate ~hits:s.agg_hits ~misses:s.agg_misses));
+    ]
+
 let reset_counters t =
   t.signs <- 0;
   t.verifies <- 0;
-  t.combines <- 0
+  t.combines <- 0;
+  Memo.reset t.tag_memo;
+  Memo.reset t.agg_memo

@@ -29,9 +29,19 @@ module Secret : sig
   val owner : t -> Mewc_prelude.Pid.t
 end
 
-val setup : ?seed:int64 -> n:int -> unit -> t * Secret.t array
+val setup : ?seed:int64 -> ?cache_capacity:int -> n:int -> unit -> t * Secret.t array
 (** [setup ~n ()] runs the trusted dealer: returns the public verifier and
-    the [n] secrets, where secret [i] belongs to process [i]. *)
+    the [n] secrets, where secret [i] belongs to process [i].
+
+    Setup also precomputes every key's HMAC midstates (see
+    {!Sha256.hmac_key}) and allocates two bounded memo tables: one for
+    genuine share tags keyed by [(signer, message)] — the work behind
+    {!verify} — and one for aggregate tags keyed by [(signer set, message)]
+    — the work {!combine} and {!verify_tsig} would otherwise redo per
+    receiver. MAC keys never rotate, so cached tags cannot go stale; when a
+    table reaches [cache_capacity] (default 16384 entries) it is cleared
+    wholesale and refills — an epoch-clear costs recomputation, never
+    correctness. {!cache_stats} reports hits and misses. *)
 
 val n : t -> int
 
@@ -80,4 +90,24 @@ val verify_tsig : t -> Tsig.t -> k:int -> msg:string -> bool
 val signatures_created : t -> int
 val verifications_performed : t -> int
 val combines_performed : t -> int
+
 val reset_counters : t -> unit
+(** Zeroes the operation counters and empties both memo tables (so
+    back-to-back experiments on one PKI don't inherit warm caches). *)
+
+(** {1 Cache statistics} *)
+
+type cache_stats = {
+  verify_hits : int;  (** share-tag memo hits: {!verify} skipped an HMAC *)
+  verify_misses : int;
+  agg_hits : int;  (** aggregate-tag memo hits: {!verify_tsig}/{!combine} skipped re-hashing k shares *)
+  agg_misses : int;
+}
+
+val cache_stats : t -> cache_stats
+
+val no_cache_stats : cache_stats
+(** All-zero stats, for runners without a PKI. *)
+
+val cache_stats_to_json : cache_stats -> Mewc_prelude.Jsonx.t
+(** Counts plus derived [verify_hit_rate]/[agg_hit_rate] fields. *)

@@ -21,69 +21,56 @@ let ( ^% ) = Int32.logxor
 let ( &% ) = Int32.logand
 let lnot32 = Int32.lognot
 
-let digest msg =
-  let len = String.length msg in
-  (* Padding: message ++ 0x80 ++ zeros ++ 64-bit big-endian bit length. *)
-  let rem = (len + 9) mod 64 in
-  let pad_zeros = if rem = 0 then 0 else 64 - rem in
-  let total = len + 9 + pad_zeros in
-  let buf = Bytes.make total '\x00' in
-  Bytes.blit_string msg 0 buf 0 len;
-  Bytes.set buf len '\x80';
-  let bitlen = Int64.of_int (len * 8) in
-  for i = 0 to 7 do
-    Bytes.set buf
-      (total - 1 - i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
-  done;
-  let h = [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-             0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |] in
-  let w = Array.make 64 0l in
-  let word off =
-    let b i = Int32.of_int (Char.code (Bytes.get buf (off + i))) in
+let fresh_state () =
+  [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+     0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+
+(* One FIPS 180-4 compression round: fold the 64-byte block at [buf.(off)]
+   into [h]. [w] is caller-provided scratch so tight loops allocate nothing. *)
+let compress h w buf off =
+  let word o =
+    let b i = Int32.of_int (Char.code (Bytes.unsafe_get buf (o + i))) in
     Int32.logor
       (Int32.shift_left (b 0) 24)
       (Int32.logor (Int32.shift_left (b 1) 16)
          (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
   in
-  let blocks = total / 64 in
-  for blk = 0 to blocks - 1 do
-    let base = blk * 64 in
-    for i = 0 to 15 do
-      w.(i) <- word (base + (i * 4))
-    done;
-    for i = 16 to 63 do
-      let s0 = rotr w.(i - 15) 7 ^% rotr w.(i - 15) 18 ^% Int32.shift_right_logical w.(i - 15) 3 in
-      let s1 = rotr w.(i - 2) 17 ^% rotr w.(i - 2) 19 ^% Int32.shift_right_logical w.(i - 2) 10 in
-      w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
-    done;
-    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
-    let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
-    for i = 0 to 63 do
-      let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
-      let ch = (!e &% !f) ^% (lnot32 !e &% !g) in
-      let temp1 = !hh +% s1 +% ch +% k.(i) +% w.(i) in
-      let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
-      let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
-      let temp2 = s0 +% maj in
-      hh := !g;
-      g := !f;
-      f := !e;
-      e := !d +% temp1;
-      d := !c;
-      c := !b;
-      b := !a;
-      a := temp1 +% temp2
-    done;
-    h.(0) <- h.(0) +% !a;
-    h.(1) <- h.(1) +% !b;
-    h.(2) <- h.(2) +% !c;
-    h.(3) <- h.(3) +% !d;
-    h.(4) <- h.(4) +% !e;
-    h.(5) <- h.(5) +% !f;
-    h.(6) <- h.(6) +% !g;
-    h.(7) <- h.(7) +% !hh
+  for i = 0 to 15 do
+    w.(i) <- word (off + (i * 4))
   done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^% rotr w.(i - 15) 18 ^% Int32.shift_right_logical w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^% rotr w.(i - 2) 19 ^% Int32.shift_right_logical w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^% rotr !e 11 ^% rotr !e 25 in
+    let ch = (!e &% !f) ^% (lnot32 !e &% !g) in
+    let temp1 = !hh +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^% rotr !a 13 ^% rotr !a 22 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let temp2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  h.(0) <- h.(0) +% !a;
+  h.(1) <- h.(1) +% !b;
+  h.(2) <- h.(2) +% !c;
+  h.(3) <- h.(3) +% !d;
+  h.(4) <- h.(4) +% !e;
+  h.(5) <- h.(5) +% !f;
+  h.(6) <- h.(6) +% !g;
+  h.(7) <- h.(7) +% !hh
+
+let state_to_raw h =
   let out = Bytes.create 32 in
   for i = 0 to 7 do
     let v = h.(i) in
@@ -93,7 +80,37 @@ let digest msg =
         (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * (3 - j))) 0xFFl)))
     done
   done;
-  Bytes.to_string out
+  Bytes.unsafe_to_string out
+
+(* Hash [msg] starting from [state], which has already absorbed [prefix]
+   bytes (a multiple of 64; the length padding covers prefix + msg). Full
+   blocks are compressed in place — no copy of the message is taken. *)
+let digest_from state ~prefix msg =
+  let h = Array.copy state in
+  let w = Array.make 64 0l in
+  let len = String.length msg in
+  let body = Bytes.unsafe_of_string msg in
+  let full = len / 64 in
+  for blk = 0 to full - 1 do
+    compress h w body (blk * 64)
+  done;
+  let rem = len - (full * 64) in
+  (* Tail: remainder ++ 0x80 ++ zeros ++ 64-bit big-endian bit length. *)
+  let tail_len = if rem + 9 <= 64 then 64 else 128 in
+  let tail = Bytes.make tail_len '\x00' in
+  Bytes.blit_string msg (full * 64) tail 0 rem;
+  Bytes.set tail rem '\x80';
+  let bitlen = Int64.of_int ((prefix + len) * 8) in
+  for i = 0 to 7 do
+    Bytes.set tail
+      (tail_len - 1 - i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bitlen (8 * i)) 0xFFL)))
+  done;
+  compress h w tail 0;
+  if tail_len = 128 then compress h w tail 64;
+  state_to_raw h
+
+let digest msg = digest_from (fresh_state ()) ~prefix:0 msg
 
 let to_raw d = d
 
@@ -106,12 +123,30 @@ let equal = String.equal
 let compare = String.compare
 let pp fmt d = Format.pp_print_string fmt (to_hex d)
 
-let hmac ~key msg =
+(* Precomputed HMAC key: the compression states after absorbing the ipad
+   and opad blocks. Deriving these once at key creation saves the two
+   key-schedule compressions (plus the key normalization and xors) that a
+   from-scratch HMAC would redo on every tag. *)
+type key = { inner : int32 array; outer : int32 array }
+
+let hmac_key key_str =
   let block = 64 in
-  let key = if String.length key > block then digest key else key in
-  let key = key ^ String.make (block - String.length key) '\x00' in
-  let xor_with byte =
-    String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+  let key_str = if String.length key_str > block then digest key_str else key_str in
+  let key_str = key_str ^ String.make (block - String.length key_str) '\x00' in
+  let absorb byte =
+    let h = fresh_state () in
+    let w = Array.make 64 0l in
+    let padded =
+      Bytes.unsafe_of_string
+        (String.map (fun c -> Char.chr (Char.code c lxor byte)) key_str)
+    in
+    compress h w padded 0;
+    h
   in
-  let ipad = xor_with 0x36 and opad = xor_with 0x5c in
-  digest (opad ^ digest (ipad ^ msg))
+  { inner = absorb 0x36; outer = absorb 0x5c }
+
+let hmac_with key msg =
+  let inner = digest_from key.inner ~prefix:64 msg in
+  digest_from key.outer ~prefix:64 inner
+
+let hmac ~key msg = hmac_with (hmac_key key) msg

@@ -23,4 +23,23 @@ val pp : Format.formatter -> t -> unit
 
 val hmac : key:string -> string -> t
 (** HMAC-SHA256 (RFC 2104). The simulated signature scheme uses this as its
-    unforgeable tag: [hmac ~key:secret msg]. *)
+    unforgeable tag: [hmac ~key:secret msg]. Equivalent to
+    [hmac_with (hmac_key key) msg]; use the keyed form when the same key
+    tags many messages. *)
+
+(** {1 Precomputed keys}
+
+    HMAC hashes the (normalized, xor-padded) key as the first block of both
+    its inner and outer digest. For a fixed key those two compressions —
+    and the key normalization feeding them — never change, so {!hmac_key}
+    runs them once and {!hmac_with} starts each digest from the saved
+    midstates. On the simulator's one-block messages this halves the
+    compression count per tag. *)
+
+type key
+(** A key with its inner/outer HMAC midstates precomputed. Immutable and
+    safe to share across domains. *)
+
+val hmac_key : string -> key
+val hmac_with : key -> string -> t
+(** [hmac_with (hmac_key k) msg] = [hmac ~key:k msg], bit for bit. *)

@@ -1,0 +1,36 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ?jobs tasks =
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let jobs = max 1 (min jobs n) in
+  if n = 0 then [||]
+  else if jobs = 1 then Array.map (fun task -> task ()) tasks
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    (* Static striding: worker [w] owns tasks w, w+jobs, w+2*jobs, ... No
+       queue, no stealing — the task-to-worker map is a pure function of
+       (n, jobs), so reruns schedule identically. *)
+    let worker w () =
+      let i = ref w in
+      while !i < n do
+        (match tasks.(!i) () with
+        | v -> results.(!i) <- Some v
+        | exception e -> errors.(!i) <- Some e);
+        i := !i + jobs
+      done
+    in
+    let spawned = Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    Array.iter Domain.join spawned;
+    (* Joins publish the workers' writes; any failure re-raises at the
+       lowest task index so the surfaced error does not depend on timing. *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map ?jobs f xs = run ?jobs (Array.map (fun x () -> f x) xs)
+
+let map_list ?jobs f xs =
+  Array.to_list (map ?jobs f (Array.of_list xs))

@@ -1,0 +1,38 @@
+(** Fixed-size domain pool with deterministic, work-stealing-free chunking.
+
+    OCaml 5 gives us shared-memory parallelism through [Domain]. This pool
+    fans an array of independent tasks across a fixed number of domains
+    using *static striding*: task [i] always runs on worker [i mod jobs].
+    There is no work stealing and no shared queue, so the assignment of
+    tasks to workers — and therefore any per-task effect ordering a worker
+    observes — is a pure function of [(number of tasks, jobs)].
+
+    Results come back indexed exactly like the input, so callers see output
+    that is independent of scheduling: running with [jobs = 1] and
+    [jobs = 8] produces the same array as long as the tasks themselves are
+    deterministic and independent. The simulation runners qualify: each
+    sweep point builds its own PKI, meter, trace and RNG from a fixed seed.
+
+    Tasks must not share mutable state unless that state is domain-safe
+    (e.g. {!Mewc_sim.Composition}'s registry, which is mutex-protected
+    exactly so protocol runs can execute in parallel). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what the runtime considers a
+    sensible degree of parallelism on this machine (1 on a single core). *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] executes every task and returns their results in task
+    order. [jobs] defaults to {!default_jobs} and is clamped to
+    [1 .. Array.length tasks]; with [jobs = 1] everything runs sequentially
+    in the calling domain, with no domain spawned at all.
+
+    If tasks raise, the exception of the *lowest-indexed* failing task is
+    re-raised after every worker has finished — deterministic regardless of
+    which worker hit its exception first. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [run ~jobs] over [fun () -> f xs.(i)]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}; preserves order. *)

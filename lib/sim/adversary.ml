@@ -1,11 +1,15 @@
 type ('s, 'm) view = {
   slot : int;
   cfg : Config.t;
-  states : 's array;
-  corrupted : bool array;
-  inboxes : 'm Envelope.t list array;
+  states : 's array Lazy.t;
+  corrupted : bool array Lazy.t;
+  inboxes : 'm Envelope.t list array Lazy.t;
   correct_outgoing : 'm Envelope.t list;
 }
+
+let states v = Lazy.force v.states
+let corrupted v = Lazy.force v.corrupted
+let inboxes v = Lazy.force v.inboxes
 
 type ('s, 'm) t = {
   name : string;

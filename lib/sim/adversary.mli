@@ -16,15 +16,28 @@
 type ('s, 'm) view = {
   slot : int;
   cfg : Config.t;
-  states : 's array;
+  states : 's array Lazy.t;
       (** protocol states; for corrupted processes, the state frozen at
           corruption time *)
-  corrupted : bool array;
-  inboxes : 'm Envelope.t list array;  (** what each process received this slot *)
+  corrupted : bool array Lazy.t;
+  inboxes : 'm Envelope.t list array Lazy.t;
+      (** what each process received this slot *)
   correct_outgoing : 'm Envelope.t list;
       (** messages correct processes send in this slot — empty during the
           corruption decision, populated for Byzantine steps (rushing) *)
 }
+(** The engine hands out defensive copies of its arrays so an adversary can
+    never mutate the run from under it — but the copies are {e lazy}: an
+    adversary that never looks (honest, crash, staggered-crash — the bulk
+    of every sweep) costs the engine nothing per slot. Force inside the
+    [corrupt]/[byz_step] callback that received the view; the thunks
+    snapshot at first force, so a view stashed and forced in a later slot
+    would observe later state. *)
+
+val states : ('s, 'm) view -> 's array
+val corrupted : ('s, 'm) view -> bool array
+val inboxes : ('s, 'm) view -> 'm Envelope.t list array
+(** Forcing accessors for the lazy snapshot fields. *)
 
 type ('s, 'm) t = {
   name : string;

@@ -1,15 +1,26 @@
+(* The registry is global (protocol modules note their uses from deep
+   inside init/step) and sweep runs may execute on several domains at
+   once, so every access takes the mutex. Contention is negligible: a run
+   notes a handful of edges, not one per message. *)
+let lock = Mutex.create ()
 let table : (string * string, int) Hashtbl.t = Hashtbl.create 32
 
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let note ~user ~uses =
-  let key = (user, uses) in
-  let prev = Option.value ~default:0 (Hashtbl.find_opt table key) in
-  Hashtbl.replace table key (prev + 1)
+  locked (fun () ->
+      let key = (user, uses) in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt table key) in
+      Hashtbl.replace table key (prev + 1))
 
 let edges () =
-  Hashtbl.fold (fun (user, uses) count acc -> (user, uses, count) :: acc) table []
+  locked (fun () ->
+      Hashtbl.fold (fun (user, uses) count acc -> (user, uses, count) :: acc) table [])
   |> List.sort compare
 
-let reset () = Hashtbl.reset table
+let reset () = locked (fun () -> Hashtbl.reset table)
 
 let pp_diagram fmt () =
   let es = edges () in

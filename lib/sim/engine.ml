@@ -17,6 +17,7 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ?(monitors = [])
   let states = Array.map (fun m -> m.Process.init) machines in
   let corrupted = Array.make n false in
   let corruption_order = ref [] in
+  let corruption_count = ref 0 in
   let meter = Meter.create () in
   let trace = Trace.create ~enabled:record_trace in
   (* Events are only materialized when someone is looking: a recording trace
@@ -47,26 +48,27 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ?(monitors = [])
            src dst);
     let envelope = { Envelope.src; dst; sent_at = slot; msg } in
     let byzantine = corrupted.(src) in
-    let charged =
-      Meter.charge meter ~byzantine ~src ~dst ~words:(words msg)
-    in
+    let word_count = words msg in
+    let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
     if observing then
       emit
         (Trace.Send
-           { envelope; byzantine_sender = byzantine; words = words msg; charged });
+           { envelope; byzantine_sender = byzantine; words = word_count; charged });
     pending.(dst) <- envelope :: pending.(dst)
   in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
     if observing then emit (Trace.Slot_start slot);
     let inboxes = deliver () in
+    (* The defensive copies are lazy: honest/crash adversaries never force
+       them, so the common sweep point pays nothing for the snapshot. *)
     let view outgoing =
       {
         Adversary.slot;
         cfg;
-        states = Array.copy states;
-        corrupted = Array.copy corrupted;
-        inboxes = Array.copy inboxes;
+        states = lazy (Array.copy states);
+        corrupted = lazy (Array.copy corrupted);
+        inboxes = lazy (Array.copy inboxes);
         correct_outgoing = outgoing;
       }
     in
@@ -77,17 +79,16 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ?(monitors = [])
         if not (Pid.is_valid ~n p) then
           invalid_arg (Printf.sprintf "Engine.run: cannot corrupt unknown process %d" p);
         if not corrupted.(p) then begin
-          if List.length !corruption_order >= cfg.Config.t then
+          if !corruption_count >= cfg.Config.t then
             invalid_arg
               (Printf.sprintf
                  "Engine.run: adversary %s exceeded the corruption budget t=%d"
                  adversary.Adversary.name cfg.Config.t);
           corrupted.(p) <- true;
           corruption_order := p :: !corruption_order;
+          incr corruption_count;
           if observing then
-            emit
-              (Trace.Corruption
-                 { slot; pid = p; f = List.length !corruption_order })
+            emit (Trace.Corruption { slot; pid = p; f = !corruption_count })
         end)
       new_corruptions;
     (* 2. Correct processes step. *)
@@ -146,7 +147,7 @@ let run ~cfg ?(record_trace = false) ?shuffle_seed ?(monitors = [])
   {
     states;
     corrupted = List.rev !corruption_order;
-    f = List.length !corruption_order;
+    f = !corruption_count;
     meter;
     trace;
     slots = horizon;

@@ -11,7 +11,7 @@ let deviant ~name ~victims ~machine ~mangle =
         | Some st -> st
         | None -> m.Process.init
       in
-      let inbox = view.Adversary.inboxes.(pid) in
+      let inbox = (Adversary.inboxes view).(pid) in
       let st', sends = m.Process.step ~slot:view.Adversary.slot ~inbox st in
       Hashtbl.replace states pid st';
       mangle ~slot:view.Adversary.slot ~pid ~inbox sends
@@ -31,7 +31,7 @@ let scripted ~name ~victims ~script =
       (fun ~pid view ->
         if List.mem pid victims then
           script ~slot:view.Adversary.slot ~pid
-            ~inbox:view.Adversary.inboxes.(pid)
+            ~inbox:(Adversary.inboxes view).(pid)
         else []);
   }
 

@@ -152,6 +152,117 @@ let counters () =
   Alcotest.(check int) "signs" 1 (Pki.signatures_created pki);
   Alcotest.(check bool) "verifies counted" true (Pki.verifications_performed pki >= 1)
 
+(* ---- cache equivalence ---------------------------------------------------
+   The memo tables must be invisible: a cached verdict always equals the
+   from-scratch one, on valid, tampered, and wrong-signer inputs alike. An
+   uncached oracle is simulated with a fresh same-seed PKI per query. *)
+
+let cached_verify_equals_uncached () =
+  (* Same seed, two PKIs: one answers everything twice (second answer comes
+     from the memo table), the other is rebuilt per query so it never hits.
+     Verdicts must agree on valid, tampered, and wrong-signer inputs. *)
+  let warm_pki, warm_secrets = setup 5 in
+  let queries =
+    [ ("valid", 2, "hello", "hello"); ("tampered msg", 2, "hello", "hellp") ]
+  in
+  List.iter
+    (fun (name, signer, signed_msg, checked_msg) ->
+      let uncached =
+        let pki, secrets = setup 5 in
+        let sg = Pki.sign pki secrets.(signer) signed_msg in
+        Pki.verify pki sg ~msg:checked_msg
+      in
+      let sg = Pki.sign warm_pki warm_secrets.(signer) signed_msg in
+      Alcotest.(check bool) (name ^ " (cold)") uncached
+        (Pki.verify warm_pki sg ~msg:checked_msg);
+      Alcotest.(check bool) (name ^ " (warm)") uncached
+        (Pki.verify warm_pki sg ~msg:checked_msg))
+    queries;
+  (* Wrong signer: a tag the claimed signer's key never produced (it came
+     from a different-seed PKI). Cached and uncached verdicts must agree,
+     and stay rejected even after the genuine tag warmed the memo. *)
+  let alien_pki, alien_secrets = Pki.setup ~seed:99L ~n:5 () in
+  let alien = Pki.sign alien_pki alien_secrets.(2) "hello" in
+  let uncached_alien =
+    let pki, _ = setup 5 in
+    Pki.verify pki alien ~msg:"hello"
+  in
+  Alcotest.(check bool) "wrong signer (cold)" uncached_alien
+    (Pki.verify warm_pki alien ~msg:"hello");
+  Alcotest.(check bool) "wrong signer (warm)" uncached_alien
+    (Pki.verify warm_pki alien ~msg:"hello");
+  Alcotest.(check bool) "wrong signer rejected" false
+    (Pki.verify warm_pki alien ~msg:"hello");
+  let stats = Pki.cache_stats warm_pki in
+  Alcotest.(check bool) "warm queries hit the memo" true (stats.Pki.verify_hits >= 3)
+
+let cached_verify_signer_isolation () =
+  (* The memo is keyed by the *claimed* signer: warming it with p3's tag on
+     "m" must not make p1's tag on "m" answer from p3's entry or vice versa. *)
+  let pki, secrets = setup 5 in
+  let sg1 = Pki.sign pki secrets.(1) "m" in
+  let sg3 = Pki.sign pki secrets.(3) "m" in
+  Alcotest.(check bool) "p3 genuine (warms p3 entry)" true (Pki.verify pki sg3 ~msg:"m");
+  Alcotest.(check bool) "p1 genuine, same msg" true (Pki.verify pki sg1 ~msg:"m");
+  Alcotest.(check bool) "p1 tampered, warm cache" false (Pki.verify pki sg1 ~msg:"m'");
+  Alcotest.(check bool) "p3 again (memo hit)" true (Pki.verify pki sg3 ~msg:"m")
+
+let cached_tsig_equals_uncached () =
+  (* combine warms both memo tables; every later verdict must agree with a
+     cold same-seed PKI's answer. *)
+  let cold ~k ~msg =
+    let pki, secrets = setup 7 in
+    match Pki.combine pki ~k:4 ~msg:"v" (shares pki secrets "v" [ 0; 1; 2; 3 ]) with
+    | None -> Alcotest.fail "cold combine failed"
+    | Some ts -> Pki.verify_tsig pki ts ~k ~msg
+  in
+  let pki, secrets = setup 7 in
+  let sh = shares pki secrets "v" [ 0; 1; 2; 3 ] in
+  match Pki.combine pki ~k:4 ~msg:"v" sh with
+  | None -> Alcotest.fail "combine failed"
+  | Some ts ->
+    Alcotest.(check bool) "valid" (cold ~k:4 ~msg:"v")
+      (Pki.verify_tsig pki ts ~k:4 ~msg:"v");
+    Alcotest.(check bool) "valid is true" true (Pki.verify_tsig pki ts ~k:4 ~msg:"v");
+    Alcotest.(check bool) "tampered msg" (cold ~k:4 ~msg:"w")
+      (Pki.verify_tsig pki ts ~k:4 ~msg:"w");
+    Alcotest.(check bool) "tampered is false" false (Pki.verify_tsig pki ts ~k:4 ~msg:"w");
+    Alcotest.(check bool) "higher k" (cold ~k:5 ~msg:"v")
+      (Pki.verify_tsig pki ts ~k:5 ~msg:"v");
+    let stats = Pki.cache_stats pki in
+    Alcotest.(check bool) "aggregate cache hit" true (stats.Pki.agg_hits >= 1)
+
+let cache_capacity_epoch_clear () =
+  (* A capacity-2 cache thrashes constantly; answers must not change. *)
+  let pki, secrets = Pki.setup ~seed:42L ~cache_capacity:2 ~n:5 () in
+  let msgs = [ "a"; "b"; "c"; "d"; "a"; "b"; "c"; "d" ] in
+  List.iter
+    (fun msg ->
+      let sg = Pki.sign pki secrets.(0) msg in
+      Alcotest.(check bool) ("valid " ^ msg) true (Pki.verify pki sg ~msg);
+      Alcotest.(check bool) ("tampered " ^ msg) false (Pki.verify pki sg ~msg:(msg ^ "!")))
+    msgs
+
+let reset_clears_cache_stats () =
+  let pki, secrets = setup 3 in
+  let sg = Pki.sign pki secrets.(0) "m" in
+  ignore (Pki.verify pki sg ~msg:"m");
+  ignore (Pki.verify pki sg ~msg:"m");
+  Alcotest.(check bool) "hits before reset" true
+    ((Pki.cache_stats pki).Pki.verify_hits > 0);
+  Pki.reset_counters pki;
+  let s = Pki.cache_stats pki in
+  Alcotest.(check int) "hits cleared" 0 s.Pki.verify_hits;
+  Alcotest.(check int) "misses cleared" 0 s.Pki.verify_misses
+
+let hmac_key_equivalence =
+  Test_util.qcheck_case ~name:"hmac_with (hmac_key k) = hmac ~key:k"
+    QCheck2.Gen.(pair (string_size (int_range 0 200)) string)
+    (fun (key, msg) ->
+      Sha256.equal
+        (Sha256.hmac_with (Sha256.hmac_key key) msg)
+        (Sha256.hmac ~key msg))
+
 let qcheck_sign_verify =
   Test_util.qcheck_case ~name:"sign/verify roundtrip on random messages"
     QCheck2.Gen.string (fun msg ->
@@ -191,6 +302,20 @@ let () =
         [
           Alcotest.test_case "rfc4231 case 2" `Quick hmac_rfc4231_case2;
           Alcotest.test_case "long key" `Quick hmac_long_key;
+          hmac_key_equivalence;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "cached verify == uncached" `Quick
+            cached_verify_equals_uncached;
+          Alcotest.test_case "memo keyed by claimed signer" `Quick
+            cached_verify_signer_isolation;
+          Alcotest.test_case "cached tsig == uncached" `Quick
+            cached_tsig_equals_uncached;
+          Alcotest.test_case "capacity-2 epoch clears don't change verdicts" `Quick
+            cache_capacity_epoch_clear;
+          Alcotest.test_case "reset clears cache stats" `Quick
+            reset_clears_cache_stats;
         ] );
       ( "signatures",
         [

@@ -1,0 +1,120 @@
+(* The perf layer: the domain pool's scheduling-independence guarantees and
+   the sweep's parallel-equals-sequential property (the invariant the whole
+   multicore runner rests on). *)
+
+open Mewc_prelude
+open Mewc_core
+
+(* ---- Pool ---------------------------------------------------------------- *)
+
+let pool_map_order () =
+  let xs = Array.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        (Array.map (fun x -> x * x) xs)
+        (Pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 3; 7; 100; 200 ]
+
+let pool_empty_and_tiny () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 Fun.id [||]);
+  Alcotest.(check (array int)) "one task" [| 9 |] (Pool.map ~jobs:4 (fun x -> x * x) [| 3 |]);
+  Alcotest.(check (list int))
+    "list version" [ 2; 4; 6 ]
+    (Pool.map_list ~jobs:2 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+exception Boom of int
+
+let pool_exception_lowest_index () =
+  (* Tasks 3 and 7 fail on different workers; the surfaced exception must
+     be task 3's, whichever worker finished first. *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.run ~jobs
+          (Array.init 10 (fun i () -> if i = 3 || i = 7 then raise (Boom i) else i))
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        Alcotest.(check int) (Printf.sprintf "jobs=%d lowest index" jobs) 3 i)
+    [ 1; 2; 4 ]
+
+let pool_results_match_sequential =
+  Test_util.qcheck_case ~name:"pool(jobs) == sequential map for any jobs"
+    QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 0 50) small_int))
+    (fun (jobs, xs) ->
+      let arr = Array.of_list xs in
+      Pool.map ~jobs (fun x -> (x * 7) + 1) arr
+      = Array.map (fun x -> (x * 7) + 1) arr)
+
+(* ---- Sweep determinism --------------------------------------------------- *)
+
+let sweep_parallel_identical () =
+  (* The tentpole property: fanning the smoke grid across domains yields
+     byte-identical rows to the sequential pass, for several job counts. *)
+  let sequential = List.map Sweep.row_to_line (Sweep.run_all ~jobs:1 Sweep.smoke_grid) in
+  List.iter
+    (fun jobs ->
+      let parallel = List.map Sweep.row_to_line (Sweep.run_all ~jobs Sweep.smoke_grid) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d byte-identical" jobs)
+        sequential parallel)
+    [ 2; 3; 5 ]
+
+let sweep_rerun_deterministic () =
+  let a = List.map Sweep.row_to_line (Sweep.run_all ~jobs:1 Sweep.smoke_grid) in
+  let b = List.map Sweep.row_to_line (Sweep.run_all ~jobs:1 Sweep.smoke_grid) in
+  Alcotest.(check (list string)) "reruns replay bit for bit" a b
+
+let sweep_report () =
+  let report = Sweep.run_perf ~jobs:2 Sweep.smoke_grid in
+  Alcotest.(check bool) "identical" true report.Sweep.identical;
+  Alcotest.(check int) "all points ran" (List.length Sweep.smoke_grid)
+    (List.length report.Sweep.rows);
+  Alcotest.(check bool) "sequential timing sane" true (report.Sweep.sequential_s >= 0.0);
+  (* The report round-trips through the JSON layer (schema mewc-perf/1). *)
+  let json = Sweep.report_to_json report in
+  match Jsonx.parse (Jsonx.to_string json) with
+  | Error e -> Alcotest.failf "report JSON does not reparse: %s" e
+  | Ok parsed ->
+    Alcotest.(check (option string))
+      "schema" (Some "mewc-perf/1")
+      (Option.bind (Jsonx.member "schema" parsed) Jsonx.get_str);
+    let rows =
+      Option.bind (Jsonx.member "rows" parsed) Jsonx.get_list
+      |> Option.value ~default:[]
+    in
+    Alcotest.(check int) "rows serialized" (List.length report.Sweep.rows)
+      (List.length rows)
+
+let sweep_caches_hit () =
+  (* The crypto caches must actually fire on a fallback-heavy point —
+     otherwise the hot-path optimization silently regressed. *)
+  let row = Sweep.run_point { Sweep.protocol = "weak-ba"; n = 13; f_spec = "t" } in
+  let c = row.Sweep.crypto in
+  Alcotest.(check bool) "verify cache hit" true (c.Mewc_crypto.Pki.verify_hits > 0);
+  Alcotest.(check bool) "aggregate cache hit" true (c.Mewc_crypto.Pki.agg_hits > 0)
+
+let () =
+  Alcotest.run "perf"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order at any jobs" `Quick pool_map_order;
+          Alcotest.test_case "empty / tiny inputs" `Quick pool_empty_and_tiny;
+          Alcotest.test_case "exception surfaces at lowest task index" `Quick
+            pool_exception_lowest_index;
+          pool_results_match_sequential;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "parallel byte-identical to sequential" `Quick
+            sweep_parallel_identical;
+          Alcotest.test_case "reruns deterministic" `Quick sweep_rerun_deterministic;
+          Alcotest.test_case "perf report: identity + mewc-perf/1 round-trip" `Quick
+            sweep_report;
+          Alcotest.test_case "crypto caches fire on fallback path" `Quick
+            sweep_caches_hit;
+        ] );
+    ]
