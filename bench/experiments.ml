@@ -667,9 +667,8 @@ let observability_json () =
         ])
       fs
   in
-  Jsonx.Obj
+  Jsonx.Schema.tag "mewc-observability/1"
     [
-      ("schema", Jsonx.Str "mewc-observability/1");
       ("experiment", Jsonx.Str "table1 per-slot word series, n=21");
       ("runs", Jsonx.Arr runs);
     ]

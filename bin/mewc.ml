@@ -341,6 +341,118 @@ let bench_cmd jobs smoke output =
     pr "wrote %s (schema mewc-perf/1)\n" path);
   if not report.Sweep.identical then exit 1
 
+(* ---- fuzz --------------------------------------------------------------- *)
+
+module Fuzz = Mewc_fuzz
+
+let epr fmt = Printf.eprintf fmt
+
+let fuzz_fail fmt = Printf.ksprintf (fun s -> epr "mewc fuzz: %s\n%!" s; exit 1) fmt
+
+let pp_entry ppf (e : Fuzz.Campaign.entry) =
+  Format.fprintf ppf "target=%s n=%d t=%d@ scenario: %a@ violation: %a"
+    e.Fuzz.Campaign.target e.Fuzz.Campaign.n e.Fuzz.Campaign.t Fuzz.Scenario.pp
+    e.Fuzz.Campaign.scenario Monitor.pp_violation e.Fuzz.Campaign.violation
+
+let load_entry path =
+  match Fuzz.Campaign.load path with
+  | Ok e -> e
+  | Error msg -> fuzz_fail "%s: %s" path msg
+
+let fuzz_smoke ~jobs ~out =
+  match Fuzz.Campaign.smoke ?jobs ~log:(fun s -> epr "mewc fuzz: %s\n%!" s) () with
+  | Error msg -> fuzz_fail "smoke FAILED: %s" msg
+  | Ok entry ->
+    pr "mewc fuzz: smoke ok — planted ablation found, minimized, replayed\n";
+    pr "  %s\n" (Format.asprintf "@[<v>%a@]" pp_entry entry);
+    (match out with
+    | None -> ()
+    | Some path ->
+      Fuzz.Campaign.save path entry;
+      pr "wrote %s (schema %s)\n" path Fuzz.Campaign.schema)
+
+let fuzz_replay path =
+  let entry = load_entry path in
+  match Fuzz.Campaign.replay entry with
+  | Ok v ->
+    pr "mewc fuzz: %s reproduced: %s\n" path
+      (Format.asprintf "%a" Monitor.pp_violation v)
+  | Error msg -> fuzz_fail "%s did NOT reproduce: %s" path msg
+
+let fuzz_replay_dir dir =
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  if files = [] then fuzz_fail "no corpus entries (*.json) in %s" dir;
+  List.iter fuzz_replay files;
+  pr "mewc fuzz: corpus %s ok (%d entries)\n" dir (List.length files)
+
+let fuzz_minimize path out =
+  let entry = load_entry path in
+  match Fuzz.Campaign.minimize entry with
+  | Error msg -> fuzz_fail "%s: %s" path msg
+  | Ok entry ->
+    let dst = Option.value out ~default:path in
+    Fuzz.Campaign.save dst entry;
+    pr "mewc fuzz: minimized %s -> %s\n  %s\n" path dst
+      (Format.asprintf "@[<v>%a@]" pp_entry entry)
+
+let fuzz_campaign ~target ~jobs ~seed ~count ~out =
+  let name =
+    match target with
+    | Some name -> name
+    | None -> fuzz_fail "--target required (or use --smoke / --replay / --minimize)"
+  in
+  let target =
+    match Fuzz.Campaign.find_target name with
+    | Some t -> t
+    | None ->
+      fuzz_fail "unknown target %S (known: %s)" name
+        (String.concat ", " (List.map Fuzz.Campaign.target_name Fuzz.Campaign.zoo))
+  in
+  let cfg = Config.create ~n:9 ~t:4 in
+  match Fuzz.Campaign.campaign ?jobs target ~cfg ~seed ~count () with
+  | None ->
+    pr "mewc fuzz: %s clean — %d scenarios from seed %Ld, no violation\n" name
+      count seed
+  | Some f ->
+    pr "mewc fuzz: %s scenario #%d violates:\n  %s\n" name f.Fuzz.Campaign.index
+      (Format.asprintf "%a" Monitor.pp_violation f.Fuzz.Campaign.violation);
+    let scenario, violation =
+      Fuzz.Campaign.shrink target ~cfg f.Fuzz.Campaign.scenario
+        f.Fuzz.Campaign.violation
+    in
+    let entry =
+      { Fuzz.Campaign.target = name; n = 9; t = 4; scenario; violation }
+    in
+    pr "  minimized: %s\n" (Format.asprintf "%a" Fuzz.Scenario.pp scenario);
+    (match out with
+    | None -> ()
+    | Some path ->
+      Fuzz.Campaign.save path entry;
+      pr "wrote %s (schema %s)\n" path Fuzz.Campaign.schema);
+    exit 3
+
+let fuzz_cmd target count seed jobs out replay replay_dir minimize smoke list =
+  if list then
+    List.iter
+      (fun t ->
+        pr "%s%s\n"
+          (Fuzz.Campaign.target_name t)
+          (if Fuzz.Campaign.target_ablated t then " (ablated)" else ""))
+      Fuzz.Campaign.zoo
+  else if smoke then fuzz_smoke ~jobs ~out
+  else
+    match (replay, replay_dir, minimize) with
+    | Some path, None, None -> fuzz_replay path
+    | None, Some dir, None -> fuzz_replay_dir dir
+    | None, None, Some path -> fuzz_minimize path out
+    | None, None, None -> fuzz_campaign ~target ~jobs ~seed ~count ~out
+    | _ -> fuzz_fail "--replay, --replay-dir and --minimize are mutually exclusive"
+
 open Cmdliner
 
 let protocol_arg =
@@ -425,6 +537,77 @@ let bench_term =
   in
   Term.(const bench_cmd $ jobs $ smoke $ output)
 
+let fuzz_term =
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "target" ] ~docv:"TARGET"
+          ~doc:"Fuzz target (see --list); e.g. weak-ba, weak-ba-ablated.")
+  in
+  let count =
+    Arg.(
+      value & opt int 256
+      & info [ "count" ] ~docv:"N" ~doc:"Scenarios to scan in campaign mode.")
+  in
+  let seed =
+    Arg.(
+      value & opt int64 1L
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed; scenario $(i,i) is a \
+                                           pure function of it.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for the parallel scan (default: all cores). The \
+                outcome is independent of this.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the (minimized) mewc-fuzz/1 corpus entry to FILE.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one corpus entry; fails unless the recorded violation \
+                reproduces byte-identically.")
+  in
+  let replay_dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "replay-dir" ] ~docv:"DIR"
+          ~doc:"Replay every *.json corpus entry in DIR (the CI gate).")
+  in
+  let minimize =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "minimize" ] ~docv:"FILE"
+          ~doc:"Re-shrink a corpus entry and write it back (or to --output).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI self-validation: fuzz the sound targets clean, then find, \
+                shrink and replay the planted weak-ba-ablated agreement \
+                violation.")
+  in
+  let list =
+    Arg.(value & flag & info [ "list" ] ~doc:"List fuzz targets and exit.")
+  in
+  Term.(
+    const fuzz_cmd $ target $ count $ seed $ jobs $ out $ replay $ replay_dir
+    $ minimize $ smoke $ list)
+
 let cmd =
   let info =
     Cmd.info "mewc" ~version:"1.0.0"
@@ -449,6 +632,14 @@ let cmd =
               hit rates (mewc-perf/1), and verify the parallel output is \
               byte-identical to the sequential one.")
         bench_term;
+      Cmd.v
+        (Cmd.info "fuzz"
+           ~doc:
+             "Seeded adversary fuzzing over the protocol zoo: scan random \
+              corruption schedules under the safety monitors, shrink any \
+              violation to a minimal scenario, and manage the replayable \
+              mewc-fuzz/1 corpus.")
+        fuzz_term;
     ]
 
 let () = exit (Cmd.eval cmd)

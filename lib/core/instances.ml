@@ -1,3 +1,4 @@
+open Mewc_prelude
 open Mewc_crypto
 open Mewc_sim
 
@@ -92,292 +93,438 @@ module Fallback_bool = struct
 end
 
 module Strong_bool = Ff_strong_ba.Make (Fallback_bool)
+module Binary_bb_bool = Binary_bb.Make (Fallback_bool)
 
-let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
-    ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
-  let n = cfg.Config.n in
-  if Array.length inputs <> n then
-    invalid_arg "run_fallback: need one input per process";
-  let pki, secrets = Pki.setup ~seed ~n () in
-  let protocol pid =
+(* ---- the five Protocol.S instances ------------------------------------- *)
+
+module Fallback_protocol = struct
+  type value = string
+
+  type params = {
+    inputs : string array;
+    round_len : int;
+    start_slot : Pid.t -> int;
+  }
+
+  type state = Epk_str.state
+  type msg = Epk_str.msg
+  type decision = string
+
+  let name = "fallback"
+  let words = Epk_str.words
+  let encode_msg = Format.asprintf "%a" Epk_str.pp_msg
+
+  let default_params cfg =
+    {
+      inputs = Array.make cfg.Config.n "v";
+      round_len = 1;
+      start_slot = (fun _ -> 0);
+    }
+
+  let mutate_params p ~salt =
+    { p with inputs = Array.map (fun v -> Printf.sprintf "%s~%d" v salt) p.inputs }
+
+  let validate_params ~cfg ~params =
+    if Array.length params.inputs <> cfg.Config.n then
+      invalid_arg "run_fallback: need one input per process"
+
+  let horizon ~cfg ~params = Epk_str.horizon cfg ~round_len:params.round_len
+
+  let machine ~cfg ~pki ~secret ~params ~pid =
     {
       Process.init =
-        Epk_str.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~input:inputs.(pid)
-          ~start_slot:(start_slot pid) ~round_len;
+        Epk_str.init ~cfg ~pki ~secret ~pid ~input:params.inputs.(pid)
+          ~start_slot:(params.start_slot pid) ~round_len:params.round_len;
       step = (fun ~slot ~inbox st -> Epk_str.step ~slot ~inbox st);
     }
-  in
-  let adversary = adversary ~pki ~secrets in
-  let horizon = Epk_str.horizon cfg ~round_len in
-  let monitors =
+
+  let decision = Epk_str.decision
+  let decided_str = Epk_str.decision
+  let decided_at = Epk_str.decided_at
+
+  let monitors ~cfg ~params =
+    let n = cfg.Config.n in
+    let horizon = horizon ~cfg ~params in
     std_monitors ~cfg ~word_name:"epk-words"
       ~word_bound:(fun ~f -> 16 * n * n * (f + 1))
       ~early_name:"epk-latency"
-      ~early_bound:(fun ~f -> min horizon (round_len * (10 + (7 * f)) + round_len))
-  in
-  let res =
-    replayable ~seed ~shuffle_seed (fun () ->
-        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
-          ~decided:Epk_str.decision ~words:Epk_str.words ~horizon ~protocol
-          ~adversary ())
-  in
-  {
-    decisions = Array.map Epk_str.decision res.Engine.states;
-    corrupted = res.Engine.corrupted;
-    f = res.Engine.f;
-    words = Meter.correct_words res.Engine.meter;
-    messages = Meter.correct_messages res.Engine.meter;
-    byz_words = Meter.byzantine_words res.Engine.meter;
-    signatures = Pki.signatures_created pki;
-    slots = res.Engine.slots;
-    fallback_runs = 0;
-    nonsilent_phases = 0;
-    help_requests = 0;
-    latency =
-      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Epk_str.decided_at
-        res.Engine.states;
-    meter = Meter.snapshot res.Engine.meter;
-    crypto = Pki.cache_stats pki;
-    trace_json =
-      (if record_trace then
-         Some
-           (Trace.to_json
-              ~encode:(Format.asprintf "%a" Epk_str.pp_msg)
-              res.Engine.trace)
-       else None);
+      ~early_bound:(fun ~f ->
+        min horizon ((params.round_len * (10 + (7 * f))) + params.round_len))
+
+  let counters _ =
+    { Protocol.fallback_runs = 0; nonsilent_phases = 0; help_requests = 0 }
+
+  let spray = None
+end
+
+module Weak_ba_protocol = struct
+  type value = string
+
+  type params = {
+    inputs : string array;
+    validate : string -> bool;
+    quorum_override : int option;
   }
 
-let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
-    ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
-  let n = cfg.Config.n in
-  if Array.length inputs <> n then
-    invalid_arg "run_weak_ba: need one input per process";
-  let pki, secrets = Pki.setup ~seed ~n () in
-  let protocol pid =
+  type state = Weak_str.state
+  type msg = Weak_str.msg
+  type decision = Weak_str.outcome
+
+  let name = "weak-ba"
+  let words = Weak_str.words
+  let encode_msg = Format.asprintf "%a" Weak_str.pp_msg
+
+  let default_params cfg =
+    {
+      inputs = Array.make cfg.Config.n "v";
+      validate = (fun _ -> true);
+      quorum_override = None;
+    }
+
+  let mutate_params p ~salt =
+    { p with inputs = Array.map (fun v -> Printf.sprintf "%s~%d" v salt) p.inputs }
+
+  let validate_params ~cfg ~params =
+    if Array.length params.inputs <> cfg.Config.n then
+      invalid_arg "run_weak_ba: need one input per process"
+
+  let horizon ~cfg ~params:_ = Weak_str.horizon cfg
+
+  let machine ~cfg ~pki ~secret ~params ~pid =
     {
       Process.init =
-        Weak_str.init ?quorum_override ~cfg ~pki ~secret:secrets.(pid) ~pid
-          ~input:inputs.(pid) ~validate ~start_slot:0 ();
+        Weak_str.init ?quorum_override:params.quorum_override ~cfg ~pki ~secret
+          ~pid ~input:params.inputs.(pid) ~validate:params.validate
+          ~start_slot:0 ();
       step = (fun ~slot ~inbox st -> Weak_str.step ~slot ~inbox st);
     }
-  in
-  let adversary = adversary ~pki ~secrets in
-  let horizon = Weak_str.horizon cfg in
-  let monitors =
-    match quorum_override with
+
+  let decision = Weak_str.decision
+
+  let decided_str st =
+    Option.map (Format.asprintf "%a" Weak_str.pp_outcome) (Weak_str.decision st)
+
+  let decided_at = Weak_str.decided_at
+
+  let monitors ~cfg ~params =
+    match params.quorum_override with
     | Some _ ->
       (* The ablation knob breaks quorum intersection by design; agreement,
          termination and word bounds are exactly what it sacrifices. *)
       [ Monitor.corruption_budget ~cfg; Monitor.metering () ]
     | None ->
+      let horizon = Weak_str.horizon cfg in
       std_monitors ~cfg ~word_name:"weak-ba-words"
         ~word_bound:(weak_word_bound cfg)
         ~early_name:"weak-ba-latency"
         ~early_bound:(fun ~f ->
           if f < fallback_threshold cfg then (6 * (f + 1)) + 10 else horizon)
-  in
-  let res =
-    replayable ~seed ~shuffle_seed (fun () ->
-        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
-          ~decided:(fun st ->
-            Option.map
-              (Format.asprintf "%a" Weak_str.pp_outcome)
-              (Weak_str.decision st))
-          ~words:Weak_str.words ~horizon ~protocol ~adversary ())
-  in
-  let correct_states =
-    Array.to_list res.Engine.states
-    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
-  in
-  let count f = List.length (List.filter f correct_states) in
-  {
-    decisions = Array.map Weak_str.decision res.Engine.states;
-    corrupted = res.Engine.corrupted;
-    f = res.Engine.f;
-    words = Meter.correct_words res.Engine.meter;
-    messages = Meter.correct_messages res.Engine.meter;
-    byz_words = Meter.byzantine_words res.Engine.meter;
-    signatures = Pki.signatures_created pki;
-    slots = res.Engine.slots;
-    fallback_runs = count Weak_str.fallback_entered;
-    nonsilent_phases = count Weak_str.initiated_phase;
-    help_requests = count Weak_str.sent_help_request;
-    latency =
-      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Weak_str.decided_at
-        res.Engine.states;
-    meter = Meter.snapshot res.Engine.meter;
-    crypto = Pki.cache_stats pki;
-    trace_json =
-      (if record_trace then
-         Some
-           (Trace.to_json
-              ~encode:(Format.asprintf "%a" Weak_str.pp_msg)
-              res.Engine.trace)
-       else None);
-  }
 
-let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
-    ~input ~adversary () =
-  let n = cfg.Config.n in
-  let pki, secrets = Pki.setup ~seed ~n () in
-  let protocol pid =
+  let counters correct_states =
+    let count f = List.length (List.filter f correct_states) in
+    {
+      Protocol.fallback_runs = count Weak_str.fallback_entered;
+      nonsilent_phases = count Weak_str.initiated_phase;
+      help_requests = count Weak_str.sent_help_request;
+    }
+
+  (* The share-spray forger. It is protocol-shaped on purpose: it harvests
+     every commit/finalize share correct processes route through corrupted
+     leaders, equivocates proposals in the phases its pids lead (value A to
+     even destinations, value B to odd ones), and completes each side's
+     commit and finalize certificates by topping the harvested shares up
+     with shares of already-corrupted processes — exactly what the model
+     permits and nothing more. Against the sound quorum the two sides can
+     never both reach the threshold (intersection, Lemma 15); against the
+     [quorum_override] ablation they can, which is how the fuzzer rediscovers
+     the planted agreement violation. *)
+  let spray =
+    Some
+      (fun ~cfg ~params ~pki ~rng:_ ->
+        let n = cfg.Config.n in
+        let quorum =
+          match params.quorum_override with
+          | Some q -> q
+          | None -> Config.big_quorum cfg
+        in
+        let bank = Forge.create pki in
+        let observe = Forge.observe bank in
+        let certify ~purpose ~payload ~active =
+          Forge.certify bank ~k:quorum ~purpose ~payload ~secrets:active
+        in
+        let evens = List.filter (fun d -> d mod 2 = 0) (List.init n Fun.id) in
+        let odds = List.filter (fun d -> d mod 2 = 1) (List.init n Fun.id) in
+        let sides = [ ("fz0", evens); ("fz1", odds) ] in
+        fun ~pid ~slot ~inbox ~active ->
+          List.iter
+            (fun env ->
+              match env.Envelope.msg with
+              | Weak_str.Vote { phase; value; share } ->
+                observe ~purpose:Weak_str.commit_purpose
+                  ~payload:(Weak_str.phased_payload phase value)
+                  share
+              | Weak_str.Decide_share { phase; value; share } ->
+                observe ~purpose:Weak_str.finalize_purpose
+                  ~payload:(Weak_str.phased_payload phase value)
+                  share
+              | Weak_str.Help_req { sg } ->
+                observe ~purpose:Weak_str.helpreq_purpose ~payload:"" sg
+              | _ -> ())
+            inbox;
+          let mine =
+            List.filter
+              (fun j -> Pid.equal (Pid.rotating_leader ~n ~phase:j) pid)
+              (List.init (cfg.Config.t + 1) (fun i -> i + 1))
+          in
+          List.concat_map
+            (fun j ->
+              let b = Weak_str.base j in
+              if slot = b then
+                match List.assoc_opt pid active with
+                | None -> []
+                | Some secret ->
+                  List.concat_map
+                    (fun (v, side) ->
+                      let sg =
+                        Certificate.share pki secret
+                          ~purpose:Weak_str.propose_purpose
+                          ~payload:(Weak_str.phased_payload j v)
+                      in
+                      List.map
+                        (fun d ->
+                          (Weak_str.Propose { phase = j; value = v; sg }, d))
+                        side)
+                    sides
+              else if slot = b + 2 then
+                List.concat_map
+                  (fun (v, side) ->
+                    match
+                      certify ~purpose:Weak_str.commit_purpose
+                        ~payload:(Weak_str.phased_payload j v) ~active
+                    with
+                    | Some qc ->
+                      List.map
+                        (fun d ->
+                          ( Weak_str.Commit_bcast
+                              { phase = j; value = v; level = j; qc },
+                            d ))
+                        side
+                    | None -> [])
+                  sides
+              else if slot = b + 4 then
+                List.concat_map
+                  (fun (v, side) ->
+                    match
+                      certify ~purpose:Weak_str.finalize_purpose
+                        ~payload:(Weak_str.phased_payload j v) ~active
+                    with
+                    | Some qc ->
+                      List.map
+                        (fun d ->
+                          (Weak_str.Finalized { phase = j; value = v; qc }, d))
+                        side
+                    | None -> [])
+                  sides
+              else [])
+            mine)
+end
+
+module Bb_protocol = struct
+  type value = string
+
+  type params = { sender : Pid.t; input : string }
+  type state = Adaptive_bb.state
+  type msg = Adaptive_bb.msg
+  type decision = Adaptive_bb.decision
+
+  let name = "bb"
+  let words = Adaptive_bb.words
+  let encode_msg = Format.asprintf "%a" Adaptive_bb.pp_msg
+  let default_params _cfg = { sender = 0; input = "v" }
+
+  let mutate_params p ~salt =
+    { p with input = Printf.sprintf "%s~%d" p.input salt }
+
+  let validate_params ~cfg:_ ~params:_ = ()
+  let horizon ~cfg ~params:_ = Adaptive_bb.horizon cfg
+
+  let machine ~cfg ~pki ~secret ~params ~pid =
     {
       Process.init =
-        Adaptive_bb.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~sender
-          ~input:(if pid = sender then Some input else None)
+        Adaptive_bb.init ~cfg ~pki ~secret ~pid ~sender:params.sender
+          ~input:(if pid = params.sender then Some params.input else None)
           ~start_slot:0;
       step = (fun ~slot ~inbox st -> Adaptive_bb.step ~slot ~inbox st);
     }
-  in
-  let adversary = adversary ~pki ~secrets in
-  let horizon = Adaptive_bb.horizon cfg in
-  let monitors =
+
+  let decision = Adaptive_bb.decision
+
+  let decided_str st =
+    Option.map
+      (Format.asprintf "%a" Adaptive_bb.pp_decision)
+      (Adaptive_bb.decision st)
+
+  let decided_at = Adaptive_bb.decided_at
+
+  let monitors ~cfg ~params =
+    let n = cfg.Config.n in
+    let horizon = horizon ~cfg ~params in
     std_monitors ~cfg ~word_name:"bb-words" ~word_bound:(weak_word_bound cfg)
       ~early_name:"bb-latency"
       ~early_bound:(fun ~f ->
         if f < fallback_threshold cfg then (3 * n) + (6 * (f + 2)) + 12
         else horizon)
-  in
-  let res =
-    replayable ~seed ~shuffle_seed (fun () ->
-        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
-          ~decided:(fun st ->
-            Option.map
-              (Format.asprintf "%a" Adaptive_bb.pp_decision)
-              (Adaptive_bb.decision st))
-          ~words:Adaptive_bb.words ~horizon ~protocol ~adversary ())
-  in
-  let correct_states =
-    Array.to_list res.Engine.states
-    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
-  in
-  let count f = List.length (List.filter f correct_states) in
-  {
-    decisions = Array.map Adaptive_bb.decision res.Engine.states;
-    corrupted = res.Engine.corrupted;
-    f = res.Engine.f;
-    words = Meter.correct_words res.Engine.meter;
-    messages = Meter.correct_messages res.Engine.meter;
-    byz_words = Meter.byzantine_words res.Engine.meter;
-    signatures = Pki.signatures_created pki;
-    slots = res.Engine.slots;
-    fallback_runs = count Adaptive_bb.fallback_entered;
-    nonsilent_phases = count Adaptive_bb.vetting_phase_initiated;
-    help_requests = 0;
-    latency =
-      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Adaptive_bb.decided_at
-        res.Engine.states;
-    meter = Meter.snapshot res.Engine.meter;
-    crypto = Pki.cache_stats pki;
-    trace_json =
-      (if record_trace then
-         Some
-           (Trace.to_json
-              ~encode:(Format.asprintf "%a" Adaptive_bb.pp_msg)
-              res.Engine.trace)
-       else None);
-  }
 
-module Binary_bb_bool = Binary_bb.Make (Fallback_bool)
+  let counters correct_states =
+    let count f = List.length (List.filter f correct_states) in
+    {
+      Protocol.fallback_runs = count Adaptive_bb.fallback_entered;
+      nonsilent_phases = count Adaptive_bb.vetting_phase_initiated;
+      help_requests = 0;
+    }
 
-let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
-    ?(sender = 0) ~input ~adversary () =
-  let n = cfg.Config.n in
-  let pki, secrets = Pki.setup ~seed ~n () in
-  let protocol pid =
+  let spray = None
+end
+
+module Binary_bb_protocol = struct
+  type value = bool
+
+  type params = { sender : Pid.t; input : bool }
+  type state = Binary_bb_bool.state
+  type msg = Binary_bb_bool.msg
+  type decision = bool
+
+  let name = "binary-bb"
+  let words = Binary_bb_bool.words
+  let encode_msg = Format.asprintf "%a" Binary_bb_bool.pp_msg
+  let default_params _cfg = { sender = 0; input = true }
+  let mutate_params p ~salt = { p with input = salt mod 2 = 0 }
+  let validate_params ~cfg:_ ~params:_ = ()
+  let horizon ~cfg ~params:_ = Binary_bb_bool.horizon cfg
+
+  let machine ~cfg ~pki ~secret ~params ~pid =
     {
       Process.init =
-        Binary_bb_bool.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~sender
-          ~input:(if pid = sender then Some input else None)
+        Binary_bb_bool.init ~cfg ~pki ~secret ~pid ~sender:params.sender
+          ~input:(if pid = params.sender then Some params.input else None)
           ~start_slot:0;
       step = (fun ~slot ~inbox st -> Binary_bb_bool.step ~slot ~inbox st);
     }
-  in
-  let adversary = adversary ~pki ~secrets in
-  let horizon = Binary_bb_bool.horizon cfg in
-  let monitors =
+
+  let decision = Binary_bb_bool.decision
+
+  let decided_str st =
+    Option.map string_of_bool (Binary_bb_bool.decision st)
+
+  let decided_at = Binary_bb_bool.decided_at
+
+  let monitors ~cfg ~params =
+    let n = cfg.Config.n in
+    let horizon = horizon ~cfg ~params in
     std_monitors ~cfg ~word_name:"binary-bb-words"
-      ~word_bound:(fun ~f ->
-        if f = 0 then 16 * n else 16 * n * n * (f + 1))
+      ~word_bound:(fun ~f -> if f = 0 then 16 * n else 16 * n * n * (f + 1))
       ~early_name:"binary-bb-latency"
       ~early_bound:(fun ~f -> if f = 0 then 8 else horizon)
-  in
-  let res =
-    replayable ~seed ~shuffle_seed (fun () ->
-        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
-          ~decided:(fun st ->
-            Option.map string_of_bool (Binary_bb_bool.decision st))
-          ~words:Binary_bb_bool.words ~horizon ~protocol ~adversary ())
-  in
-  let correct_states =
-    Array.to_list res.Engine.states
-    |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
-  in
-  let count f = List.length (List.filter f correct_states) in
-  {
-    decisions = Array.map Binary_bb_bool.decision res.Engine.states;
-    corrupted = res.Engine.corrupted;
-    f = res.Engine.f;
-    words = Meter.correct_words res.Engine.meter;
-    messages = Meter.correct_messages res.Engine.meter;
-    byz_words = Meter.byzantine_words res.Engine.meter;
-    signatures = Pki.signatures_created pki;
-    slots = res.Engine.slots;
-    fallback_runs =
-      List.length correct_states - count Binary_bb_bool.decided_fast;
-    nonsilent_phases = count Binary_bb_bool.decided_fast;
-    help_requests = 0;
-    latency =
-      latency_of ~corrupted:res.Engine.corrupted
-        ~decided_at:Binary_bb_bool.decided_at res.Engine.states;
-    meter = Meter.snapshot res.Engine.meter;
-    crypto = Pki.cache_stats pki;
-    trace_json =
-      (if record_trace then
-         Some
-           (Trace.to_json
-              ~encode:(Format.asprintf "%a" Binary_bb_bool.pp_msg)
-              res.Engine.trace)
-       else None);
-  }
 
-let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
-    ?(leader = 0) ~inputs ~adversary () =
-  let n = cfg.Config.n in
-  if Array.length inputs <> n then
-    invalid_arg "run_strong_ba: need one input per process";
-  let pki, secrets = Pki.setup ~seed ~n () in
-  let protocol pid =
+  let counters correct_states =
+    let count f = List.length (List.filter f correct_states) in
+    {
+      Protocol.fallback_runs =
+        List.length correct_states - count Binary_bb_bool.decided_fast;
+      nonsilent_phases = count Binary_bb_bool.decided_fast;
+      help_requests = 0;
+    }
+
+  let spray = None
+end
+
+module Strong_ba_protocol = struct
+  type value = bool
+
+  type params = { leader : Pid.t; inputs : bool array }
+  type state = Strong_bool.state
+  type msg = Strong_bool.msg
+  type decision = bool
+
+  let name = "strong-ba"
+  let words = Strong_bool.words
+  let encode_msg = Format.asprintf "%a" Strong_bool.pp_msg
+  let default_params cfg = { leader = 0; inputs = Array.make cfg.Config.n true }
+
+  let mutate_params p ~salt =
+    { p with inputs = Array.map (fun b -> if salt mod 2 = 0 then not b else b) p.inputs }
+
+  let validate_params ~cfg ~params =
+    if Array.length params.inputs <> cfg.Config.n then
+      invalid_arg "run_strong_ba: need one input per process"
+
+  let horizon ~cfg ~params:_ = Strong_bool.horizon cfg
+
+  let machine ~cfg ~pki ~secret ~params ~pid =
     {
       Process.init =
-        Strong_bool.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~leader
-          ~input:inputs.(pid) ~start_slot:0;
+        Strong_bool.init ~cfg ~pki ~secret ~pid ~leader:params.leader
+          ~input:params.inputs.(pid) ~start_slot:0;
       step = (fun ~slot ~inbox st -> Strong_bool.step ~slot ~inbox st);
     }
-  in
-  let adversary = adversary ~pki ~secrets in
-  let horizon = Strong_bool.horizon cfg in
-  let monitors =
+
+  let decision = Strong_bool.decision
+  let decided_str st = Option.map string_of_bool (Strong_bool.decision st)
+  let decided_at = Strong_bool.decided_at
+
+  let monitors ~cfg ~params =
+    let n = cfg.Config.n in
+    let horizon = horizon ~cfg ~params in
     std_monitors ~cfg ~word_name:"strong-ba-words"
-      ~word_bound:(fun ~f ->
-        if f = 0 then 16 * n else 16 * n * n * (f + 1))
+      ~word_bound:(fun ~f -> if f = 0 then 16 * n else 16 * n * n * (f + 1))
       ~early_name:"strong-ba-latency"
       ~early_bound:(fun ~f -> if f = 0 then 6 else horizon)
+
+  let counters correct_states =
+    let count f = List.length (List.filter f correct_states) in
+    {
+      Protocol.fallback_runs = count Strong_bool.fallback_entered;
+      nonsilent_phases = count Strong_bool.decided_fast;
+      help_requests = 0;
+    }
+
+  let spray = None
+end
+
+(* ---- the generic runner ------------------------------------------------ *)
+
+let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
+    ?shuffle_seed ?(record_trace = false) ?monitors ~params ~adversary () =
+  P.validate_params ~cfg ~params;
+  let n = cfg.Config.n in
+  let pki, secrets = Pki.setup ~seed ~n () in
+  let protocol pid = P.machine ~cfg ~pki ~secret:secrets.(pid) ~params ~pid in
+  let adversary = adversary ~pki ~secrets in
+  let horizon = P.horizon ~cfg ~params in
+  let monitors =
+    match monitors with Some ms -> ms | None -> P.monitors ~cfg ~params
   in
   let res =
     replayable ~seed ~shuffle_seed (fun () ->
-        Engine.run ~cfg ?shuffle_seed ~record_trace ~monitors
-          ~decided:(fun st ->
-            Option.map string_of_bool (Strong_bool.decision st))
-          ~words:Strong_bool.words ~horizon ~protocol ~adversary ())
+        Engine.run ~cfg
+          ~options:
+            {
+              Engine.record_trace;
+              shuffle_seed;
+              monitors;
+              decided = Some P.decided_str;
+            }
+          ~words:P.words ~horizon ~protocol ~adversary ())
   in
   let correct_states =
     Array.to_list res.Engine.states
     |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
   in
-  let count f = List.length (List.filter f correct_states) in
+  let { Protocol.fallback_runs; nonsilent_phases; help_requests } =
+    P.counters correct_states
+  in
   {
-    decisions = Array.map Strong_bool.decision res.Engine.states;
+    decisions = Array.map P.decision res.Engine.states;
     corrupted = res.Engine.corrupted;
     f = res.Engine.f;
     words = Meter.correct_words res.Engine.meter;
@@ -385,19 +532,58 @@ let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
     byz_words = Meter.byzantine_words res.Engine.meter;
     signatures = Pki.signatures_created pki;
     slots = res.Engine.slots;
-    fallback_runs = count Strong_bool.fallback_entered;
-    nonsilent_phases = count Strong_bool.decided_fast;
-    help_requests = 0;
+    fallback_runs;
+    nonsilent_phases;
+    help_requests;
     latency =
-      latency_of ~corrupted:res.Engine.corrupted ~decided_at:Strong_bool.decided_at
+      latency_of ~corrupted:res.Engine.corrupted ~decided_at:P.decided_at
         res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
     crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
-         Some
-           (Trace.to_json
-              ~encode:(Format.asprintf "%a" Strong_bool.pp_msg)
-              res.Engine.trace)
+         Some (Trace.to_json ~encode:P.encode_msg res.Engine.trace)
        else None);
   }
+
+(* ---- legacy entry points (thin wrappers over [run]) -------------------- *)
+
+let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
+  run
+    (module Fallback_protocol)
+    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~params:{ Fallback_protocol.inputs; round_len; start_slot }
+    ~adversary ()
+
+let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
+  run
+    (module Weak_ba_protocol)
+    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~params:{ Weak_ba_protocol.inputs; validate; quorum_override }
+    ~adversary ()
+
+let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
+    ~input ~adversary () =
+  run
+    (module Bb_protocol)
+    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~params:{ Bb_protocol.sender; input }
+    ~adversary ()
+
+let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(sender = 0) ~input ~adversary () =
+  run
+    (module Binary_bb_protocol)
+    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~params:{ Binary_bb_protocol.sender; input }
+    ~adversary ()
+
+let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+    ?(leader = 0) ~inputs ~adversary () =
+  run
+    (module Strong_ba_protocol)
+    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~params:{ Strong_ba_protocol.leader; inputs }
+    ~adversary ()

@@ -1,14 +1,15 @@
 (** Ready-made protocol instantiations over the two value domains the paper
     considers (multi-valued and binary), with the fallback black box plugged
-    in, plus turnkey runners used by tests, examples and benchmarks.
+    in — each packaged as a first-class {!Protocol.S} module — plus the one
+    generic runner {!run} used by tests, examples, benchmarks and the fuzzer.
 
-    Every runner installs the standard online monitor suite
+    Every run installs the instance's standard online monitor suite
     ({!Mewc_sim.Monitor}): corruption-budget sanity, agreement-once-decided
     (with termination), the protocol's adaptive word bound at the realized
     [f], its early-termination latency envelope, and meter/engine
     consistency. A violated invariant raises {!Mewc_sim.Monitor.Violation}
     with the run's [seed]/[shuffle_seed] appended, so every failure is a
-    replayable counterexample. The one exception: [run_weak_ba] with
+    replayable counterexample. The one exception: weak BA with
     [quorum_override] (the deliberately unsafe ablation) keeps only the
     budget and metering monitors, since breaking agreement is the point. *)
 
@@ -25,6 +26,22 @@ module Fallback_str :
 
 module Weak_str : module type of Weak_ba.Make (Mewc_sim.Value.Str) (Fallback_str)
 (** Multi-valued adaptive weak BA. *)
+
+module Epk_bool : module type of Mewc_fallback.Echo_phase_king.Make (Mewc_sim.Value.Bool)
+
+module Fallback_bool :
+  Fallback_intf.FALLBACK
+    with type value = bool
+     and type msg = Epk_bool.msg
+     and type state = Epk_bool.state
+(** The [A_fallback] instance over binary inputs, for §7's strong BA. *)
+
+module Strong_bool : module type of Ff_strong_ba.Make (Fallback_bool)
+(** Binary strong BA, linear when failure-free. *)
+
+module Binary_bb_bool : module type of Binary_bb.Make (Fallback_bool)
+(** Binary BB via the §5 reduction over Algorithm 5: O(n) when the sender is
+    correct and f = 0. *)
 
 type 'o agreement_outcome = {
   decisions : 'o option array;
@@ -54,6 +71,120 @@ type 'o agreement_outcome = {
           [record_trace] was set *)
 }
 
+(** {2 The protocol zoo as first-class modules} *)
+
+module Fallback_protocol : sig
+  type params = {
+    inputs : string array;
+    round_len : int;
+    start_slot : Mewc_prelude.Pid.t -> int;
+        (** lets tests skew process start times by up to [round_len - 1]
+            slots, as happens on the weak-BA fallback path *)
+  }
+
+  include
+    Protocol.S
+      with type params := params
+       and type value = string
+       and type state = Epk_str.state
+       and type msg = Epk_str.msg
+       and type decision = string
+end
+(** The echo-phase-king strong BA standalone (the Table-1 multi-valued
+    strong-BA row). The fallback/phase/help counters are not meaningful
+    here and read 0. *)
+
+module Weak_ba_protocol : sig
+  type params = {
+    inputs : string array;
+    validate : string -> bool;
+        (** defaults to accepting every value (weak-unanimity
+            instantiation) *)
+    quorum_override : int option;
+        (** the ablation knob of {!Weak_ba.Make.init} — unsafe by design;
+            selecting it swaps in the reduced monitor suite *)
+  }
+
+  include
+    Protocol.S
+      with type params := params
+       and type value = string
+       and type state = Weak_str.state
+       and type msg = Weak_str.msg
+       and type decision = Weak_str.outcome
+end
+(** Adaptive weak BA to its static horizon. Its [spray] forger harvests
+    commit/finalize shares addressed to corrupted leaders, equivocates
+    proposals across even/odd destinations, and completes per-side
+    certificates by topping harvested shares up with corrupted ones —
+    impossible against the sound quorum, decisive against the ablation. *)
+
+module Bb_protocol : sig
+  type params = { sender : Mewc_prelude.Pid.t; input : string }
+
+  include
+    Protocol.S
+      with type params := params
+       and type value = string
+       and type state = Adaptive_bb.state
+       and type msg = Adaptive_bb.msg
+       and type decision = Adaptive_bb.decision
+end
+(** Adaptive BB; [nonsilent_phases] counts non-silent {e vetting} phases
+    led by correct processes. *)
+
+module Binary_bb_protocol : sig
+  type params = { sender : Mewc_prelude.Pid.t; input : bool }
+
+  include
+    Protocol.S
+      with type params := params
+       and type value = bool
+       and type state = Binary_bb_bool.state
+       and type msg = Binary_bb_bool.msg
+       and type decision = bool
+end
+(** Binary BB; [nonsilent_phases] counts correct fast deciders. *)
+
+module Strong_ba_protocol : sig
+  type params = { leader : Mewc_prelude.Pid.t; inputs : bool array }
+
+  include
+    Protocol.S
+      with type params := params
+       and type value = bool
+       and type state = Strong_bool.state
+       and type msg = Strong_bool.msg
+       and type decision = bool
+end
+(** §7 strong BA; [nonsilent_phases] counts correct fast deciders. *)
+
+(** {2 The generic runner} *)
+
+val run :
+  ('p, 's, 'm, 'd) Protocol.t ->
+  cfg:Mewc_sim.Config.t ->
+  ?seed:int64 ->
+  ?shuffle_seed:int64 ->
+  ?record_trace:bool ->
+  ?monitors:'m Mewc_sim.Monitor.t list ->
+  params:'p ->
+  adversary:('s, 'm) Mewc_sim.Adversary.factory ->
+  unit ->
+  'd agreement_outcome
+(** [run (module P) ~cfg ~params ~adversary ()] executes one run of [P] to
+    its static horizon: trusted setup from [seed] (default [1L]), machines
+    from [P.machine], the instance's standard monitor suite — or [monitors]
+    verbatim when given (the fuzzer installs its own safety suite) — and
+    the outcome assembled from the final states, meter and PKI counters. *)
+
+(** {2 Legacy entry points}
+
+    Deprecated thin wrappers over {!run}: each builds the instance's
+    [params] from the historical optional arguments and delegates.
+    Behavior is identical to the pre-{!Protocol.S} runners; new code
+    should call {!run} directly. *)
+
 val run_fallback :
   cfg:Mewc_sim.Config.t ->
   ?seed:int64 ->
@@ -65,10 +196,7 @@ val run_fallback :
   adversary:(Epk_str.state, Epk_str.msg) Mewc_sim.Adversary.factory ->
   unit ->
   string agreement_outcome
-(** Runs the echo-phase-king strong BA standalone (the Table-1 multi-valued
-    strong-BA row). [start_slot] lets tests skew process start times by up
-    to [round_len - 1] slots, as happens on the weak-BA fallback path. The
-    fallback/phase/help counters are not meaningful here and read 0. *)
+(** [run (module Fallback_protocol)] with params from the arguments. *)
 
 val run_weak_ba :
   cfg:Mewc_sim.Config.t ->
@@ -81,21 +209,7 @@ val run_weak_ba :
   adversary:(Weak_str.state, Weak_str.msg) Mewc_sim.Adversary.factory ->
   unit ->
   Weak_str.outcome agreement_outcome
-(** Runs one weak BA execution to its static horizon. [validate] defaults to
-    accepting every value (weak-unanimity instantiation). [quorum_override]
-    is the ablation knob of {!Weak_ba.Make.init} — unsafe by design. *)
-
-module Epk_bool : module type of Mewc_fallback.Echo_phase_king.Make (Mewc_sim.Value.Bool)
-
-module Fallback_bool :
-  Fallback_intf.FALLBACK
-    with type value = bool
-     and type msg = Epk_bool.msg
-     and type state = Epk_bool.state
-(** The [A_fallback] instance over binary inputs, for §7's strong BA. *)
-
-module Strong_bool : module type of Ff_strong_ba.Make (Fallback_bool)
-(** Binary strong BA, linear when failure-free. *)
+(** [run (module Weak_ba_protocol)] with params from the arguments. *)
 
 val run_bb :
   cfg:Mewc_sim.Config.t ->
@@ -107,13 +221,7 @@ val run_bb :
   adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
   unit ->
   Adaptive_bb.decision agreement_outcome
-(** One adaptive-BB execution; [sender] defaults to process 0. The
-    [nonsilent_phases] field counts non-silent {e vetting} phases led by
-    correct processes. *)
-
-module Binary_bb_bool : module type of Binary_bb.Make (Fallback_bool)
-(** Binary BB via the §5 reduction over Algorithm 5: O(n) when the sender is
-    correct and f = 0. *)
+(** [run (module Bb_protocol)] with params from the arguments. *)
 
 val run_binary_bb :
   cfg:Mewc_sim.Config.t ->
@@ -125,7 +233,7 @@ val run_binary_bb :
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
   unit ->
   bool agreement_outcome
-(** The [nonsilent_phases] field counts correct fast deciders. *)
+(** [run (module Binary_bb_protocol)] with params from the arguments. *)
 
 val run_strong_ba :
   cfg:Mewc_sim.Config.t ->
@@ -137,5 +245,4 @@ val run_strong_ba :
   adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->
   unit ->
   bool agreement_outcome
-(** One §7 strong-BA execution; [leader] defaults to process 0. The
-    [nonsilent_phases] field counts correct processes that decided fast. *)
+(** [run (module Strong_ba_protocol)] with params from the arguments. *)

@@ -183,9 +183,8 @@ let per_protocol_crypto rows =
     protocols
 
 let report_to_json r =
-  Jsonx.Obj
+  Jsonx.Schema.tag "mewc-perf/1"
     [
-      ("schema", Jsonx.Str "mewc-perf/1");
       ( "experiment",
         Jsonx.Str
           "sweep wall-clock: sequential vs domain-parallel, with crypto-cache \

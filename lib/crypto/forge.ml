@@ -1,0 +1,48 @@
+open Mewc_prelude
+
+type t = {
+  pki : Pki.t;
+  bank : (string * string, (Pid.t, Pki.Sig.t) Hashtbl.t) Hashtbl.t;
+}
+
+let create pki = { pki; bank = Hashtbl.create 16 }
+
+let observe t ~purpose ~payload share =
+  if
+    Pki.verify t.pki share ~msg:(Certificate.signed_message ~purpose ~payload)
+  then begin
+    let tbl =
+      match Hashtbl.find_opt t.bank (purpose, payload) with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.add t.bank (purpose, payload) tbl;
+        tbl
+    in
+    Hashtbl.replace tbl (Pki.Sig.signer share) share
+  end
+
+let harvested t ~purpose ~payload =
+  match Hashtbl.find_opt t.bank (purpose, payload) with
+  | Some tbl -> Hashtbl.length tbl
+  | None -> 0
+
+let certify t ~k ~purpose ~payload ~secrets =
+  let harvested =
+    match Hashtbl.find_opt t.bank (purpose, payload) with
+    | Some tbl -> Hashtbl.fold (fun p s acc -> (p, s) :: acc) tbl []
+    | None -> []
+  in
+  (* One share per signer; signing is deterministic, so a harvested share
+     and a freshly signed one for the same signer are interchangeable. *)
+  let topped =
+    List.map
+      (fun (p, secret) -> (p, Certificate.share t.pki secret ~purpose ~payload))
+      secrets
+    @ harvested
+    |> List.sort_uniq (fun (a, _) (b, _) -> Pid.compare a b)
+  in
+  if List.length topped < k then None
+  else
+    Certificate.make t.pki ~k ~purpose ~payload
+      (List.filteri (fun i _ -> i < k) (List.map snd topped))

@@ -1,0 +1,39 @@
+(** Attack-legal certificate forging for adversary strategies.
+
+    The model allows a Byzantine coalition exactly two ways to a quorum
+    certificate: reuse shares it {e observed} (correct processes routed them
+    through a corrupted leader), and contribute shares signed with the
+    secrets of processes it has {e already corrupted}. This share bank
+    packages both: [observe] harvests inbox shares (discarding any that do
+    not verify against their claimed purpose/payload — the bank never holds
+    junk), and [certify] tops the harvest up with corrupted shares and
+    combines at threshold [k].
+
+    It deliberately offers nothing else: there is no way to conjure a share
+    for an uncorrupted process, so strategies built on it stay within the
+    crypto limits by construction. Scripted attacks ({!Mewc_core.Attacks})
+    and the fuzzer's share-spray behavior both build on it. *)
+
+type t
+
+val create : Pki.t -> t
+(** An empty bank; shares verify against (and certificates form under) the
+    given PKI. *)
+
+val observe : t -> purpose:string -> payload:string -> Pki.Sig.t -> unit
+(** Bank a share for the claimed purpose/payload; silently dropped unless it
+    verifies. Banking the same signer twice keeps one share. *)
+
+val harvested : t -> purpose:string -> payload:string -> int
+(** Distinct signers banked for this purpose/payload. *)
+
+val certify :
+  t ->
+  k:int ->
+  purpose:string ->
+  payload:string ->
+  secrets:(Mewc_prelude.Pid.t * Pki.Secret.t) list ->
+  Certificate.t option
+(** Combine the banked shares, topped up with fresh shares signed by
+    [secrets] (the coalition's corrupted keys), into a [k]-certificate;
+    [None] if even the topped-up set has fewer than [k] distinct signers. *)

@@ -33,7 +33,9 @@ module Make (V : Value.S) = struct
     let adversary = adversary ~pki ~secrets in
     let horizon = P.horizon cfg ~round_len in
     let res =
-      Engine.run ~cfg ~record_trace ~words:P.words ~horizon ~protocol ~adversary ()
+      Engine.run ~cfg
+        ~options:{ Engine.default_options with record_trace }
+        ~words:P.words ~horizon ~protocol ~adversary ()
     in
     {
       decisions = Array.map P.decision res.Engine.states;

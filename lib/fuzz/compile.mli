@@ -1,0 +1,27 @@
+(** Compile a {!Scenario.t} into a runnable adversary.
+
+    The interpretation is generic over any {!Mewc_core.Protocol.S} instance:
+    deviant behaviors (selective silence, quorum withholding, equivocation)
+    drive honest copies of the instance's own machine — seeded from the
+    state frozen at corruption time — and mangle the sends; rushing echo and
+    stale replay work on observed envelopes; share spray defers to the
+    instance's forger when it has one.
+
+    Attack legality is structural: signatures only ever come from the
+    instance's machine run under a corrupted secret, or from the forger,
+    which receives exclusively the secrets of processes corrupted at or
+    before the current slot. *)
+
+open Mewc_sim
+open Mewc_core
+
+val adversary :
+  ('p, 's, 'm, 'd) Protocol.t ->
+  cfg:Config.t ->
+  params:'p ->
+  Scenario.t ->
+  ('s, 'm) Adversary.factory
+(** The resulting factory corrupts [pid] at slot [at] for every scenario
+    corruption and plays the listed behavior from then on. A scenario whose
+    victim count exceeds [cfg.t] compiles fine but the engine rejects it at
+    run time ([Invalid_argument]), exactly like any over-budget adversary. *)

@@ -1,0 +1,282 @@
+open Mewc_prelude
+open Mewc_sim
+
+type behavior =
+  | Silent
+  | Selective_silence of { drop_mod : int; drop_rem : int }
+  | Withhold_quorum of { keep : int }
+  | Equivocate of { salt : int }
+  | Rushing_echo of { shift : int }
+  | Replay_stale of { delay : int }
+  | Spray of { intensity : int }
+
+type corruption = { at : int; pid : Pid.t; behavior : behavior }
+
+type t = { seed : int64; shuffle : int64 option; corruptions : corruption list }
+
+(* ---- equality, printing ------------------------------------------------ *)
+
+let equal_behavior (a : behavior) (b : behavior) = a = b
+
+let equal_corruption a b =
+  a.at = b.at && Pid.equal a.pid b.pid && equal_behavior a.behavior b.behavior
+
+let equal a b =
+  Int64.equal a.seed b.seed
+  && Option.equal Int64.equal a.shuffle b.shuffle
+  && List.equal equal_corruption a.corruptions b.corruptions
+
+let pp_behavior fmt = function
+  | Silent -> Format.pp_print_string fmt "silent"
+  | Selective_silence { drop_mod; drop_rem } ->
+    Format.fprintf fmt "selective-silence(dst mod %d = %d)" drop_mod drop_rem
+  | Withhold_quorum { keep } -> Format.fprintf fmt "withhold-quorum(keep=%d)" keep
+  | Equivocate { salt } -> Format.fprintf fmt "equivocate(salt=%d)" salt
+  | Rushing_echo { shift } -> Format.fprintf fmt "rushing-echo(shift=%d)" shift
+  | Replay_stale { delay } -> Format.fprintf fmt "replay-stale(delay=%d)" delay
+  | Spray { intensity } -> Format.fprintf fmt "spray(intensity=%d)" intensity
+
+let pp fmt t =
+  Format.fprintf fmt "seed=%Ld shuffle=%s [%a]" t.seed
+    (match t.shuffle with None -> "none" | Some s -> Int64.to_string s)
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+       (fun fmt c ->
+         Format.fprintf fmt "p%d@%d:%a" c.pid c.at pp_behavior c.behavior))
+    t.corruptions
+
+(* ---- generation -------------------------------------------------------- *)
+
+let canonical corruptions =
+  List.sort
+    (fun a b -> Stdlib.compare (a.at, a.pid) (b.at, b.pid))
+    corruptions
+
+let gen_behavior rng =
+  match Rng.int rng 10 with
+  | 0 | 1 -> Silent
+  | 2 ->
+    Selective_silence { drop_mod = 2 + Rng.int rng 2; drop_rem = Rng.int rng 2 }
+  | 3 -> Withhold_quorum { keep = Rng.int rng 4 }
+  | 4 -> Equivocate { salt = 1 + Rng.int rng 3 }
+  | 5 -> Rushing_echo { shift = 1 + Rng.int rng 3 }
+  | 6 -> Replay_stale { delay = 1 + Rng.int rng 3 }
+  | _ -> Spray { intensity = 1 + Rng.int rng 3 }
+
+let generate ~cfg ~rng =
+  let n = cfg.Config.n and t = cfg.Config.t in
+  let seed = Rng.int64 rng in
+  let shuffle = if Rng.bool rng then Some (Rng.int64 rng) else None in
+  let corruptions =
+    if t = 0 then []
+    else begin
+      let k = 1 + Rng.int rng t in
+      let all = Pid.all ~n in
+      (* Half the time, seed the victim set with a phase leader: leaders are
+         the high-value corruption targets in every leader-based phase
+         structure, and an unbiased sample rarely hits them early. *)
+      let leaders = List.filter (fun p -> p >= 1 && p <= t + 1) all in
+      let pids =
+        if Rng.bool rng && leaders <> [] then
+          let first = Rng.pick rng leaders in
+          first
+          :: Rng.sample rng (k - 1)
+               (List.filter (fun q -> not (Pid.equal first q)) all)
+        else Rng.sample rng k all
+      in
+      canonical
+        (List.map
+           (fun pid ->
+             let at = if Rng.bool rng then 0 else Rng.int rng 8 in
+             { at; pid; behavior = gen_behavior rng })
+           pids)
+    end
+  in
+  { seed; shuffle; corruptions }
+
+(* ---- shrinking --------------------------------------------------------- *)
+
+let behavior_weight = function
+  | Silent -> 0
+  | Selective_silence { drop_mod; drop_rem } -> 1 + drop_mod + drop_rem
+  | Withhold_quorum { keep } -> 1 + keep
+  | Equivocate { salt } -> 2 + salt
+  | Rushing_echo { shift } -> 2 + shift
+  | Replay_stale { delay } -> 2 + delay
+  | Spray { intensity } -> 3 + intensity
+
+let size t =
+  (match t.shuffle with None -> 0 | Some _ -> 1)
+  + List.fold_left
+      (fun acc c -> acc + 16 + c.at + behavior_weight c.behavior)
+      0 t.corruptions
+
+let simpler_behaviors = function
+  | Silent -> []
+  | Selective_silence _ -> [ Silent ]
+  | Withhold_quorum { keep } ->
+    Silent :: (if keep > 0 then [ Withhold_quorum { keep = keep - 1 } ] else [])
+  | Equivocate { salt } ->
+    Silent :: (if salt > 1 then [ Equivocate { salt = salt - 1 } ] else [])
+  | Rushing_echo { shift } ->
+    Silent :: (if shift > 1 then [ Rushing_echo { shift = shift - 1 } ] else [])
+  | Replay_stale { delay } ->
+    Silent :: (if delay > 1 then [ Replay_stale { delay = delay - 1 } ] else [])
+  | Spray { intensity } ->
+    Silent :: (if intensity > 1 then [ Spray { intensity = intensity - 1 } ] else [])
+
+let candidates t =
+  let n = List.length t.corruptions in
+  let drop =
+    List.init n (fun i ->
+        {
+          t with
+          corruptions = List.filteri (fun j _ -> j <> i) t.corruptions;
+        })
+  in
+  let simplify =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           List.map
+             (fun b ->
+               {
+                 t with
+                 corruptions =
+                   List.mapi
+                     (fun j c' -> if j = i then { c' with behavior = b } else c')
+                     t.corruptions;
+               })
+             (simpler_behaviors c.behavior))
+         t.corruptions)
+  in
+  let earlier =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           if c.at = 0 then []
+           else
+             [
+               {
+                 t with
+                 corruptions =
+                   canonical
+                     (List.mapi
+                        (fun j c' -> if j = i then { c' with at = 0 } else c')
+                        t.corruptions);
+               };
+             ])
+         t.corruptions)
+  in
+  let unshuffle =
+    match t.shuffle with None -> [] | Some _ -> [ { t with shuffle = None } ]
+  in
+  drop @ simplify @ earlier @ unshuffle
+
+(* ---- JSON (fields of a mewc-fuzz/1 document) --------------------------- *)
+
+let behavior_to_json b =
+  let open Jsonx in
+  match b with
+  | Silent -> Obj [ ("kind", Str "silent") ]
+  | Selective_silence { drop_mod; drop_rem } ->
+    Obj
+      [
+        ("kind", Str "selective-silence");
+        ("drop_mod", Int drop_mod);
+        ("drop_rem", Int drop_rem);
+      ]
+  | Withhold_quorum { keep } ->
+    Obj [ ("kind", Str "withhold-quorum"); ("keep", Int keep) ]
+  | Equivocate { salt } -> Obj [ ("kind", Str "equivocate"); ("salt", Int salt) ]
+  | Rushing_echo { shift } ->
+    Obj [ ("kind", Str "rushing-echo"); ("shift", Int shift) ]
+  | Replay_stale { delay } ->
+    Obj [ ("kind", Str "replay-stale"); ("delay", Int delay) ]
+  | Spray { intensity } ->
+    Obj [ ("kind", Str "spray"); ("intensity", Int intensity) ]
+
+let to_json t =
+  let open Jsonx in
+  Obj
+    [
+      ("seed", Str (Int64.to_string t.seed));
+      ( "shuffle",
+        match t.shuffle with None -> Null | Some s -> Str (Int64.to_string s) );
+      ( "corruptions",
+        Arr
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("at", Int c.at);
+                   ("pid", Int c.pid);
+                   ("behavior", behavior_to_json c.behavior);
+                 ])
+             t.corruptions) );
+    ]
+
+let ( let* ) = Result.bind
+
+let field name get j =
+  match Option.bind (Jsonx.member name j) get with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let int64_of_str s =
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "not an int64: %S" s)
+
+let behavior_of_json j =
+  let* kind = field "kind" Jsonx.get_str j in
+  match kind with
+  | "silent" -> Ok Silent
+  | "selective-silence" ->
+    let* drop_mod = field "drop_mod" Jsonx.get_int j in
+    let* drop_rem = field "drop_rem" Jsonx.get_int j in
+    Ok (Selective_silence { drop_mod; drop_rem })
+  | "withhold-quorum" ->
+    let* keep = field "keep" Jsonx.get_int j in
+    Ok (Withhold_quorum { keep })
+  | "equivocate" ->
+    let* salt = field "salt" Jsonx.get_int j in
+    Ok (Equivocate { salt })
+  | "rushing-echo" ->
+    let* shift = field "shift" Jsonx.get_int j in
+    Ok (Rushing_echo { shift })
+  | "replay-stale" ->
+    let* delay = field "delay" Jsonx.get_int j in
+    Ok (Replay_stale { delay })
+  | "spray" ->
+    let* intensity = field "intensity" Jsonx.get_int j in
+    Ok (Spray { intensity })
+  | k -> Error (Printf.sprintf "unknown behavior kind %S" k)
+
+let of_json j =
+  let* seed = Result.bind (field "seed" Jsonx.get_str j) int64_of_str in
+  let* shuffle =
+    match Jsonx.member "shuffle" j with
+    | Some Jsonx.Null | None -> Ok None
+    | Some (Jsonx.Str s) -> Result.map Option.some (int64_of_str s)
+    | Some _ -> Error "ill-typed field \"shuffle\""
+  in
+  let* corruptions =
+    match Option.bind (Jsonx.member "corruptions" j) Jsonx.get_list with
+    | None -> Error "missing corruptions array"
+    | Some items ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          let* at = field "at" Jsonx.get_int item in
+          let* pid = field "pid" Jsonx.get_int item in
+          let* behavior =
+            match Jsonx.member "behavior" item with
+            | Some b -> behavior_of_json b
+            | None -> Error "missing behavior"
+          in
+          Ok ({ at; pid; behavior } :: acc))
+        (Ok []) items
+      |> Result.map List.rev
+  in
+  Ok { seed; shuffle; corruptions }

@@ -247,3 +247,16 @@ let get_int = function Int i -> Some i | _ -> None
 let get_bool = function Bool b -> Some b | _ -> None
 let get_str = function Str s -> Some s | _ -> None
 let get_list = function Arr xs -> Some xs | _ -> None
+
+(* ---- schema tags ------------------------------------------------------- *)
+
+module Schema = struct
+  let key = "schema"
+  let tag name fields = Obj ((key, Str name) :: fields)
+
+  let check name j =
+    match member key j with
+    | Some (Str s) when String.equal s name -> Ok ()
+    | Some (Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
+    | Some _ | None -> Error "missing schema tag"
+end

@@ -35,3 +35,23 @@ val get_int : t -> int option
 val get_bool : t -> bool option
 val get_str : t -> string option
 val get_list : t -> t list option
+
+(** Versioned document tags.
+
+    Every JSON document this repo emits carries a [("schema", "mewc-*/N")]
+    field so a reader can reject documents it does not understand. This
+    helper is the single place those literals live: emitters build the
+    document with {!Schema.tag} and parsers gate on {!Schema.check}, so a
+    schema string can never drift between its writer and its reader. *)
+module Schema : sig
+  val key : string
+  (** The reserved field name, ["schema"]. *)
+
+  val tag : string -> (string * t) list -> t
+  (** [tag name fields] is [Obj] with [(key, Str name)] prepended. *)
+
+  val check : string -> t -> (unit, string) result
+  (** [check name j] accepts exactly the documents [tag name _] produces:
+      an object whose [key] field is [Str name]. The error distinguishes a
+      wrong tag from a missing one. *)
+end

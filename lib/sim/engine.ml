@@ -9,8 +9,19 @@ type ('s, 'm) outcome = {
   slots : int;
 }
 
-let run ~cfg ?(record_trace = false) ?shuffle_seed ?(monitors = [])
-    ?decided ~words ~horizon ~protocol ~adversary () =
+type ('s, 'm) options = {
+  record_trace : bool;
+  shuffle_seed : int64 option;
+  monitors : 'm Monitor.t list;
+  decided : ('s -> string option) option;
+}
+
+let default_options =
+  { record_trace = false; shuffle_seed = None; monitors = []; decided = None }
+
+let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
+    () =
+  let { record_trace; shuffle_seed; monitors; decided } = options in
   let n = cfg.Config.n in
   let shuffle_rng = Option.map Rng.create shuffle_seed in
   let machines = Array.init n protocol in

@@ -36,12 +36,30 @@ type ('s, 'm) outcome = {
   slots : int;
 }
 
+type ('s, 'm) options = {
+  record_trace : bool;  (** materialize the run's {!Trace.t} *)
+  shuffle_seed : int64 option;
+      (** permutes every inbox deterministically before delivery: within a
+          slot the network may present messages in any order, and correct
+          protocols must not care. Tests run the whole suite's scenarios
+          under random inbox orders to enforce that. *)
+  monitors : 'm Monitor.t list;  (** online invariant checkers *)
+  decided : ('s -> string option) option;
+      (** renders a state's decision, if any; when given (and someone is
+          observing), the engine emits a {!Trace.Decision} event in the slot
+          a correct process's decision first becomes — or, protocol bug,
+          changes to — that printed value. *)
+}
+(** Observability knobs, gathered in one record so that adding a knob does
+    not grow every caller's argument list. Start from {!default_options} and
+    override the fields you need. *)
+
+val default_options : ('s, 'm) options
+(** No trace, in-order delivery, no monitors, no decision projection. *)
+
 val run :
   cfg:Config.t ->
-  ?record_trace:bool ->
-  ?shuffle_seed:int64 ->
-  ?monitors:'m Monitor.t list ->
-  ?decided:('s -> string option) ->
+  ?options:('s, 'm) options ->
   words:('m -> int) ->
   horizon:int ->
   protocol:(Mewc_prelude.Pid.t -> ('s, 'm) Process.t) ->
@@ -51,14 +69,4 @@ val run :
 (** Raises [Invalid_argument] if the adversary exceeds the corruption budget
     [cfg.t], corrupts an unknown process, or addresses a message to an
     unknown process. Raises {!Monitor.Violation} as soon as an installed
-    monitor's invariant breaks.
-
-    [shuffle_seed] permutes every inbox deterministically before delivery:
-    within a slot the network may present messages in any order, and
-    correct protocols must not care. Tests run the whole suite's scenarios
-    under random inbox orders to enforce that.
-
-    [decided] renders a state's decision, if any; when given (and someone is
-    observing), the engine emits a {!Trace.Decision} event in the slot a
-    correct process's decision first becomes — or, protocol bug, changes
-    to — that printed value. *)
+    monitor's invariant breaks. *)

@@ -133,9 +133,8 @@ let row_to_json key r =
     ]
 
 let snapshot_to_json s =
-  Jsonx.Obj
+  Jsonx.Schema.tag "mewc-meter/1"
     [
-      ("schema", Jsonx.Str "mewc-meter/1");
       ("correct_words", Jsonx.Int s.correct_words);
       ("correct_messages", Jsonx.Int s.correct_messages);
       ("byz_words", Jsonx.Int s.byz_words);

@@ -114,11 +114,8 @@ let event_to_json ~encode = function
       ]
 
 let to_json ~encode t =
-  Jsonx.Obj
-    [
-      ("schema", Jsonx.Str schema);
-      ("events", Jsonx.Arr (List.map (event_to_json ~encode) (events t)));
-    ]
+  Jsonx.Schema.tag schema
+    [ ("events", Jsonx.Arr (List.map (event_to_json ~encode) (events t))) ]
 
 let event_of_json ~decode j =
   let field name get =
@@ -162,12 +159,7 @@ let event_of_json ~decode j =
 
 let of_json ~decode j =
   let ( let* ) = Result.bind in
-  let* () =
-    match Option.bind (Jsonx.member "schema" j) Jsonx.get_str with
-    | Some s when String.equal s schema -> Ok ()
-    | Some s -> Error (Printf.sprintf "unsupported schema %S" s)
-    | None -> Error "missing schema tag"
-  in
+  let* () = Jsonx.Schema.check schema j in
   let* events =
     match Option.bind (Jsonx.member "events" j) Jsonx.get_list with
     | Some evs -> Ok evs

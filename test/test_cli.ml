@@ -1,0 +1,122 @@
+(* CLI argument parsing for every mewc subcommand, exercised through the
+   real binary: --help exits 0, unknown subcommands/flags and missing
+   required arguments exit with cmdliner's CLI-error status (124), and the
+   fuzz subcommand's mode/exit-code contract holds (clean campaign 0, usage
+   misuse 1, tampered corpus entry 1).
+
+   The binary is a declared dune dependency of this test, so it is always
+   present at ../bin/mewc.exe relative to the test's working directory. *)
+
+let mewc = Filename.concat (Filename.concat ".." "bin") "mewc.exe"
+
+(* Run [mewc args], muting output; returns the exit code. *)
+let run args =
+  Sys.command (Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote mewc) args)
+
+(* Run [mewc args] and capture stdout. *)
+let run_out args =
+  let tmp = Filename.temp_file "mewc-cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf "%s %s >%s 2>/dev/null" (Filename.quote mewc) args
+             (Filename.quote tmp))
+      in
+      (code, In_channel.with_open_text tmp In_channel.input_all))
+
+let check_code name expected args =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check int) (Printf.sprintf "mewc %s" args) expected (run args))
+
+let cli_error = 124
+
+let help_cases =
+  [
+    check_code "mewc --help" 0 "--help";
+    check_code "run --help" 0 "run --help";
+    check_code "trace --help" 0 "trace --help";
+    check_code "bench --help" 0 "bench --help";
+    check_code "fuzz --help" 0 "fuzz --help";
+  ]
+
+let error_cases =
+  [
+    check_code "unknown subcommand" cli_error "frobnicate";
+    check_code "unknown flag" cli_error "run --bogus-flag";
+    check_code "missing required -p" cli_error "run";
+    check_code "bad protocol name" cli_error "run -p not-a-protocol";
+    check_code "bad trace format" cli_error "trace -p bb --format yaml";
+    check_code "non-int count" cli_error "fuzz --target weak-ba --count many";
+    check_code "replay of missing file" cli_error "fuzz --replay /nonexistent.json";
+    check_code "replay-dir of missing dir" cli_error "fuzz --replay-dir /nonexistent-dir";
+  ]
+
+let test_fuzz_requires_mode () =
+  (* no --target and no mode flag: a usage error from fuzz itself, not
+     cmdliner — distinct code 1 *)
+  Alcotest.(check int) "fuzz alone" 1 (run "fuzz")
+
+let test_fuzz_list () =
+  let code, out = run_out "fuzz --list" in
+  Alcotest.(check int) "exit 0" 0 code;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true
+        (List.mem name
+           (List.concat_map
+              (fun l -> String.split_on_char ' ' l)
+              (String.split_on_char '\n' out))))
+    [ "fallback"; "weak-ba"; "weak-ba-ablated"; "bb"; "binary-bb"; "strong-ba" ]
+
+let test_fuzz_clean_campaign () =
+  (* tiny sound campaign: exits 0 (no violation) *)
+  Alcotest.(check int) "clean exit" 0
+    (run "fuzz --target weak-ba --count 8 --seed 3 -j 2")
+
+let test_fuzz_unknown_target () =
+  Alcotest.(check int) "unknown target" 1 (run "fuzz --target nonesuch")
+
+let test_fuzz_rejects_tampered_entry () =
+  (* a well-formed corpus entry whose recorded violation cannot reproduce *)
+  let tmp = Filename.temp_file "mewc-cli" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          output_string oc
+            {|{"schema":"mewc-fuzz/1","target":"weak-ba","n":9,"t":4,
+               "scenario":{"seed":"1","shuffle":null,"corruptions":[]},
+               "violation":{"monitor":"agreement","slot":3,"reason":"planted"}}|});
+      Alcotest.(check int) "tampered entry rejected" 1
+        (run (Printf.sprintf "fuzz --replay %s" (Filename.quote tmp))))
+
+let test_fuzz_rejects_foreign_schema () =
+  let tmp = Filename.temp_file "mewc-cli" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Out_channel.with_open_text tmp (fun oc ->
+          output_string oc {|{"schema":"mewc-trace/1","events":[]}|});
+      Alcotest.(check int) "foreign schema rejected" 1
+        (run (Printf.sprintf "fuzz --replay %s" (Filename.quote tmp))))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ("help", help_cases);
+      ("parse errors", error_cases);
+      ( "fuzz modes",
+        [
+          Alcotest.test_case "requires a mode" `Quick test_fuzz_requires_mode;
+          Alcotest.test_case "--list" `Quick test_fuzz_list;
+          Alcotest.test_case "clean campaign exits 0" `Quick
+            test_fuzz_clean_campaign;
+          Alcotest.test_case "unknown target" `Quick test_fuzz_unknown_target;
+          Alcotest.test_case "tampered entry" `Quick
+            test_fuzz_rejects_tampered_entry;
+          Alcotest.test_case "foreign schema" `Quick
+            test_fuzz_rejects_foreign_schema;
+        ] );
+    ]

@@ -182,8 +182,9 @@ let trace_shows_quiescence () =
     }
   in
   let res =
-    Engine.run ~cfg:c ~record_trace:true ~words:E.words
-      ~horizon:(E.horizon c ~round_len:1) ~protocol
+    Engine.run ~cfg:c
+      ~options:{ Engine.default_options with record_trace = true }
+      ~words:E.words ~horizon:(E.horizon c ~round_len:1) ~protocol
       ~adversary:(Adversary.honest ~name:"h") ()
   in
   let last_decision =

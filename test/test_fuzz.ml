@@ -1,0 +1,160 @@
+(* The fuzzer fuzzed: generator sanity, shrink metric monotonicity, corpus
+   round-trips, determinism of scenario execution, and the end-to-end smoke
+   gate (sound targets clean; the planted weak-BA quorum ablation found,
+   shrunk to a fixpoint, and replayed byte-identically). *)
+
+open Mewc_prelude
+open Mewc_sim
+open Mewc_fuzz
+
+let cfg = Config.create ~n:9 ~t:4
+
+let scenarios k =
+  let rng = Rng.create 42L in
+  List.init k (fun _ -> Scenario.generate ~cfg ~rng)
+
+let test_generator_budget () =
+  List.iter
+    (fun (sc : Scenario.t) ->
+      let cs = sc.Scenario.corruptions in
+      Alcotest.(check bool) "within budget" true (List.length cs <= 4);
+      let pids = List.map (fun c -> c.Scenario.pid) cs in
+      Alcotest.(check bool)
+        "distinct pids" true
+        (List.length (List.sort_uniq compare pids) = List.length pids);
+      List.iter
+        (fun (c : Scenario.corruption) ->
+          Alcotest.(check bool) "pid in range" true (c.pid >= 0 && c.pid < 9);
+          Alcotest.(check bool) "slot sane" true (c.at >= 0 && c.at < 8))
+        cs;
+      let sorted =
+        List.sort (fun a b -> compare (a.Scenario.at, a.pid) (b.Scenario.at, b.pid)) cs
+      in
+      Alcotest.(check bool) "canonical order" true (cs = sorted))
+    (scenarios 100)
+
+let test_json_roundtrip () =
+  List.iter
+    (fun sc ->
+      match Scenario.of_json (Scenario.to_json sc) with
+      | Ok sc' ->
+        Alcotest.(check bool)
+          (Format.asprintf "roundtrip %a" Scenario.pp sc)
+          true (Scenario.equal sc sc')
+      | Error e -> Alcotest.failf "of_json failed: %s" e)
+    (scenarios 50)
+
+let test_shrink_metric () =
+  List.iter
+    (fun sc ->
+      let s = Scenario.size sc in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool)
+            (Format.asprintf "candidate smaller: %a -> %a" Scenario.pp sc
+               Scenario.pp c)
+            true
+            (Scenario.size c < s))
+        (Scenario.candidates sc))
+    (scenarios 50)
+
+let test_run_deterministic () =
+  let target = Option.get (Campaign.find_target "weak-ba") in
+  List.iter
+    (fun sc ->
+      let a = Campaign.violation_of target ~cfg sc in
+      let b = Campaign.violation_of target ~cfg sc in
+      Alcotest.(check bool) "same outcome" true (a = b))
+    (scenarios 10)
+
+let test_campaign_jobs_invariant () =
+  (* The batched scan's outcome must not depend on parallelism. *)
+  let target = Option.get (Campaign.find_target Campaign.planted_target) in
+  let run jobs =
+    Campaign.campaign ~jobs target ~cfg ~seed:Campaign.smoke_seed
+      ~count:Campaign.smoke_count ()
+  in
+  match (run 1, run 4) with
+  | Some a, Some b ->
+    Alcotest.(check int) "same index" a.Campaign.index b.Campaign.index;
+    Alcotest.(check bool)
+      "same scenario" true
+      (Scenario.equal a.Campaign.scenario b.Campaign.scenario)
+  | _ -> Alcotest.fail "planted campaign came up empty"
+
+let test_smoke () =
+  match Campaign.smoke ~jobs:2 () with
+  | Error e -> Alcotest.failf "smoke failed: %s" e
+  | Ok entry ->
+    Alcotest.(check string) "target" Campaign.planted_target entry.Campaign.target;
+    Alcotest.(check string)
+      "agreement is what breaks" "agreement"
+      entry.Campaign.violation.Monitor.monitor;
+    (* the minimized schedule needs at least two coalition members: one to
+       suppress the honest phase-1 decision, one (even-pid) to spray *)
+    Alcotest.(check bool)
+      "minimal but nonempty" true
+      (List.length entry.Campaign.scenario.Scenario.corruptions = 2);
+    (* corpus round-trip through disk *)
+    let path = Filename.temp_file "mewc-fuzz" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Campaign.save path entry;
+        match Campaign.load path with
+        | Error e -> Alcotest.failf "corpus load failed: %s" e
+        | Ok entry' ->
+          Alcotest.(check bool)
+            "entry roundtrip" true
+            (Jsonx.equal (Campaign.entry_to_json entry)
+               (Campaign.entry_to_json entry'));
+          (match Campaign.replay entry' with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "replay of loaded entry failed: %s" e))
+
+let test_replay_rejects_drift () =
+  match Campaign.smoke ~jobs:2 () with
+  | Error e -> Alcotest.failf "smoke failed: %s" e
+  | Ok entry -> (
+    let tampered =
+      {
+        entry with
+        Campaign.violation =
+          { entry.Campaign.violation with Monitor.slot = 999 };
+      }
+    in
+    match Campaign.replay tampered with
+    | Ok _ -> Alcotest.fail "replay accepted a drifted violation"
+    | Error _ -> ())
+
+let test_corpus_schema_gate () =
+  let j = Jsonx.Obj [ (Jsonx.Schema.key, Jsonx.Str "mewc-trace/1") ] in
+  match Campaign.entry_of_json j with
+  | Ok _ -> Alcotest.fail "accepted a foreign schema"
+  | Error e ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the schema" true (contains e "mewc-trace/1")
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "generator budget" `Quick test_generator_budget;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "shrink metric" `Quick test_shrink_metric;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "jobs invariant" `Quick test_campaign_jobs_invariant;
+          Alcotest.test_case "smoke" `Quick test_smoke;
+          Alcotest.test_case "replay rejects drift" `Quick
+            test_replay_rejects_drift;
+          Alcotest.test_case "schema gate" `Quick test_corpus_schema_gate;
+        ] );
+    ]

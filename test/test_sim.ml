@@ -182,7 +182,9 @@ let trace_records () =
     }
   in
   let res =
-    Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:2 ~protocol
+    Engine.run ~cfg
+      ~options:{ Engine.default_options with record_trace = true }
+      ~words:(fun _ -> 1) ~horizon:2 ~protocol
       ~adversary:(Adversary.honest ~name:"h") ()
   in
   (* 2 slot boundaries + 3 sends (one per process, all addressed to p1). *)
@@ -265,8 +267,10 @@ let meter_snapshot_isolation () =
 let zero_horizon () =
   let cfg = Config.create ~n:3 ~t:1 in
   let res =
-    Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:0
-      ~protocol:ping_protocol ~adversary:(Adversary.honest ~name:"h") ()
+    Engine.run ~cfg
+      ~options:{ Engine.default_options with record_trace = true }
+      ~words:(fun _ -> 1) ~horizon:0 ~protocol:ping_protocol
+      ~adversary:(Adversary.honest ~name:"h") ()
   in
   Alcotest.(check int) "no slots" 0 res.Engine.slots;
   Alcotest.(check int) "no events" 0 (Trace.length res.Engine.trace);
@@ -289,7 +293,9 @@ let double_corruption_single_charge () =
     }
   in
   let res =
-    Engine.run ~cfg ~record_trace:true ~words:(fun _ -> 1) ~horizon:3
+    Engine.run ~cfg
+      ~options:{ Engine.default_options with record_trace = true }
+      ~words:(fun _ -> 1) ~horizon:3
       ~protocol:(fun _ -> Process.silent ()) ~adversary ()
   in
   Alcotest.(check int) "f" 1 res.Engine.f;
@@ -327,8 +333,10 @@ let shuffle_deterministic () =
   in
   let run seed =
     let res =
-      Engine.run ~cfg ?shuffle_seed:seed ~words:(fun _ -> 1) ~horizon:3
-        ~protocol ~adversary:(Adversary.honest ~name:"h") ()
+      Engine.run ~cfg
+        ~options:{ Engine.default_options with shuffle_seed = seed }
+        ~words:(fun _ -> 1) ~horizon:3 ~protocol
+        ~adversary:(Adversary.honest ~name:"h") ()
     in
     Array.to_list res.Engine.states
   in
