@@ -7,7 +7,11 @@
      --no-timings   skip the Bechamel stage
      --jobs N       domains for the parallel perf pass (default: all cores)
      --smoke        CI gate: only the small perf grid, parallel vs
-                    sequential, exit 1 if outputs differ (no files written) *)
+                    sequential, exit 1 if outputs differ (no files written)
+     --ledger FILE  append the perf sweep to the given mewc-ledger/1 file
+     --rev REV      git revision to record in the ledger entry (the bench
+                    never shells out; default "unknown")
+     --date DATE    date to record in the ledger entry (default "unknown") *)
 
 open Mewc_sim
 open Mewc_core
@@ -112,9 +116,11 @@ let print_report (r : Sweep.report) =
     r.Sweep.parallel_s r.Sweep.speedup
     (if r.Sweep.identical then "==" else "!=")
 
-let run_perf ~jobs =
-  let report = Sweep.run_perf ?jobs Sweep.standard_grid in
+let run_perf ~jobs ~ledger ~rev ~date =
+  let profile = Profile.create () in
+  let report = Sweep.run_perf ?jobs ~profile Sweep.standard_grid in
   print_report report;
+  print_string (Profile.flame profile);
   let path = "BENCH_perf.json" in
   let oc = open_out path in
   output_string oc (Mewc_prelude.Jsonx.to_string (Sweep.report_to_json report));
@@ -124,7 +130,18 @@ let run_perf ~jobs =
   if not report.Sweep.identical then begin
     prerr_endline "[PERF-SWEEP] FATAL: parallel sweep diverged from sequential";
     exit 1
-  end
+  end;
+  match ledger with
+  | None -> ()
+  | Some path -> (
+    let entry = Ledger.of_report ~rev ~date ~grid:"standard" ~profile report in
+    match Ledger.append path entry with
+    | Ok count ->
+      Printf.printf "[PERF-SWEEP] appended %s@%s to %s (%d entries)\n%!" rev
+        date path count
+    | Error e ->
+      Printf.eprintf "[PERF-SWEEP] FATAL: ledger append failed: %s\n" e;
+      exit 1)
 
 let run_smoke ~jobs =
   (* The CI gate: big enough to cross the fallback threshold, fast enough
@@ -144,21 +161,29 @@ let () =
   let argv = Array.to_list Sys.argv in
   let skip_timings = List.mem "--no-timings" argv in
   let smoke = List.mem "--smoke" argv in
-  let jobs =
+  let string_flag name =
     let rec find = function
-      | "--jobs" :: v :: _ -> (
-        match int_of_string_opt v with
-        | Some j when j >= 1 -> Some j
-        | _ -> failwith "bench: --jobs expects a positive integer")
+      | flag :: v :: _ when String.equal flag name -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find argv
   in
+  let jobs =
+    match string_flag "--jobs" with
+    | None -> None
+    | Some v -> (
+      match int_of_string_opt v with
+      | Some j when j >= 1 -> Some j
+      | _ -> failwith "bench: --jobs expects a positive integer")
+  in
+  let ledger = string_flag "--ledger" in
+  let rev = Option.value (string_flag "--rev") ~default:"unknown" in
+  let date = Option.value (string_flag "--date") ~default:"unknown" in
   if smoke then run_smoke ~jobs
   else begin
     run_tables ();
     write_observability ();
-    run_perf ~jobs;
+    run_perf ~jobs ~ledger ~rev ~date;
     if not skip_timings then run_timings ()
   end

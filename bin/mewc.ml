@@ -3,19 +3,45 @@
    Examples:
      mewc run -p bb -n 9 --adversary crash -f 2
      mewc run -p weak-ba -n 21 --adversary busy-leaders -f 4 --seed 7 --trace
-     mewc run -p strong-ba -n 9 --adversary withholding-leader
+     mewc run -p strong-ba -n 9 --adversary withholding-leader --profile
      mewc run -p fallback -n 9 --adversary equivocating-king
      mewc run -p dolev-strong -n 9
      mewc trace -p weak-ba -n 9 --adversary crash -f 2 --format csv -o run.csv
+     mewc trace -p weak-ba -n 9 --adversary crash -f 2 --cone 5 --dot
+     mewc perf diff -- -2 -1
    `run` prints per-process decisions and the run's communication metering
    (with --trace, also the per-slot word series); `trace` emits the full
-   structured execution trace as JSON (schema mewc-trace/1) or CSV. *)
+   structured execution trace as JSON (schema mewc-trace/2) or CSV, or a
+   decision's happens-before cone; `perf` manages the append-only
+   regression ledger (schema mewc-ledger/1).
+
+   Exit codes, uniform across subcommands:
+     0    success
+     1    misuse or operational failure (unsupported combination, missing
+          file, non-reproducing corpus entry, ...)
+     3    a finding: a fuzz violation, or a perf regression beyond threshold
+     124  parse errors — ours (malformed JSON, wrong schema) and cmdliner's
+          (bad command line), deliberately the same code *)
 
 open Mewc_sim
 open Mewc_core
 module Jsonx = Mewc_prelude.Jsonx
 
 let pr fmt = Printf.printf fmt
+
+let die_misuse fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "mewc: %s\n" s;
+      exit 1)
+    fmt
+
+let die_parse fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "mewc: %s\n" s;
+      exit 124)
+    fmt
 
 type protocol = Bb | Weak_ba | Strong_ba | Fallback | Dolev_strong | Naive_bb
 
@@ -73,9 +99,7 @@ let generic ~f name =
   | "staggered" -> Ok (staggered ~f)
   | other -> Error other
 
-let unsupported p a =
-  pr "adversary %S is not applicable to protocol %s\n" a p;
-  exit 2
+let unsupported p a = die_misuse "adversary %S is not applicable to protocol %s" a p
 
 let bb_adversary ~cfg ~f ~input adversary =
   match generic ~f adversary with
@@ -146,17 +170,18 @@ let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) 
 
 let decision_line p d = pr "  p%-3d decided %s\n" p d
 
-let run_cmd protocol n adversary f seed input trace =
+let run_cmd protocol n adversary f seed input trace profile_on =
   let cfg = Config.optimal ~n in
   let t = cfg.Config.t in
   let f = min f t in
   let seed = Int64.of_int seed in
+  let profile = if profile_on then Some (Profile.create ()) else None in
   pr "mewc: n=%d t=%d protocol=%s adversary=%s f=%d seed=%Ld\n\n" n t
     (protocol_name protocol) adversary f seed;
-  match protocol with
+  (match protocol with
   | Bb ->
     let adv = bb_adversary ~cfg ~f ~input adversary in
-    let o = Instances.run_bb ~cfg ~seed ~input ~adversary:adv () in
+    let o = Instances.run_bb ~cfg ~seed ?profile ~input ~adversary:adv () in
     print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
@@ -172,7 +197,8 @@ let run_cmd protocol n adversary f seed input trace =
   | Weak_ba ->
     let adv = wba_adversary ~cfg ~n ~t ~f adversary in
     let o =
-      Instances.run_weak_ba ~cfg ~seed ~inputs:(Array.make n input) ~adversary:adv ()
+      Instances.run_weak_ba ~cfg ~seed ?profile ~inputs:(Array.make n input)
+        ~adversary:adv ()
     in
     print_outcome ~show:true ~trace
       (fun () ->
@@ -189,7 +215,7 @@ let run_cmd protocol n adversary f seed input trace =
   | Strong_ba ->
     let adv = sba_adversary ~cfg ~n ~f adversary in
     let o =
-      Instances.run_strong_ba ~cfg ~seed
+      Instances.run_strong_ba ~cfg ~seed ?profile
         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
         ~adversary:adv ()
     in
@@ -207,7 +233,7 @@ let run_cmd protocol n adversary f seed input trace =
   | Fallback ->
     let adv = epk_adversary ~cfg ~f ~input adversary in
     let o =
-      Instances.run_fallback ~cfg ~seed
+      Instances.run_fallback ~cfg ~seed ?profile
         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
         ~adversary:adv ()
     in
@@ -221,6 +247,8 @@ let run_cmd protocol n adversary f seed input trace =
           o.Instances.decisions)
       o
   | Dolev_strong ->
+    if profile_on then
+      die_misuse "--profile is only available for the paper's protocols";
     let adv =
       match generic ~f adversary with Ok a -> a | Error a -> unsupported "dolev-strong" a
     in
@@ -236,6 +264,8 @@ let run_cmd protocol n adversary f seed input trace =
     pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Dolev_strong.words
       o.Mewc_baselines.Dolev_strong.messages o.Mewc_baselines.Dolev_strong.signatures
   | Naive_bb ->
+    if profile_on then
+      die_misuse "--profile is only available for the paper's protocols";
     let adv =
       match generic ~f adversary with Ok a -> a | Error a -> unsupported "naive-bb" a
     in
@@ -249,13 +279,59 @@ let run_cmd protocol n adversary f seed input trace =
         | None -> ())
       o.Mewc_baselines.Naive_bb.decisions;
     pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Naive_bb.words
-      o.Mewc_baselines.Naive_bb.messages o.Mewc_baselines.Naive_bb.signatures
+      o.Mewc_baselines.Naive_bb.messages o.Mewc_baselines.Naive_bb.signatures);
+  match profile with
+  | None -> ()
+  | Some p ->
+    pr "\n";
+    print_string (Profile.flame p)
 
 (* ---- `trace` --------------------------------------------------------------- *)
 
 type trace_format = Json | Csv
 
-let trace_cmd protocol n adversary f seed input format output =
+(* Re-decode the run's own JSON, so every trace invocation also exercises
+   the parse side of the mewc-trace/2 schema. *)
+let reparsed_trace json =
+  match Trace.of_json ~decode:Fun.id json with
+  | Ok tr -> tr
+  | Error e -> die_parse "trace does not reparse: %s" e
+
+let causal_view json =
+  match Causality.of_trace (reparsed_trace json) with
+  | Ok c -> c
+  | Error e -> die_parse "trace is not causally well-formed: %s" e
+
+(* The cone analysis: a summary line per decision, then — for the requested
+   pid — the cone rendered as events (default) or Graphviz (--dot). *)
+let cone_text ~pid ~dot json =
+  let c = causal_view json in
+  if pid < 0 || pid >= Causality.n_processes c then
+    die_misuse "--cone %d: no such process (n = %d)" pid
+      (Causality.n_processes c);
+  if Causality.cone_ids c pid = None then
+    die_misuse "--cone %d: p%d never decided in this run" pid pid;
+  if dot then Causality.to_dot ~cone_of:pid c
+  else begin
+    let b = Buffer.create 4096 in
+    List.iter
+      (fun (s : Causality.summary) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "# p%d decided %S at slot %d: cone %d messages / %d words, \
+              critical path %d\n"
+             s.Causality.pid s.Causality.value s.Causality.slot
+             s.Causality.cone_messages s.Causality.cone_words
+             s.Causality.critical_path_length))
+      (Causality.summaries c);
+    List.iter
+      (fun ev ->
+        Buffer.add_string b (Format.asprintf "%a\n" (Trace.pp_event Fmt.string) ev))
+      (Causality.cone c pid);
+    Buffer.contents b
+  end
+
+let trace_cmd protocol n adversary f seed input format output cone dot =
   let cfg = Config.optimal ~n in
   let t = cfg.Config.t in
   let f = min f t in
@@ -282,37 +358,34 @@ let trace_cmd protocol n adversary f seed input format output =
          ~adversary:(epk_adversary ~cfg ~f ~input adversary) ())
         .Instances.trace_json
     | Dolev_strong | Naive_bb ->
-      pr "trace is only available for the paper's protocols (bb, weak-ba, \
-          strong-ba, fallback)\n";
-      exit 2
+      die_misuse
+        "trace is only available for the paper's protocols (bb, weak-ba, \
+         strong-ba, fallback)"
   in
   let json =
     match trace_json with
     | Some j -> j
-    | None -> failwith "mewc trace: runner produced no trace"
+    | None -> die_misuse "runner produced no trace (internal error)"
   in
-  let text =
-    match format with
-    | Json -> Jsonx.to_string json ^ "\n"
-    | Csv -> (
-      (* The CSV goes through of_json, so every export also exercises the
-         parse side of the mewc-trace/1 schema. *)
-      match Trace.of_json ~decode:Fun.id json with
-      | Ok tr -> Trace.to_csv ~encode:Fun.id tr
-      | Error e -> failwith ("mewc trace: trace does not reparse: " ^ e))
+  let text, what =
+    match cone with
+    | Some pid -> (cone_text ~pid ~dot json, if dot then "dot" else "cone")
+    | None ->
+      if dot then (Causality.to_dot (causal_view json), "dot")
+      else (
+        match format with
+        | Json -> (Jsonx.to_string json ^ "\n", "json")
+        | Csv -> (Trace.to_csv ~encode:Fun.id (reparsed_trace json), "csv"))
   in
   match output with
   | None -> print_string text
   | Some path -> (
     match open_out path with
-    | exception Sys_error e ->
-      Printf.eprintf "mewc trace: cannot write %s: %s\n" path e;
-      exit 1
+    | exception Sys_error e -> die_misuse "cannot write %s: %s" path e
     | oc ->
       output_string oc text;
       close_out oc;
-      pr "wrote %s (%s, protocol=%s adversary=%s f=%d seed=%Ld)\n" path
-        (match format with Json -> "json" | Csv -> "csv")
+      pr "wrote %s (%s, protocol=%s adversary=%s f=%d seed=%Ld)\n" path what
         (protocol_name protocol) adversary f seed)
 
 (* ---- `bench` --------------------------------------------------------------- *)
@@ -341,6 +414,147 @@ let bench_cmd jobs smoke output =
     pr "wrote %s (schema mewc-perf/1)\n" path);
   if not report.Sweep.identical then exit 1
 
+(* ---- `perf`: the regression ledger -------------------------------------- *)
+
+module Ascii_table = Mewc_prelude.Ascii_table
+
+let default_ledger = "BENCH_ledger.json"
+
+let load_ledger path =
+  match Ledger.load path with
+  | Ok entries -> entries
+  | Error e -> die_parse "perf: %s" e
+
+let entry_label (e : Ledger.entry) = Printf.sprintf "%s@%s" e.Ledger.rev e.Ledger.date
+
+(* One profiled sweep; every perf subcommand funnels through here so the
+   parallel-equals-sequential gate also guards the ledger's inputs. *)
+let perf_sweep ~smoke ~jobs =
+  let grid, grid_name =
+    if smoke then (Sweep.smoke_grid, "smoke")
+    else (Sweep.standard_grid, "standard")
+  in
+  let profile = Profile.create () in
+  let report = Sweep.run_perf ?jobs ~profile grid in
+  if not report.Sweep.identical then
+    die_misuse "perf: parallel sweep diverged from sequential (BUG)";
+  (report, profile, grid_name)
+
+let perf_append ledger rev date smoke jobs =
+  let report, profile, grid = perf_sweep ~smoke ~jobs in
+  let entry = Ledger.of_report ~rev ~date ~grid ~profile report in
+  (match Ledger.append ledger entry with
+  | Ok count ->
+    pr "mewc perf: appended %s (%s grid, %d rows) to %s (%d entries)\n"
+      (entry_label entry) grid
+      (List.length report.Sweep.rows)
+      ledger count
+  | Error e -> die_parse "perf: %s" e);
+  print_string (Profile.flame profile)
+
+let perf_list ledger =
+  let entries = load_ledger ledger in
+  if entries = [] then pr "mewc perf: %s has no entries\n" ledger
+  else begin
+    let table =
+      Ascii_table.create ~title:ledger
+        ~headers:[ "#"; "rev"; "date"; "grid"; "rows"; "seq s"; "par s"; "speedup" ]
+    in
+    List.iteri
+      (fun i (e : Ledger.entry) ->
+        Ascii_table.add_row table
+          [
+            string_of_int i;
+            e.Ledger.rev;
+            e.Ledger.date;
+            e.Ledger.grid;
+            string_of_int (List.length e.Ledger.rows);
+            Printf.sprintf "%.2f" e.Ledger.sequential_s;
+            Printf.sprintf "%.2f" e.Ledger.parallel_s;
+            Printf.sprintf "%.2f" e.Ledger.speedup;
+          ])
+      entries;
+    Ascii_table.print table
+  end
+
+let perf_diff ledger threshold json_out against smoke jobs sel_a sel_b =
+  let entries = load_ledger ledger in
+  let a, b, label_a, label_b =
+    if against then begin
+      let grid = if smoke then "smoke" else "standard" in
+      let base =
+        match
+          List.rev
+            (List.filter (fun (e : Ledger.entry) -> String.equal e.Ledger.grid grid) entries)
+        with
+        | e :: _ -> e
+        | [] -> die_misuse "perf: %s has no %s-grid entry to diff against" ledger grid
+      in
+      let report, profile, grid = perf_sweep ~smoke ~jobs in
+      let fresh =
+        Ledger.of_report ~rev:"worktree" ~date:"uncommitted" ~grid ~profile report
+      in
+      (base, fresh, entry_label base, "worktree")
+    end
+    else
+      match (sel_a, sel_b) with
+      | Some sa, Some sb ->
+        let pick s =
+          match Ledger.find entries s with
+          | Ok e -> e
+          | Error e -> die_misuse "perf: %s" e
+        in
+        let a = pick sa and b = pick sb in
+        (a, b, entry_label a, entry_label b)
+      | _ ->
+        die_misuse
+          "perf diff: need two entry selectors (index or rev prefix; use -- \
+           before negative indices) or --against-ledger"
+  in
+  let d = Ledger.diff ?threshold a b in
+  if json_out then print_string (Jsonx.to_string (Ledger.diff_to_json d) ^ "\n")
+  else print_string (Ledger.render ~label_a ~label_b d);
+  if d.Ledger.regressions > 0 then exit 3
+
+(* The CI gate: sweep the smoke grid, append it to a scratch ledger, read
+   the ledger back, and require (a) byte-identical row round-trip and (b) a
+   zero-delta self-diff. Catches schema drift between the ledger's writer
+   and reader before a real regression ever needs it. *)
+let perf_smoke ledger =
+  let path, scratch =
+    match ledger with
+    | Some p -> (p, false)
+    | None ->
+      let p = Filename.temp_file "mewc-ledger-smoke" ".json" in
+      Sys.remove p;
+      (p, true)
+  in
+  let report, profile, grid = perf_sweep ~smoke:true ~jobs:None in
+  let entry = Ledger.of_report ~rev:"smoke" ~date:"smoke" ~grid ~profile report in
+  (match Ledger.append path entry with
+  | Ok _ -> ()
+  | Error e -> die_parse "perf: %s" e);
+  let entries = load_ledger path in
+  let last =
+    match Ledger.find entries "-1" with
+    | Ok e -> e
+    | Error e -> die_misuse "perf: %s" e
+  in
+  let lines rows = List.map Sweep.row_to_line rows in
+  if not (List.equal String.equal (lines last.Ledger.rows) (lines report.Sweep.rows))
+  then die_misuse "perf smoke: ledger rows did not round-trip byte-identically";
+  let d = Ledger.diff last last in
+  if
+    d.Ledger.regressions <> 0
+    || d.Ledger.only_a <> []
+    || d.Ledger.only_b <> []
+    || List.exists (fun (dl : Ledger.delta) -> dl.Ledger.words_ratio <> 1.0) d.Ledger.matched
+  then die_misuse "perf smoke: self-diff is not a zero delta";
+  if scratch then Sys.remove path;
+  pr "mewc perf: smoke ok — %d rows appended, round-tripped byte-identically, \
+      self-diff is zero\n"
+    (List.length report.Sweep.rows)
+
 (* ---- fuzz --------------------------------------------------------------- *)
 
 module Fuzz = Mewc_fuzz
@@ -354,10 +568,13 @@ let pp_entry ppf (e : Fuzz.Campaign.entry) =
     e.Fuzz.Campaign.target e.Fuzz.Campaign.n e.Fuzz.Campaign.t Fuzz.Scenario.pp
     e.Fuzz.Campaign.scenario Monitor.pp_violation e.Fuzz.Campaign.violation
 
+(* A corpus entry that does not parse (malformed JSON, foreign schema) is a
+   parse error — 124 — while an entry that parses but fails to reproduce is
+   an operational failure — 1 (see the exit-code contract above). *)
 let load_entry path =
   match Fuzz.Campaign.load path with
   | Ok e -> e
-  | Error msg -> fuzz_fail "%s: %s" path msg
+  | Error msg -> die_parse "fuzz: %s: %s" path msg
 
 let fuzz_smoke ~jobs ~out =
   match Fuzz.Campaign.smoke ?jobs ~log:(fun s -> epr "mewc fuzz: %s\n%!" s) () with
@@ -490,9 +707,17 @@ let run_term =
       & info [ "trace" ]
           ~doc:"Also print the per-slot word/message series of the run.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print a wall-clock/allocation flame summary of the run's engine \
+             phases, crypto hot paths and serialization.")
+  in
   Term.(
     const run_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
-    $ input_arg $ trace)
+    $ input_arg $ trace $ profile)
 
 let trace_term =
   let format =
@@ -507,9 +732,29 @@ let trace_term =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
+  let cone =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cone" ] ~docv:"PID"
+          ~doc:
+            "Instead of the raw trace, emit the happens-before cone of \
+             process $(docv)'s decision: per-decision summaries (cone \
+             messages, cone words, critical-path length) followed by the \
+             cone's events, or Graphviz with $(b,--dot).")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Emit the message DAG as Graphviz DOT (restricted to one \
+             decision's cone when combined with $(b,--cone), with its \
+             critical path highlighted).")
+  in
   Term.(
     const trace_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
-    $ input_arg $ format $ output)
+    $ input_arg $ format $ output $ cone $ dot)
 
 let bench_term =
   let jobs =
@@ -608,6 +853,122 @@ let fuzz_term =
     const fuzz_cmd $ target $ count $ seed $ jobs $ out $ replay $ replay_dir
     $ minimize $ smoke $ list)
 
+let perf_cmd =
+  let ledger_arg =
+    Arg.(
+      value & opt string default_ledger
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Ledger file (default $(b,BENCH_ledger.json)).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for the parallel sweep pass (default: all cores).")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Sweep the small CI grid instead of the standard perf grid.")
+  in
+  let append_term =
+    let rev =
+      Arg.(
+        value & opt string "unknown"
+        & info [ "rev" ] ~docv:"REV"
+            ~doc:"Git revision to record (the tool never shells out).")
+    in
+    let date =
+      Arg.(
+        value & opt string "unknown"
+        & info [ "date" ] ~docv:"DATE" ~doc:"Date to record (ISO 8601).")
+    in
+    Term.(const perf_append $ ledger_arg $ rev $ date $ smoke_arg $ jobs_arg)
+  in
+  let diff_term =
+    let threshold =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "threshold" ] ~docv:"T"
+            ~doc:
+              "Regression threshold as a fraction (default 0.25): a point \
+               whose word count — or the sequential wall clock — grows by \
+               more than $(docv) regresses, and the command exits 3.")
+    in
+    let json_out =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Emit the diff as JSON instead of a table.")
+    in
+    let against =
+      Arg.(
+        value & flag
+        & info [ "against-ledger" ]
+            ~doc:
+              "Run a fresh sweep and diff it against the most recent ledger \
+               entry on the same grid (baseline = ledger, candidate = \
+               worktree).")
+    in
+    let sel_a =
+      Arg.(
+        value
+        & pos 0 (some string) None
+        & info [] ~docv:"A"
+            ~doc:
+              "Baseline entry: index (negative counts from the end; write \
+               $(b,--) first) or unique rev prefix.")
+    in
+    let sel_b =
+      Arg.(value & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Candidate entry.")
+    in
+    Term.(
+      const perf_diff $ ledger_arg $ threshold $ json_out $ against $ smoke_arg
+      $ jobs_arg $ sel_a $ sel_b)
+  in
+  let smoke_term =
+    let scratch_ledger =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "ledger" ] ~docv:"FILE"
+            ~doc:"Append to $(docv) instead of a throwaway temp file.")
+    in
+    Term.(const perf_smoke $ scratch_ledger)
+  in
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:
+         "The perf-regression ledger (mewc-ledger/1): record benchmark runs \
+          append-only, list them, and diff any two — a regression beyond \
+          the threshold exits 3.")
+    [
+      Cmd.v
+        (Cmd.info "append"
+           ~doc:
+             "Run the profiled perf sweep and append it (rows, wall clocks, \
+              profiler rollup, caller-supplied rev/date) to the ledger.")
+        append_term;
+      Cmd.v (Cmd.info "list" ~doc:"List the ledger's entries.")
+        Term.(const perf_list $ ledger_arg);
+      Cmd.v
+        (Cmd.info "diff"
+           ~doc:
+             "Compare two ledger entries (or --against-ledger for a fresh \
+              run vs the latest entry) point by point; exits 3 on \
+              regression.")
+        diff_term;
+      Cmd.v
+        (Cmd.info "smoke"
+           ~doc:
+             "CI self-check: smoke sweep, append to a scratch ledger, reload \
+              and require a byte-identical round-trip and a zero-delta \
+              self-diff.")
+        smoke_term;
+    ]
+
 let cmd =
   let info =
     Cmd.info "mewc" ~version:"1.0.0"
@@ -622,8 +983,10 @@ let cmd =
         (Cmd.info "trace"
            ~doc:
              "Run one protocol execution and emit its structured trace \
-              (mewc-trace/1) as JSON or CSV.")
+              (mewc-trace/2) as JSON or CSV, or a decision's happens-before \
+              cone (--cone, --dot).")
         trace_term;
+      perf_cmd;
       Cmd.v
         (Cmd.info "bench"
            ~doc:

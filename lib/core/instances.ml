@@ -80,6 +80,14 @@ let std_monitors ~cfg ~word_name ~word_bound ~early_name ~early_bound =
     Monitor.corruption_budget ~cfg;
     Monitor.agreement ~cfg ();
     Monitor.word_bound ~name:word_name ~bound:word_bound;
+    (* The causal cone of a decision spends at most what all correct
+       processes spent, so the global envelope is a sound per-decision
+       bound. Sampling thins the O(sends) frontier passes at sweep sizes;
+       every decision is still checked at test sizes (n ≤ 64). *)
+    Monitor.cone_words_bound ~cfg
+      ~name:(word_name ^ "-cone")
+      ~check_every:(1 + (cfg.Config.n / 64))
+      ~bound:word_bound ();
     Monitor.early_termination ~name:early_name ~bound:early_bound;
     Monitor.metering ();
   ]
@@ -494,10 +502,17 @@ end
 (* ---- the generic runner ------------------------------------------------ *)
 
 let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
-    ?shuffle_seed ?(record_trace = false) ?monitors ~params ~adversary () =
+    ?shuffle_seed ?(record_trace = false) ?monitors ?profile ~params ~adversary
+    () =
   P.validate_params ~cfg ~params;
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
+  (match profile with
+  | None -> ()
+  | Some p ->
+    Pki.set_timer pki
+      (Some
+         { Pki.time = (fun name f -> Profile.span p ~category:Profile.Crypto name f) }));
   let protocol pid = P.machine ~cfg ~pki ~secret:secrets.(pid) ~params ~pid in
   let adversary = adversary ~pki ~secrets in
   let horizon = P.horizon ~cfg ~params in
@@ -513,6 +528,7 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
               shuffle_seed;
               monitors;
               decided = Some P.decided_str;
+              profile;
             }
           ~words:P.words ~horizon ~protocol ~adversary ())
   in
@@ -542,48 +558,53 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
     crypto = Pki.cache_stats pki;
     trace_json =
       (if record_trace then
-         Some (Trace.to_json ~encode:P.encode_msg res.Engine.trace)
+         let encode () = Trace.to_json ~encode:P.encode_msg res.Engine.trace in
+         Some
+           (match profile with
+           | None -> encode ()
+           | Some p ->
+             Profile.span p ~category:Profile.Serialize "trace.to_json" encode)
        else None);
   }
 
 (* ---- legacy entry points (thin wrappers over [run]) -------------------- *)
 
-let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
     ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
   run
     (module Fallback_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
     ~params:{ Fallback_protocol.inputs; round_len; start_slot }
     ~adversary ()
 
-let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
     ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
   run
     (module Weak_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
     ~params:{ Weak_ba_protocol.inputs; validate; quorum_override }
     ~adversary ()
 
-let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?(sender = 0)
+let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile ?(sender = 0)
     ~input ~adversary () =
   run
     (module Bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
     ~params:{ Bb_protocol.sender; input }
     ~adversary ()
 
-let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
     ?(sender = 0) ~input ~adversary () =
   run
     (module Binary_bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
     ~params:{ Binary_bb_protocol.sender; input }
     ~adversary ()
 
-let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false)
+let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
     ?(leader = 0) ~inputs ~adversary () =
   run
     (module Strong_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
     ~params:{ Strong_ba_protocol.leader; inputs }
     ~adversary ()

@@ -6,8 +6,9 @@
     Every run installs the instance's standard online monitor suite
     ({!Mewc_sim.Monitor}): corruption-budget sanity, agreement-once-decided
     (with termination), the protocol's adaptive word bound at the realized
-    [f], its early-termination latency envelope, and meter/engine
-    consistency. A violated invariant raises {!Mewc_sim.Monitor.Violation}
+    [f], the causal-cone word bound per decision (same envelope, measured
+    over the decision's happens-before cone), its early-termination latency
+    envelope, and meter/engine consistency. A violated invariant raises {!Mewc_sim.Monitor.Violation}
     with the run's [seed]/[shuffle_seed] appended, so every failure is a
     replayable counterexample. The one exception: weak BA with
     [quorum_override] (the deliberately unsafe ablation) keeps only the
@@ -66,7 +67,7 @@ type 'o agreement_outcome = {
       (** hit/miss counters of this run's PKI memo tables (share-tag and
           aggregate-tag caches) *)
   trace_json : Mewc_prelude.Jsonx.t option;
-      (** the run's structured trace (schema ["mewc-trace/1"], message
+      (** the run's structured trace (schema ["mewc-trace/2"], message
           payloads rendered via the protocol's printer); [Some] iff
           [record_trace] was set *)
 }
@@ -168,6 +169,7 @@ val run :
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
   ?monitors:'m Mewc_sim.Monitor.t list ->
+  ?profile:Mewc_sim.Profile.t ->
   params:'p ->
   adversary:('s, 'm) Mewc_sim.Adversary.factory ->
   unit ->
@@ -176,7 +178,9 @@ val run :
     its static horizon: trusted setup from [seed] (default [1L]), machines
     from [P.machine], the instance's standard monitor suite — or [monitors]
     verbatim when given (the fuzzer installs its own safety suite) — and
-    the outcome assembled from the final states, meter and PKI counters. *)
+    the outcome assembled from the final states, meter and PKI counters.
+    With [profile], engine phases, the PKI's hash hot paths and trace
+    serialization are charged to the given {!Mewc_sim.Profile.t} spans. *)
 
 (** {2 Legacy entry points}
 
@@ -190,6 +194,7 @@ val run_fallback :
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
+  ?profile:Mewc_sim.Profile.t ->
   ?round_len:int ->
   ?start_slot:(Mewc_prelude.Pid.t -> int) ->
   inputs:string array ->
@@ -203,6 +208,7 @@ val run_weak_ba :
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
+  ?profile:Mewc_sim.Profile.t ->
   ?validate:(string -> bool) ->
   ?quorum_override:int ->
   inputs:string array ->
@@ -216,6 +222,7 @@ val run_bb :
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
+  ?profile:Mewc_sim.Profile.t ->
   ?sender:Mewc_prelude.Pid.t ->
   input:string ->
   adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
@@ -228,6 +235,7 @@ val run_binary_bb :
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
+  ?profile:Mewc_sim.Profile.t ->
   ?sender:Mewc_prelude.Pid.t ->
   input:bool ->
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
@@ -240,6 +248,7 @@ val run_strong_ba :
   ?seed:int64 ->
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
+  ?profile:Mewc_sim.Profile.t ->
   ?leader:Mewc_prelude.Pid.t ->
   inputs:bool array ->
   adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->

@@ -63,7 +63,7 @@ let seed_of { protocol; n; f_spec } =
 let crash_first f ~pki:_ ~secrets:_ =
   Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ()
 
-let run_point point =
+let run_point ?profile point =
   let cfg = Config.optimal ~n:point.n in
   let t = cfg.Config.t in
   let f = f_of_spec ~t point.f_spec in
@@ -83,23 +83,58 @@ let run_point point =
     }
   in
   match point.protocol with
-  | "bb" -> of_outcome (Instances.run_bb ~cfg ~seed ~input:"payload" ~adversary:(crash_first f) ())
+  | "bb" ->
+    of_outcome
+      (Instances.run
+         (module Instances.Bb_protocol)
+         ~cfg ~seed ?profile
+         ~params:{ Instances.Bb_protocol.sender = 0; input = "payload" }
+         ~adversary:(crash_first f) ())
   | "weak-ba" ->
     of_outcome
-      (Instances.run_weak_ba ~cfg ~seed ~inputs:(Array.make point.n "v")
+      (Instances.run
+         (module Instances.Weak_ba_protocol)
+         ~cfg ~seed ?profile
+         ~params:
+           {
+             Instances.Weak_ba_protocol.inputs = Array.make point.n "v";
+             validate = (fun _ -> true);
+             quorum_override = None;
+           }
          ~adversary:(crash_first f) ())
   | "strong-ba" ->
     of_outcome
-      (Instances.run_strong_ba ~cfg ~seed ~inputs:(Array.make point.n true)
+      (Instances.run
+         (module Instances.Strong_ba_protocol)
+         ~cfg ~seed ?profile
+         ~params:
+           {
+             Instances.Strong_ba_protocol.leader = 0;
+             inputs = Array.make point.n true;
+           }
          ~adversary:(crash_first f) ())
   | "fallback" ->
     of_outcome
-      (Instances.run_fallback ~cfg ~seed
-         ~inputs:(Array.init point.n (fun i -> Printf.sprintf "x%d" (i mod 3)))
+      (Instances.run
+         (module Instances.Fallback_protocol)
+         ~cfg ~seed ?profile
+         ~params:
+           {
+             Instances.Fallback_protocol.inputs =
+               Array.init point.n (fun i -> Printf.sprintf "x%d" (i mod 3));
+             round_len = 1;
+             start_slot = (fun _ -> 0);
+           }
          ~adversary:(crash_first f) ())
   | p -> invalid_arg ("Sweep.run_point: unknown protocol " ^ p)
 
-let run_all ?(jobs = 1) points = Pool.map_list ~jobs run_point points
+let run_all ?(jobs = 1) ?profile points =
+  (* A Profile.t is a plain mutable record — not domain-safe — so profiled
+     passes must stay in the calling domain. *)
+  if jobs > 1 && Option.is_some profile then
+    invalid_arg "Sweep.run_all: profiling requires jobs = 1";
+  if jobs <= 1 then List.map (run_point ?profile) points
+  else Pool.map_list ~jobs (fun p -> run_point p) points
 
 let row_to_line r =
   Printf.sprintf
@@ -127,6 +162,45 @@ let row_to_json r =
       ("crypto_cache", Mewc_crypto.Pki.cache_stats_to_json r.crypto);
     ]
 
+let row_of_json j =
+  let ( let* ) = Result.bind in
+  let field name get =
+    match Option.bind (Jsonx.member name j) get with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "Sweep.row_of_json: bad or missing %S" name)
+  in
+  let int name = field name Jsonx.get_int in
+  let str name = field name Jsonx.get_str in
+  let* protocol = str "protocol" in
+  let* n = int "n" in
+  let* f_spec = str "f_spec" in
+  let* t = int "t" in
+  let* f = int "f" in
+  let* words = int "words" in
+  let* messages = int "messages" in
+  let* signatures = int "signatures" in
+  let* latency = int "latency" in
+  let* slots = int "slots" in
+  let* fallback_runs = int "fallback_runs" in
+  let* crypto =
+    match Jsonx.member "crypto_cache" j with
+    | None -> Error "Sweep.row_of_json: bad or missing \"crypto_cache\""
+    | Some c -> Mewc_crypto.Pki.cache_stats_of_json c
+  in
+  Ok
+    {
+      point = { protocol; n; f_spec };
+      t;
+      f;
+      words;
+      messages;
+      signatures;
+      latency;
+      slots;
+      fallback_runs;
+      crypto;
+    }
+
 type report = {
   rows : row list;
   sequential_s : float;
@@ -137,14 +211,16 @@ type report = {
   identical : bool;
 }
 
-let run_perf ?jobs points =
+let run_perf ?jobs ?profile points =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let timed f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
     (v, Unix.gettimeofday () -. t0)
   in
-  let seq_rows, sequential_s = timed (fun () -> run_all ~jobs:1 points) in
+  (* Only the sequential pass is profiled: spans would race across domains,
+     and the parallel pass exists to time raw throughput anyway. *)
+  let seq_rows, sequential_s = timed (fun () -> run_all ~jobs:1 ?profile points) in
   let par_rows, parallel_s = timed (fun () -> run_all ~jobs points) in
   let identical =
     List.equal String.equal (List.map row_to_line seq_rows)

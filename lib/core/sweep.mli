@@ -48,18 +48,28 @@ val smoke_grid : point list
     big enough to cross the fallback threshold, small enough to gate every
     build. *)
 
-val run_point : point -> row
-(** Run one point (seed fixed by the point; crash-first adversary). *)
+val run_point : ?profile:Mewc_sim.Profile.t -> point -> row
+(** Run one point (seed fixed by the point; crash-first adversary). With
+    [profile], the run's engine phases, crypto hot paths and serialization
+    are charged to the given profiler (see {!Instances.run}); rows are
+    unaffected — timing never leaks into the deterministic facts. *)
 
-val run_all : ?jobs:int -> point list -> row list
+val run_all : ?jobs:int -> ?profile:Mewc_sim.Profile.t -> point list -> row list
 (** All points, order-preserving. [jobs] > 1 fans the points across that
     many domains with {!Mewc_prelude.Pool}'s deterministic chunking;
-    default 1 (sequential, no domains spawned). *)
+    default 1 (sequential, no domains spawned). Raises [Invalid_argument]
+    if [profile] is combined with [jobs] > 1: a {!Mewc_sim.Profile.t} is
+    not domain-safe. *)
 
 val row_to_json : row -> Mewc_prelude.Jsonx.t
 val row_to_line : row -> string
 (** Canonical one-line rendering; the parallel-equals-sequential checks
     compare these byte for byte. *)
+
+val row_of_json : Mewc_prelude.Jsonx.t -> (row, string) result
+(** Inverse of {!row_to_json} (the derived hit-rate fields are ignored).
+    The perf-regression ledger stores rows as JSON and diffs them after
+    parsing back through this. *)
 
 type report = {
   rows : row list;  (** from the sequential pass *)
@@ -71,10 +81,12 @@ type report = {
   identical : bool;  (** parallel rows ≡ sequential rows, byte for byte *)
 }
 
-val run_perf : ?jobs:int -> point list -> report
+val run_perf : ?jobs:int -> ?profile:Mewc_sim.Profile.t -> point list -> report
 (** Runs the grid twice — sequentially, then with [jobs] domains (default
     {!Mewc_prelude.Pool.default_jobs}) — times both passes, and compares
-    the row renderings byte for byte. *)
+    the row renderings byte for byte. [profile] instruments the
+    {e sequential} pass only (profilers are not domain-safe); the parallel
+    pass always runs bare, so the speedup numbers stay honest. *)
 
 val report_to_json : report -> Mewc_prelude.Jsonx.t
 (** Schema ["mewc-perf/1"]: machine facts (cores, jobs), both wall-clock

@@ -33,6 +33,12 @@ end
 
 let default_cache_capacity = 1 lsl 14
 
+(* Timing hook for the hash hot paths. The profiler lives above this
+   library (lib/sim), so the dependency is inverted through a polymorphic
+   record the caller installs; [None] (the default) costs one match per
+   hash computation. *)
+type timer = { time : 'a. string -> (unit -> 'a) -> 'a }
+
 type t = {
   n : int;
   mac_keys : string array;  (* trusted setup; used for verification only *)
@@ -42,6 +48,7 @@ type t = {
   mutable signs : int;
   mutable verifies : int;
   mutable combines : int;
+  mutable timer : timer option;
 }
 
 module Secret = struct
@@ -67,6 +74,7 @@ let setup ?(seed = 0x5EEDL) ?(cache_capacity = default_cache_capacity) ~n () =
       signs = 0;
       verifies = 0;
       combines = 0;
+      timer = None;
     }
   in
   let secrets =
@@ -75,6 +83,10 @@ let setup ?(seed = 0x5EEDL) ?(cache_capacity = default_cache_capacity) ~n () =
   (pki, secrets)
 
 let n t = t.n
+let set_timer t timer = t.timer <- timer
+
+let timed t name f =
+  match t.timer with None -> f () | Some { time } -> time name f
 
 module Sig = struct
   type t = { signer : Pid.t; tag : Sha256.t }
@@ -92,7 +104,10 @@ end
 
 let sign t (secret : Secret.t) msg =
   t.signs <- t.signs + 1;
-  { Sig.signer = secret.Secret.owner; tag = Sha256.hmac_with secret.Secret.hmac_key msg }
+  {
+    Sig.signer = secret.Secret.owner;
+    tag = timed t "crypto.sign" (fun () -> Sha256.hmac_with secret.Secret.hmac_key msg);
+  }
 
 (* The genuine share tag of signer [p] on [msg], memoized. The key has no
    ambiguity: the signer id contains no ':' and everything after the first
@@ -100,7 +115,10 @@ let sign t (secret : Secret.t) msg =
 let share_tag t p msg =
   Memo.find_or_add t.tag_memo
     (string_of_int p ^ ":" ^ msg)
-    (fun () -> Sha256.hmac_with t.hmac_keys.(p) msg)
+    (fun () ->
+      (* Timed on the miss path only: a cache hit is a hashtable probe, and
+         timing it would drown the signal in clock reads. *)
+      timed t "crypto.share_tag" (fun () -> Sha256.hmac_with t.hmac_keys.(p) msg))
 
 let verify t (s : Sig.t) ~msg =
   t.verifies <- t.verifies + 1;
@@ -135,11 +153,12 @@ let aggregate_tag t signers ~msg =
     Buffer.contents b
   in
   Memo.find_or_add t.agg_memo key (fun () ->
-      let buf = Buffer.create 256 in
-      Pid.Set.iter
-        (fun p -> Buffer.add_string buf (Sha256.to_raw (share_tag t p msg)))
-        signers;
-      Sha256.digest (Buffer.contents buf))
+      timed t "crypto.aggregate_tag" (fun () ->
+          let buf = Buffer.create 256 in
+          Pid.Set.iter
+            (fun p -> Buffer.add_string buf (Sha256.to_raw (share_tag t p msg)))
+            signers;
+          Sha256.digest (Buffer.contents buf)))
 
 let combine t ~k ~msg shares =
   t.combines <- t.combines + 1;
@@ -186,6 +205,20 @@ let no_cache_stats = { verify_hits = 0; verify_misses = 0; agg_hits = 0; agg_mis
 let hit_rate ~hits ~misses =
   if hits + misses = 0 then 0.0
   else float_of_int hits /. float_of_int (hits + misses)
+
+let cache_stats_of_json j =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Option.bind (Jsonx.member name j) Jsonx.get_int with
+    | Some v -> Ok v
+    | None ->
+      Error (Printf.sprintf "Pki.cache_stats_of_json: bad or missing %S" name)
+  in
+  let* verify_hits = field "verify_hits" in
+  let* verify_misses = field "verify_misses" in
+  let* agg_hits = field "agg_hits" in
+  let* agg_misses = field "agg_misses" in
+  Ok { verify_hits; verify_misses; agg_hits; agg_misses }
 
 let cache_stats_to_json (s : cache_stats) =
   Jsonx.Obj

@@ -95,6 +95,19 @@ val reset_counters : t -> unit
 (** Zeroes the operation counters and empties both memo tables (so
     back-to-back experiments on one PKI don't inherit warm caches). *)
 
+(** {1 Profiling hook} *)
+
+type timer = { time : 'a. string -> (unit -> 'a) -> 'a }
+(** A polymorphic timing hook. The profiler lives above this library, so
+    callers inject one (typically wrapping [Profile.span ~category:Crypto])
+    rather than this module depending on it. *)
+
+val set_timer : t -> timer option -> unit
+(** Install ([Some]) or remove ([None], the default) the hook. When
+    installed, the HMAC hot paths are timed under ["crypto.sign"],
+    ["crypto.share_tag"] and ["crypto.aggregate_tag"] — memo-table {e miss}
+    paths only, so cache hits stay a bare hashtable probe. *)
+
 (** {1 Cache statistics} *)
 
 type cache_stats = {
@@ -111,3 +124,7 @@ val no_cache_stats : cache_stats
 
 val cache_stats_to_json : cache_stats -> Mewc_prelude.Jsonx.t
 (** Counts plus derived [verify_hit_rate]/[agg_hit_rate] fields. *)
+
+val cache_stats_of_json : Mewc_prelude.Jsonx.t -> (cache_stats, string) result
+(** Inverse of {!cache_stats_to_json}; the derived rate fields are
+    recomputable and therefore ignored. *)

@@ -1,0 +1,304 @@
+module Pid = Mewc_prelude.Pid
+
+type 'm t = {
+  n : int;
+  sends : 'm Trace.send array;  (* indexed by envelope id *)
+  decisions : 'm decision array;  (* in trace order *)
+}
+
+and 'm decision = {
+  slot : int;
+  pid : Pid.t;
+  value : string;
+  parents : int list;
+}
+
+let n_processes t = t.n
+let sends t = t.sends
+let decisions t = Array.to_list t.decisions
+
+(* ---- construction and validation ---------------------------------------- *)
+
+let of_trace trace =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rev_sends = ref [] in
+  let send_count = ref 0 in
+  let rev_decisions = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc ev ->
+        let* () = acc in
+        match ev with
+        | Trace.Send s ->
+          (* Engine ids are assigned in post order: dense, starting at 0,
+             strictly increasing along the trace. Everything downstream
+             indexes arrays by id, so enforce that here. *)
+          if s.Trace.id <> !send_count then
+            err "send #%d out of order: expected id %d" s.Trace.id !send_count
+          else begin
+            rev_sends := s :: !rev_sends;
+            incr send_count;
+            Ok ()
+          end
+        | Trace.Decision { slot; pid; value; parents } ->
+          rev_decisions := { slot; pid; value; parents } :: !rev_decisions;
+          Ok ()
+        | _ -> Ok ())
+      (Ok ()) (Trace.events trace)
+  in
+  let sends = Array.of_list (List.rev !rev_sends) in
+  let decisions = Array.of_list (List.rev !rev_decisions) in
+  let n =
+    let m = ref 0 in
+    Array.iter
+      (fun s ->
+        m := max !m (max s.Trace.envelope.Envelope.src s.Trace.envelope.Envelope.dst))
+      sends;
+    Array.iter (fun d -> m := max !m d.pid) decisions;
+    !m + 1
+  in
+  (* A message edge parent -> child is causally coherent iff the parent was
+     delivered to the child's sender in the slot the child was sent from:
+     parent.dst = child.src and parent.sent_at + 1 = child.sent_at. Parent
+     ids below child ids make the DAG acyclic by construction; both are
+     checked, not assumed, because traces also arrive from JSON. *)
+  let check_parent ~what ~child_id ~src ~slot p =
+    if p < 0 || p >= Array.length sends then
+      err "%s references unknown parent #%d" what p
+    else if child_id >= 0 && p >= child_id then
+      err "%s has parent #%d >= its own id (cycle)" what p
+    else
+      let parent = sends.(p) in
+      if parent.Trace.envelope.Envelope.dst <> src then
+        err "%s read parent #%d addressed to p%d, not p%d" what p
+          parent.Trace.envelope.Envelope.dst src
+      else if parent.Trace.envelope.Envelope.sent_at + 1 <> slot then
+        err "%s at slot %d read parent #%d sent at slot %d (not the previous \
+             slot)"
+          what slot p parent.Trace.envelope.Envelope.sent_at
+      else Ok ()
+  in
+  let* () =
+    Array.fold_left
+      (fun acc s ->
+        let* () = acc in
+        let { Trace.id; envelope = { Envelope.src; sent_at; _ }; parents; _ } =
+          s
+        in
+        List.fold_left
+          (fun acc p ->
+            let* () = acc in
+            check_parent
+              ~what:(Printf.sprintf "send #%d" id)
+              ~child_id:id ~src ~slot:sent_at p)
+          (Ok ()) parents)
+      (Ok ()) sends
+  in
+  let* () =
+    Array.fold_left
+      (fun acc { slot; pid; parents; _ } ->
+        let* () = acc in
+        List.fold_left
+          (fun acc p ->
+            let* () = acc in
+            check_parent
+              ~what:(Printf.sprintf "p%d's decision" pid)
+              ~child_id:(-1) ~src:pid ~slot p)
+          (Ok ()) parents)
+      (Ok ()) decisions
+  in
+  Ok { n; sends; decisions }
+
+let decision_of t pid =
+  Array.to_seq t.decisions |> Seq.find (fun d -> Pid.equal d.pid pid)
+
+(* ---- cones --------------------------------------------------------------- *)
+
+(* The full happens-before cone of a step (pid, slot): message edges are the
+   recorded parents; process order additionally carries everything a process
+   read in earlier slots forward. Both collapse into a per-process frontier
+   L(q) = the latest slot of q's steps inside the cone — monotone, because
+   process order chains (q, d) -> (q, d + 1). A message sent at slot k and
+   delivered at k + 1 is in the cone iff k + 1 <= L(dst); once in, it pulls
+   L(src) up to at least k. Walking sends by descending id visits them in
+   non-increasing sent-slot order, and a slot-k send only ever admits
+   messages sent strictly before k, so a single pass settles every frontier:
+   O(sends + n). *)
+let cone_ids_of_step t ~pid ~slot =
+  let frontier = Array.make t.n min_int in
+  frontier.(pid) <- slot;
+  let ids = ref [] in
+  for id = Array.length t.sends - 1 downto 0 do
+    let { Trace.envelope = { Envelope.src; dst; sent_at; _ }; _ } =
+      t.sends.(id)
+    in
+    if sent_at + 1 <= frontier.(dst) then begin
+      ids := id :: !ids;
+      if sent_at > frontier.(src) then frontier.(src) <- sent_at
+    end
+  done;
+  !ids
+
+let cone_ids t pid =
+  match decision_of t pid with
+  | None -> None
+  | Some d -> Some (cone_ids_of_step t ~pid ~slot:d.slot)
+
+let counted s =
+  if s.Trace.charged && not s.Trace.byzantine_sender then s.Trace.words else 0
+
+let cone_words_of_ids t ids =
+  List.fold_left (fun acc id -> acc + counted t.sends.(id)) 0 ids
+
+let cone t pid =
+  match decision_of t pid with
+  | None -> []
+  | Some d ->
+    let ids = cone_ids_of_step t ~pid ~slot:d.slot in
+    List.map (fun id -> Trace.Send t.sends.(id)) ids
+    @ [
+        Trace.Decision
+          { slot = d.slot; pid = d.pid; value = d.value; parents = d.parents };
+      ]
+
+let cone_words t pid =
+  Option.map (cone_words_of_ids t) (cone_ids t pid)
+
+(* ---- critical path ------------------------------------------------------- *)
+
+(* Longest chain of direct reads (message edges only) ending in the
+   decision: the rushing chain that actually forced the decision's latency.
+   Parent ids are strictly below child ids, so ascending id order is a
+   topological order and one DP pass suffices. *)
+let critical_path t pid =
+  match decision_of t pid with
+  | None -> []
+  | Some d ->
+    let m = Array.length t.sends in
+    let depth = Array.make m 1 in
+    let best = Array.make m (-1) in
+    for id = 0 to m - 1 do
+      List.iter
+        (fun p ->
+          if depth.(p) + 1 > depth.(id) then begin
+            depth.(id) <- depth.(p) + 1;
+            best.(id) <- p
+          end)
+        t.sends.(id).Trace.parents
+    done;
+    let tip =
+      List.fold_left
+        (fun acc p ->
+          match acc with
+          | Some q when depth.(q) >= depth.(p) -> acc
+          | _ -> Some p)
+        None d.parents
+    in
+    let rec walk acc = function
+      | -1 -> acc
+      | id -> walk (t.sends.(id) :: acc) best.(id)
+    in
+    (match tip with None -> [] | Some tip -> walk [] tip)
+
+(* ---- per-decision summaries ---------------------------------------------- *)
+
+type summary = {
+  pid : Pid.t;
+  slot : int;
+  value : string;
+  cone_messages : int;
+  cone_words : int;
+  critical_path_length : int;
+}
+
+let summaries t =
+  Array.to_list t.decisions
+  |> List.map (fun (d : _ decision) ->
+         let ids = cone_ids_of_step t ~pid:d.pid ~slot:d.slot in
+         {
+           pid = d.pid;
+           slot = d.slot;
+           value = d.value;
+           cone_messages = List.length ids;
+           cone_words = cone_words_of_ids t ids;
+           critical_path_length = List.length (critical_path t d.pid);
+         })
+
+(* ---- DOT export ----------------------------------------------------------- *)
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?cone_of t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "digraph causality {";
+  line "  rankdir=LR;";
+  line "  node [shape=box, fontname=\"monospace\", fontsize=10];";
+  let keep, decisions, path_ids =
+    match cone_of with
+    | None ->
+      ( Array.make (Array.length t.sends) true,
+        Array.to_list t.decisions,
+        [] )
+    | Some pid ->
+      let keep = Array.make (Array.length t.sends) false in
+      (match cone_ids t pid with
+      | Some ids -> List.iter (fun id -> keep.(id) <- true) ids
+      | None -> ());
+      let ds =
+        match decision_of t pid with None -> [] | Some d -> [ d ]
+      in
+      (keep, ds, List.map (fun s -> s.Trace.id) (critical_path t pid))
+  in
+  let on_path = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace on_path id ()) path_ids;
+  Array.iter
+    (fun s ->
+      let {
+        Trace.id;
+        envelope = { Envelope.src; dst; sent_at; _ };
+        byzantine_sender;
+        words;
+        _;
+      } =
+        s
+      in
+      if keep.(id) then begin
+        line "  m%d [label=\"#%d p%d->p%d @%d (%dw)\"%s%s];" id id src dst
+          sent_at words
+          (if byzantine_sender then ", style=filled, fillcolor=lightcoral"
+           else "")
+          (if Hashtbl.mem on_path id then ", color=red, penwidth=2" else "");
+        List.iter
+          (fun p ->
+            if keep.(p) then
+              line "  m%d -> m%d%s;" p id
+                (if Hashtbl.mem on_path id && Hashtbl.mem on_path p then
+                   " [color=red, penwidth=2]"
+                 else ""))
+          s.Trace.parents
+      end)
+    t.sends;
+  List.iteri
+    (fun i (d : _ decision) ->
+      line
+        "  d%d [label=\"p%d decides %s @%d\", shape=ellipse, style=filled, \
+         fillcolor=lightblue];"
+        i d.pid (dot_escape d.value) d.slot;
+      List.iter
+        (fun p ->
+          if p >= 0 && p < Array.length keep && keep.(p) then
+            line "  m%d -> d%d%s;" p i
+              (if Hashtbl.mem on_path p && cone_of <> None then
+                 " [color=red, penwidth=2]"
+               else ""))
+        d.parents)
+    decisions;
+  line "}";
+  Buffer.contents buf

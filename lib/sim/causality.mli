@@ -1,0 +1,74 @@
+(** Happens-before reconstruction over a recorded trace.
+
+    The engine stamps every envelope with a dense id (assigned in post
+    order) and every send/decision with [parents] — the ids the emitting
+    process read in the slot it acted from. Those message edges, closed
+    under process order (a process carries everything it read in earlier
+    slots forward), are Lamport's happens-before relation; this module
+    rebuilds it offline and answers the questions the flat trace cannot:
+    which messages causally fed a decision, how many of the paper's words
+    that cone spent, and which read chain was the latency-critical one.
+
+    The DAG is acyclic by construction — a parent's id is always strictly
+    below its child's — and {!of_trace} validates that, along with delivery
+    coherence (a parent was delivered to the child's sender exactly in the
+    child's slot), so ill-formed JSON cannot produce a bogus analysis. *)
+
+type 'm t
+(** A validated causal view of one trace. *)
+
+and 'm decision = {
+  slot : int;
+  pid : Mewc_prelude.Pid.t;
+  value : string;
+  parents : int list;
+}
+
+val of_trace : 'm Trace.t -> ('m t, string) result
+(** Validates: send ids are dense and in trace order; every parent id
+    refers to an earlier send; every message edge is delivery-coherent
+    (parent.dst = child's sender, parent.sent_at + 1 = child's slot). *)
+
+val n_processes : 'm t -> int
+val sends : 'm t -> 'm Trace.send array
+(** Indexed by envelope id. *)
+
+val decisions : 'm t -> 'm decision list
+
+val cone : 'm t -> Mewc_prelude.Pid.t -> 'm Trace.event list
+(** The full happens-before cone of [pid]'s first decision: every send
+    whose delivery causally precedes it (message edges plus process order),
+    in id order, followed by the decision event itself. Empty if [pid]
+    never decided. Computed by a backward per-process frontier pass in
+    O(sends + n). *)
+
+val cone_ids : 'm t -> Mewc_prelude.Pid.t -> int list option
+(** Just the envelope ids of {!cone}, ascending. [None] if [pid] never
+    decided. *)
+
+val cone_words : 'm t -> Mewc_prelude.Pid.t -> int option
+(** Charged non-Byzantine words inside {!cone} — the measured per-decision
+    analogue of the paper's adaptive word bounds. *)
+
+val critical_path : 'm t -> Mewc_prelude.Pid.t -> 'm Trace.send list
+(** The longest chain of direct reads (message edges only) ending in
+    [pid]'s decision, chronological. The length of this chain is the
+    data-dependency latency floor of the decision. *)
+
+type summary = {
+  pid : Mewc_prelude.Pid.t;
+  slot : int;
+  value : string;
+  cone_messages : int;
+  cone_words : int;
+  critical_path_length : int;
+}
+
+val summaries : 'm t -> summary list
+(** One {!summary} per decision, in trace order. *)
+
+val to_dot : ?cone_of:Mewc_prelude.Pid.t -> 'm t -> string
+(** Graphviz rendering of the message DAG: boxes are messages (Byzantine
+    senders filled red), ellipses are decisions, edges are recorded reads.
+    With [cone_of], restricts to that process's decision cone and paints
+    the critical path red. *)

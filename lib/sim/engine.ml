@@ -14,14 +14,28 @@ type ('s, 'm) options = {
   shuffle_seed : int64 option;
   monitors : 'm Monitor.t list;
   decided : ('s -> string option) option;
+  profile : Profile.t option;
 }
 
 let default_options =
-  { record_trace = false; shuffle_seed = None; monitors = []; decided = None }
+  {
+    record_trace = false;
+    shuffle_seed = None;
+    monitors = [];
+    decided = None;
+    profile = None;
+  }
 
 let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     () =
-  let { record_trace; shuffle_seed; monitors; decided } = options in
+  let { record_trace; shuffle_seed; monitors; decided; profile } = options in
+  (* Sections are per slot, not per message, so an unprofiled run pays one
+     closure and one match per section per slot — noise. *)
+  let timed category name f =
+    match profile with
+    | None -> f ()
+    | Some p -> Profile.span p ~category name f
+  in
   let n = cfg.Config.n in
   let shuffle_rng = Option.map Rng.create shuffle_seed in
   let machines = Array.init n protocol in
@@ -39,18 +53,28 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     List.iter (fun m -> m.Monitor.on_event ev) monitors
   in
   let prev_decided = Array.make n None in
+  let next_id = ref 0 in
   let pending = Array.make n [] in
-  (* [pending.(p)] accumulates (reversed) the messages to deliver to [p] at
-     the start of the next slot. *)
+  (* [pending.(p)] accumulates (reversed) the (id, envelope) pairs to
+     deliver to [p] at the start of the next slot. Envelope ids are assigned
+     in post order, so ids increase monotonically along the trace and a
+     message's id is always smaller than any message it causally feeds. *)
+  let inbox_ids = Array.make n [] in
+  (* [inbox_ids.(p)] — ids of the messages delivered to [p] this slot, in
+     inbox order; the provenance [parents] of anything [p] emits now. *)
   let deliver () =
     let order messages =
+      (* Shuffling the (id, envelope) pairs draws exactly what shuffling the
+         bare envelopes drew, so traces stay byte-identical across the id
+         refactor for any fixed shuffle seed. *)
       match shuffle_rng with
       | None -> List.rev messages
       | Some rng -> Rng.shuffle rng messages
     in
-    let inboxes = Array.map order pending in
+    let pairs = Array.map order pending in
     Array.fill pending 0 n [];
-    inboxes
+    Array.iteri (fun p l -> inbox_ids.(p) <- List.map fst l) pairs;
+    Array.map (List.map snd) pairs
   in
   let post ~slot ~src (msg, dst) =
     if not (Pid.is_valid ~n dst) then
@@ -61,16 +85,25 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     let byzantine = corrupted.(src) in
     let word_count = words msg in
     let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
+    let id = !next_id in
+    incr next_id;
     if observing then
       emit
         (Trace.Send
-           { envelope; byzantine_sender = byzantine; words = word_count; charged });
-    pending.(dst) <- envelope :: pending.(dst)
+           {
+             id;
+             envelope;
+             byzantine_sender = byzantine;
+             words = word_count;
+             charged;
+             parents = inbox_ids.(src);
+           });
+    pending.(dst) <- (id, envelope) :: pending.(dst)
   in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
     if observing then emit (Trace.Slot_start slot);
-    let inboxes = deliver () in
+    let inboxes = timed Profile.Engine "engine.deliver" deliver in
     (* The defensive copies are lazy: honest/crash adversaries never force
        them, so the common sweep point pays nothing for the snapshot. *)
     let view outgoing =
@@ -84,7 +117,10 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
       }
     in
     (* 1. Adaptive corruption, before correct processes act this slot. *)
-    let new_corruptions = adversary.Adversary.corrupt (view []) in
+    let new_corruptions =
+      timed Profile.Adversary "adversary.corrupt" (fun () ->
+          adversary.Adversary.corrupt (view []))
+    in
     List.iter
       (fun p ->
         if not (Pid.is_valid ~n p) then
@@ -104,15 +140,16 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
       new_corruptions;
     (* 2. Correct processes step. *)
     let correct_sends = ref [] in
-    for p = 0 to n - 1 do
-      if not corrupted.(p) then begin
-        let state', sends =
-          machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
-        in
-        states.(p) <- state';
-        correct_sends := (p, sends) :: !correct_sends
-      end
-    done;
+    timed Profile.Machine "machine.step" (fun () ->
+        for p = 0 to n - 1 do
+          if not corrupted.(p) then begin
+            let state', sends =
+              machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
+            in
+            states.(p) <- state';
+            correct_sends := (p, sends) :: !correct_sends
+          end
+        done);
     (* 2b. Decision transitions, for the observability stream. *)
     (match decided with
     | Some decided when observing ->
@@ -121,12 +158,14 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
           match (prev_decided.(p), decided states.(p)) with
           | None, (Some value as d) ->
             prev_decided.(p) <- d;
-            emit (Trace.Decision { slot; pid = p; value })
+            emit
+              (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
           | Some v0, (Some value as d) when not (String.equal v0 value) ->
             (* A re-decision is a protocol bug; surface it to the monitors
                rather than silencing it here. *)
             prev_decided.(p) <- d;
-            emit (Trace.Decision { slot; pid = p; value })
+            emit
+              (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
           | _ -> ()
         end
       done
@@ -142,17 +181,20 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     (* 3. Byzantine processes step, seeing this slot's correct sends. *)
     let byz_view = view correct_outgoing in
     let byz_sends = ref [] in
-    for p = 0 to n - 1 do
-      if corrupted.(p) then
-        byz_sends := (p, adversary.Adversary.byz_step ~pid:p byz_view) :: !byz_sends
-    done;
+    timed Profile.Adversary "adversary.byz_step" (fun () ->
+        for p = 0 to n - 1 do
+          if corrupted.(p) then
+            byz_sends :=
+              (p, adversary.Adversary.byz_step ~pid:p byz_view) :: !byz_sends
+        done);
     (* 4. Post everything. *)
-    List.iter
-      (fun (src, sends) -> List.iter (post ~slot ~src) sends)
-      (List.rev !correct_sends);
-    List.iter
-      (fun (src, sends) -> List.iter (post ~slot ~src) sends)
-      (List.rev !byz_sends)
+    timed Profile.Engine "engine.post" (fun () ->
+        List.iter
+          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (List.rev !correct_sends);
+        List.iter
+          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (List.rev !byz_sends))
   done;
   List.iter (fun m -> m.Monitor.on_finish ~slots:horizon) monitors;
   {

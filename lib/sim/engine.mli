@@ -49,6 +49,10 @@ type ('s, 'm) options = {
           observing), the engine emits a {!Trace.Decision} event in the slot
           a correct process's decision first becomes — or, protocol bug,
           changes to — that printed value. *)
+  profile : Profile.t option;
+      (** when given, the engine charges each slot's phases to spans:
+          [engine.deliver], [adversary.corrupt], [machine.step],
+          [adversary.byz_step], [engine.post]. *)
 }
 (** Observability knobs, gathered in one record so that adding a knob does
     not grow every caller's argument list. Start from {!default_options} and

@@ -72,7 +72,7 @@ let agreement ?(require_termination = true) ~cfg () =
   make ~name:"agreement"
     ~on_event:(fun ~violate -> function
       | Trace.Corruption { pid; _ } -> Hashtbl.replace corrupted pid ()
-      | Trace.Decision { slot; pid; value } -> (
+      | Trace.Decision { slot; pid; value; _ } -> (
         (match Hashtbl.find_opt decided pid with
         | Some prior when not (String.equal prior value) ->
           violate ~slot
@@ -109,7 +109,7 @@ let word_bound ~name ~bound =
   make ~name
     ~on_event:(fun ~violate -> function
       | Trace.Corruption { f = f'; _ } -> f := f'
-      | Trace.Send { envelope; byzantine_sender; words = w; charged } ->
+      | Trace.Send { envelope; byzantine_sender; words = w; charged; _ } ->
         if charged && not byzantine_sender then begin
           words := !words + w;
           check ~violate ~slot:envelope.Envelope.sent_at
@@ -139,12 +139,68 @@ let early_termination ~name ~bound =
             (Printf.sprintf "last decision at slot %d > bound %d at f=%d" s b !f))
     ()
 
+let cone_words_bound ~cfg ~name ?(check_every = 1) ~bound () =
+  if check_every < 1 then invalid_arg "cone_words_bound: check_every < 1";
+  let n = cfg.Config.n in
+  let f = ref 0 in
+  (* Newest-first, so walking the list visits sends in descending id order —
+     sent slots never increase along the walk, which is exactly what the
+     backward frontier pass needs. *)
+  let sends = ref [] in
+  let decisions_seen = ref 0 in
+  make ~name
+    ~on_event:(fun ~violate -> function
+      | Trace.Corruption { f = f'; _ } -> f := f'
+      | Trace.Send
+          {
+            envelope = { Envelope.src; dst; sent_at; _ };
+            byzantine_sender;
+            words;
+            charged;
+            _;
+          } ->
+        (* Every message propagates causality, but only charged sends by
+           correct processes count words — the paper's measure. *)
+        let counted = if charged && not byzantine_sender then words else 0 in
+        sends := (src, dst, sent_at, counted) :: !sends
+      | Trace.Decision { slot; pid; _ } ->
+        incr decisions_seen;
+        if (!decisions_seen - 1) mod check_every = 0 then begin
+          (* Frontier pass: [frontier.(q)] is the latest slot of [q]'s steps
+             inside the decision's causal past. A message sent at slot [k]
+             and delivered at [k + 1] is in the cone iff its receiver's
+             frontier covers the delivery slot; once in, it pulls the
+             sender's frontier back to [k]. One pass in descending sent-slot
+             order settles every frontier: a slot-[k] send can only admit
+             messages sent strictly earlier, which the walk has not reached
+             yet. O(sends + n) per checked decision. *)
+          let frontier = Array.make n min_int in
+          frontier.(pid) <- slot;
+          let cone_words = ref 0 in
+          List.iter
+            (fun (src, dst, sent_at, counted) ->
+              if sent_at + 1 <= frontier.(dst) then begin
+                cone_words := !cone_words + counted;
+                if sent_at > frontier.(src) then frontier.(src) <- sent_at
+              end)
+            !sends;
+          let b = bound ~f:!f in
+          if !cone_words > b then
+            violate ~slot
+              (Printf.sprintf
+                 "p%d's decision has a causal cone of %d words > bound %d at \
+                  f=%d"
+                 pid !cone_words b !f)
+        end
+      | _ -> ())
+    ()
+
 let metering () =
   let corrupted = Hashtbl.create 8 in
   make ~name:"metering"
     ~on_event:(fun ~violate -> function
       | Trace.Corruption { pid; _ } -> Hashtbl.replace corrupted pid ()
-      | Trace.Send { envelope = { Envelope.src; dst; sent_at; _ }; byzantine_sender; words; charged }
+      | Trace.Send { envelope = { Envelope.src; dst; sent_at; _ }; byzantine_sender; words; charged; _ }
         ->
         if words < 1 then
           violate ~slot:sent_at

@@ -65,6 +65,23 @@ val word_bound : name:string -> bound:(f:int -> int) -> 'm t
     corrupts at slot start, before processes step), so the online check is
     sound for adaptive bounds of the O(n(f+1)) family. *)
 
+val cone_words_bound :
+  cfg:Config.t ->
+  name:string ->
+  ?check_every:int ->
+  bound:(f:int -> int) ->
+  unit ->
+  'm t
+(** The causal analogue of {!word_bound}: on a [Decision], reconstruct the
+    decision's happens-before cone from the [Send] stream (message edges
+    from the engine-assigned envelope ids plus process order) and check that
+    the charged non-Byzantine words {e inside the cone} stay within
+    [bound ~f] at the realized [f] — the per-decision measured counterpart
+    of the paper's adaptive bounds. Each check costs O(sends + n) via a
+    backward frontier pass; [check_every] (default 1, i.e. every decision)
+    samples every k-th decision to keep large-n sweeps cheap. Raises
+    [Invalid_argument] if [check_every < 1]. *)
+
 val early_termination : name:string -> bound:(f:int -> int) -> 'm t
 (** Early termination: at the end of the run, the last [Decision] slot is at
     most [bound ~f] for the realized [f]. Protocols instantiate [bound]

@@ -1,0 +1,60 @@
+(** Wall-clock and allocation profiling spans.
+
+    A profile is a stack of nested spans over an injectable monotone clock
+    (default [Unix.gettimeofday]). Each span carries a name and one of five
+    fixed categories; closing a span charges its inclusive time to the
+    parent's child-time so that {e self} time — inclusive minus children —
+    partitions the run: summed over all spans it never exceeds the elapsed
+    time. Allocation is measured as [Gc.quick_stat] word deltas (minor +
+    major − promoted) and is inclusive of children.
+
+    Spans are aggregated per (name, category) key, so a hot path crossed a
+    million times costs two clock reads and a hashtable hit per crossing,
+    not a million records. Emits ["mewc-profile/1"] JSON and an ASCII flame
+    summary. Not domain-safe: profile only sequential passes. *)
+
+type category = Crypto | Engine | Machine | Adversary | Serialize
+
+val categories : category list
+(** All five, in canonical order. *)
+
+val category_name : category -> string
+val category_of_name : string -> category option
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] is injectable for tests; it must be monotone. *)
+
+val span : t -> category:category -> string -> (unit -> 'a) -> 'a
+(** [span t ~category name f] runs [f], charging its duration and
+    allocations to the [(name, category)] aggregate. Exception-safe: the
+    span closes (and parents stay balanced) even if [f] raises. *)
+
+val elapsed : t -> float
+(** Seconds since {!create}. *)
+
+type row = {
+  name : string;
+  category : category;
+  count : int;
+  total_s : float;  (** inclusive *)
+  self_s : float;  (** exclusive of child spans *)
+  alloc_words : float;  (** inclusive *)
+}
+
+val rows : t -> row list
+(** One row per (name, category) key, in first-seen order. *)
+
+val rollup : t -> (category * float) list
+(** Self-seconds per category, all five categories in canonical order
+    (zero when unused) — the shape the perf ledger stores. *)
+
+val schema : string
+(** ["mewc-profile/1"]. *)
+
+val to_json : t -> Mewc_prelude.Jsonx.t
+
+val flame : t -> string
+(** ASCII flame summary via {!Mewc_prelude.Ascii_table}: spans sorted by
+    self time with proportional [#] bars. *)

@@ -1,17 +1,24 @@
 module Jsonx = Mewc_prelude.Jsonx
 
 type 'm send = {
+  id : int;
   envelope : 'm Envelope.t;
   byzantine_sender : bool;
   words : int;
   charged : bool;
+  parents : int list;
 }
 
 type 'm event =
   | Slot_start of int
   | Corruption of { slot : int; pid : Mewc_prelude.Pid.t; f : int }
   | Send of 'm send
-  | Decision of { slot : int; pid : Mewc_prelude.Pid.t; value : string }
+  | Decision of {
+      slot : int;
+      pid : Mewc_prelude.Pid.t;
+      value : string;
+      parents : int list;
+    }
 
 type 'm t = {
   enabled : bool;
@@ -48,38 +55,49 @@ let equal_event eq_msg a b =
   | Slot_start s, Slot_start s' -> s = s'
   | Corruption a, Corruption b -> a.slot = b.slot && a.pid = b.pid && a.f = b.f
   | Send a, Send b ->
-    a.byzantine_sender = b.byzantine_sender
+    a.id = b.id
+    && a.byzantine_sender = b.byzantine_sender
     && a.words = b.words && a.charged = b.charged
+    && List.equal Int.equal a.parents b.parents
     && a.envelope.Envelope.src = b.envelope.Envelope.src
     && a.envelope.Envelope.dst = b.envelope.Envelope.dst
     && a.envelope.Envelope.sent_at = b.envelope.Envelope.sent_at
     && eq_msg a.envelope.Envelope.msg b.envelope.Envelope.msg
   | Decision a, Decision b ->
     a.slot = b.slot && a.pid = b.pid && String.equal a.value b.value
+    && List.equal Int.equal a.parents b.parents
   | _ -> false
 
 let equal eq_msg a b = List.equal (equal_event eq_msg) (events a) (events b)
 
+let pp_parents fmt = function
+  | [] -> ()
+  | ps ->
+    Format.fprintf fmt " <-{%s}"
+      (String.concat "," (List.map string_of_int ps))
+
+let pp_event pp_msg fmt = function
+  | Slot_start s -> Format.fprintf fmt "-- slot %d --" s
+  | Corruption { slot; pid; f } ->
+    Format.fprintf fmt "[%d] corrupt p%d (f=%d)" slot pid f
+  | Send { id; envelope; byzantine_sender; words; charged; parents } ->
+    Format.fprintf fmt "%s#%d %a (%d word%s%s)%a"
+      (if byzantine_sender then "[byz] " else "      ")
+      id (Envelope.pp pp_msg) envelope words
+      (if words = 1 then "" else "s")
+      (if charged then "" else ", free")
+      pp_parents parents
+  | Decision { slot; pid; value; parents } ->
+    Format.fprintf fmt "[%d] p%d decides %s%a" slot pid value pp_parents parents
+
 let pp pp_msg fmt t =
-  List.iter
-    (fun ev ->
-      match ev with
-      | Slot_start s -> Format.fprintf fmt "-- slot %d --@." s
-      | Corruption { slot; pid; f } ->
-        Format.fprintf fmt "[%d] corrupt p%d (f=%d)@." slot pid f
-      | Send { envelope; byzantine_sender; words; charged } ->
-        Format.fprintf fmt "%s%a (%d word%s%s)@."
-          (if byzantine_sender then "[byz] " else "      ")
-          (Envelope.pp pp_msg) envelope words
-          (if words = 1 then "" else "s")
-          (if charged then "" else ", free")
-      | Decision { slot; pid; value } ->
-        Format.fprintf fmt "[%d] p%d decides %s@." slot pid value)
-    (events t)
+  List.iter (fun ev -> Format.fprintf fmt "%a@." (pp_event pp_msg) ev) (events t)
 
 (* ---- serialization ----------------------------------------------------- *)
 
-let schema = "mewc-trace/1"
+let schema = "mewc-trace/2"
+
+let parents_to_json ps = Jsonx.Arr (List.map (fun p -> Jsonx.Int p) ps)
 
 let event_to_json ~encode = function
   | Slot_start s -> Jsonx.Obj [ ("type", Jsonx.Str "slot"); ("slot", Jsonx.Int s) ]
@@ -91,25 +109,35 @@ let event_to_json ~encode = function
         ("pid", Jsonx.Int pid);
         ("f", Jsonx.Int f);
       ]
-  | Send { envelope = { Envelope.src; dst; sent_at; msg }; byzantine_sender; words; charged }
-    ->
+  | Send
+      {
+        id;
+        envelope = { Envelope.src; dst; sent_at; msg };
+        byzantine_sender;
+        words;
+        charged;
+        parents;
+      } ->
     Jsonx.Obj
       [
         ("type", Jsonx.Str "send");
+        ("id", Jsonx.Int id);
         ("slot", Jsonx.Int sent_at);
         ("src", Jsonx.Int src);
         ("dst", Jsonx.Int dst);
         ("words", Jsonx.Int words);
         ("byzantine", Jsonx.Bool byzantine_sender);
         ("charged", Jsonx.Bool charged);
+        ("parents", parents_to_json parents);
         ("msg", Jsonx.Str (encode msg));
       ]
-  | Decision { slot; pid; value } ->
+  | Decision { slot; pid; value; parents } ->
     Jsonx.Obj
       [
         ("type", Jsonx.Str "decide");
         ("slot", Jsonx.Int slot);
         ("pid", Jsonx.Int pid);
+        ("parents", parents_to_json parents);
         ("value", Jsonx.Str value);
       ]
 
@@ -124,6 +152,19 @@ let event_of_json ~decode j =
     | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
   in
   let ( let* ) = Result.bind in
+  let parents_field () =
+    match Option.bind (Jsonx.member "parents" j) Jsonx.get_list with
+    | None -> Error "missing or ill-typed field \"parents\""
+    | Some items ->
+      List.fold_left
+        (fun acc item ->
+          let* ps = acc in
+          match Jsonx.get_int item with
+          | Some p -> Ok (p :: ps)
+          | None -> Error "non-integer parent id")
+        (Ok []) items
+      |> Result.map List.rev
+  in
   let* kind = field "type" Jsonx.get_str in
   match kind with
   | "slot" ->
@@ -135,26 +176,31 @@ let event_of_json ~decode j =
     let* f = field "f" Jsonx.get_int in
     Ok (Corruption { slot; pid; f })
   | "send" ->
+    let* id = field "id" Jsonx.get_int in
     let* sent_at = field "slot" Jsonx.get_int in
     let* src = field "src" Jsonx.get_int in
     let* dst = field "dst" Jsonx.get_int in
     let* words = field "words" Jsonx.get_int in
     let* byzantine_sender = field "byzantine" Jsonx.get_bool in
     let* charged = field "charged" Jsonx.get_bool in
+    let* parents = parents_field () in
     let* msg = field "msg" Jsonx.get_str in
     Ok
       (Send
          {
+           id;
            envelope = { Envelope.src; dst; sent_at; msg = decode msg };
            byzantine_sender;
            words;
            charged;
+           parents;
          })
   | "decide" ->
     let* slot = field "slot" Jsonx.get_int in
     let* pid = field "pid" Jsonx.get_int in
+    let* parents = parents_field () in
     let* value = field "value" Jsonx.get_str in
-    Ok (Decision { slot; pid; value })
+    Ok (Decision { slot; pid; value; parents })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let of_json ~decode j =
@@ -182,10 +228,14 @@ let csv_escape s =
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
+let parents_to_csv ps = String.concat ";" (List.map string_of_int ps)
+
 let to_csv ~encode t =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "type,slot,src,dst,pid,words,byzantine,charged,detail\n";
-  let line kind ~slot ?src ?dst ?pid ?words ?byzantine ?charged ?(detail = "") () =
+  Buffer.add_string buf
+    "type,slot,src,dst,pid,id,words,byzantine,charged,parents,detail\n";
+  let line kind ~slot ?src ?dst ?pid ?id ?words ?byzantine ?charged
+      ?(parents = "") ?(detail = "") () =
     let opt_int = function Some i -> string_of_int i | None -> "" in
     let opt_bool = function Some b -> string_of_bool b | None -> "" in
     Buffer.add_string buf
@@ -196,9 +246,11 @@ let to_csv ~encode t =
            opt_int src;
            opt_int dst;
            opt_int pid;
+           opt_int id;
            opt_int words;
            opt_bool byzantine;
            opt_bool charged;
+           parents;
            csv_escape detail;
          ]);
     Buffer.add_char buf '\n'
@@ -208,10 +260,20 @@ let to_csv ~encode t =
       | Slot_start s -> line "slot" ~slot:s ()
       | Corruption { slot; pid; f } ->
         line "corrupt" ~slot ~pid ~detail:(Printf.sprintf "f=%d" f) ()
-      | Send { envelope = { Envelope.src; dst; sent_at; msg }; byzantine_sender; words; charged }
-        ->
-        line "send" ~slot:sent_at ~src ~dst ~words ~byzantine:byzantine_sender
-          ~charged ~detail:(encode msg) ()
-      | Decision { slot; pid; value } -> line "decide" ~slot ~pid ~detail:value ())
+      | Send
+          {
+            id;
+            envelope = { Envelope.src; dst; sent_at; msg };
+            byzantine_sender;
+            words;
+            charged;
+            parents;
+          } ->
+        line "send" ~slot:sent_at ~src ~dst ~id ~words
+          ~byzantine:byzantine_sender ~charged
+          ~parents:(parents_to_csv parents) ~detail:(encode msg) ()
+      | Decision { slot; pid; value; parents } ->
+        line "decide" ~slot ~pid ~parents:(parents_to_csv parents)
+          ~detail:value ())
     (events t);
   Buffer.contents buf

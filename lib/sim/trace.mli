@@ -10,11 +10,15 @@
     offline analysis ([mewc trace], [BENCH_observability.json]). *)
 
 type 'm send = {
+  id : int;  (** stable envelope id, assigned in send order by the engine *)
   envelope : 'm Envelope.t;
   byzantine_sender : bool;  (** sender was corrupted at send time *)
   words : int;  (** word cost per the protocol's wire format *)
   charged : bool;
       (** whether the meter accounted it (self-addressed sends are free) *)
+  parents : int list;
+      (** ids of the messages the sender read in the slot it sent from —
+          the direct happens-before predecessors via message edges *)
 }
 
 type 'm event =
@@ -23,7 +27,13 @@ type 'm event =
       (** the adversary corrupted [pid]; [f] is the corruption count
           including this one *)
   | Send of 'm send
-  | Decision of { slot : int; pid : Mewc_prelude.Pid.t; value : string }
+  | Decision of {
+      slot : int;
+      pid : Mewc_prelude.Pid.t;
+      value : string;
+      parents : int list;
+          (** ids of the messages [pid] read in the deciding slot *)
+    }
       (** [pid]'s decision became [value] (printed form) in [slot] *)
 
 type 'm t
@@ -47,15 +57,22 @@ val sends : 'm t -> 'm send list
 val equal : ('m -> 'm -> bool) -> 'm t -> 'm t -> bool
 (** Event-by-event equality (ignores the [enabled] flag). *)
 
+val pp_event :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm event -> unit
+(** One event, no trailing newline — the building block of {!pp}, exposed
+    for consumers that render event subsets (e.g. causal cones). *)
+
 val pp :
   (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm t -> unit
 
 (** {2 Serialization}
 
-    The JSON schema is ["mewc-trace/1"]: an object with a [schema] tag and
-    an [events] array; message payloads are embedded via [encode]. CSV has
-    one event per line with columns
-    [type,slot,src,dst,pid,words,byzantine,charged,detail]. *)
+    The JSON schema is ["mewc-trace/2"]: an object with a [schema] tag and
+    an [events] array; message payloads are embedded via [encode], send and
+    decision events carry [id]/[parents] provenance. CSV has one event per
+    line with columns
+    [type,slot,src,dst,pid,id,words,byzantine,charged,parents,detail]
+    (parents are [;]-separated ids). *)
 
 val to_json : encode:('m -> string) -> 'm t -> Mewc_prelude.Jsonx.t
 

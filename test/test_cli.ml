@@ -1,8 +1,8 @@
 (* CLI argument parsing for every mewc subcommand, exercised through the
-   real binary: --help exits 0, unknown subcommands/flags and missing
-   required arguments exit with cmdliner's CLI-error status (124), and the
-   fuzz subcommand's mode/exit-code contract holds (clean campaign 0, usage
-   misuse 1, tampered corpus entry 1).
+   real binary, pinning the exit-code contract: 0 success, 1 misuse or
+   operational failure, 3 a finding (fuzz violation / perf regression), 124
+   parse errors — both cmdliner's own and ours (malformed or foreign-schema
+   JSON inputs).
 
    The binary is a declared dune dependency of this test, so it is always
    present at ../bin/mewc.exe relative to the test's working directory. *)
@@ -39,6 +39,8 @@ let help_cases =
     check_code "trace --help" 0 "trace --help";
     check_code "bench --help" 0 "bench --help";
     check_code "fuzz --help" 0 "fuzz --help";
+    check_code "perf --help" 0 "perf --help";
+    check_code "perf diff --help" 0 "perf diff --help";
   ]
 
 let error_cases =
@@ -98,15 +100,127 @@ let test_fuzz_rejects_foreign_schema () =
     ~finally:(fun () -> Sys.remove tmp)
     (fun () ->
       Out_channel.with_open_text tmp (fun oc ->
-          output_string oc {|{"schema":"mewc-trace/1","events":[]}|});
-      Alcotest.(check int) "foreign schema rejected" 1
+          output_string oc {|{"schema":"mewc-trace/2","events":[]}|});
+      (* a parse-level rejection, so the parse-error code, not misuse *)
+      Alcotest.(check int) "foreign schema rejected" 124
         (run (Printf.sprintf "fuzz --replay %s" (Filename.quote tmp))))
+
+(* ---- trace cone / unsupported combinations ------------------------------ *)
+
+let trace_cases =
+  [
+    check_code "cone out of range" 1 "trace -p bb -n 9 --cone 99";
+    check_code "cone on a baseline protocol" 1 "trace -p dolev-strong --cone 0";
+    check_code "profile on a baseline protocol" 1 "run -p dolev-strong --profile";
+  ]
+
+let test_trace_cone_dot_is_graphviz () =
+  let code, out = run_out "trace -p weak-ba -n 9 -a crash -f 2 --cone 5 --dot" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "digraph header" true
+    (String.length out > 0
+    && String.starts_with ~prefix:"digraph causality {" out);
+  Alcotest.(check bool) "closing brace" true
+    (String.length out >= 2 && String.sub out (String.length out - 2) 2 = "}\n")
+
+(* ---- perf: ledger surface ------------------------------------------------ *)
+
+let in_temp_ledger f =
+  let tmp = Filename.temp_file "mewc-cli-ledger" ".json" in
+  Sys.remove tmp;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () -> f tmp)
+
+let test_perf_diff_requires_selectors () =
+  in_temp_ledger (fun l ->
+      Alcotest.(check int) "no selectors" 1
+        (run (Printf.sprintf "perf diff --ledger %s" (Filename.quote l))))
+
+let test_perf_rejects_malformed_ledger () =
+  in_temp_ledger (fun l ->
+      Out_channel.with_open_text l (fun oc -> output_string oc "not json");
+      Alcotest.(check int) "malformed json" 124
+        (run (Printf.sprintf "perf list --ledger %s" (Filename.quote l))))
+
+let test_perf_rejects_foreign_schema () =
+  in_temp_ledger (fun l ->
+      Out_channel.with_open_text l (fun oc ->
+          output_string oc {|{"schema":"mewc-perf/1","entries":[]}|});
+      Alcotest.(check int) "foreign schema" 124
+        (run (Printf.sprintf "perf list --ledger %s" (Filename.quote l))))
+
+let test_perf_missing_entry_is_misuse () =
+  in_temp_ledger (fun l ->
+      (* an empty (absent) ledger parses fine; selecting from it is misuse *)
+      Alcotest.(check int) "index out of range" 1
+        (run (Printf.sprintf "perf diff --ledger %s 0 1" (Filename.quote l))))
+
+(* The end-to-end exit-code contract of `perf diff`: append one smoke entry,
+   self-diff to exit 0, then plant a doubled-words entry via the Ledger
+   library and require exit 3. *)
+let test_perf_append_then_diff_codes () =
+  in_temp_ledger (fun l ->
+      let ql = Filename.quote l in
+      Alcotest.(check int) "append" 0
+        (run
+           (Printf.sprintf
+              "perf append --smoke --ledger %s --rev aaa --date 2026-08-06" ql));
+      Alcotest.(check int) "self-diff exits 0" 0
+        (run (Printf.sprintf "perf diff --ledger %s -- -1 -1" ql));
+      let entries =
+        match Mewc_core.Ledger.load l with
+        | Ok es -> es
+        | Error e -> Alcotest.fail e
+      in
+      let doubled =
+        match entries with
+        | [ e ] ->
+          {
+            e with
+            Mewc_core.Ledger.rev = "bbb";
+            rows =
+              List.map
+                (fun (r : Mewc_core.Sweep.row) ->
+                  { r with Mewc_core.Sweep.words = 2 * r.Mewc_core.Sweep.words })
+                e.Mewc_core.Ledger.rows;
+          }
+        | _ -> Alcotest.fail "expected exactly one entry"
+      in
+      Mewc_core.Ledger.save l (entries @ [ doubled ]);
+      Alcotest.(check int) "doubled words exit 3" 3
+        (run (Printf.sprintf "perf diff --ledger %s aaa bbb" ql));
+      Alcotest.(check int) "improvement exits 0" 0
+        (run (Printf.sprintf "perf diff --ledger %s bbb aaa" ql)))
+
+let test_perf_smoke_gate () =
+  Alcotest.(check int) "perf smoke" 0 (run "perf smoke")
 
 let () =
   Alcotest.run "cli"
     [
       ("help", help_cases);
       ("parse errors", error_cases);
+      ( "trace surfaces",
+        trace_cases
+        @ [
+            Alcotest.test_case "--cone --dot emits graphviz" `Quick
+              test_trace_cone_dot_is_graphviz;
+          ] );
+      ( "perf ledger",
+        [
+          Alcotest.test_case "diff requires selectors" `Quick
+            test_perf_diff_requires_selectors;
+          Alcotest.test_case "malformed ledger" `Quick
+            test_perf_rejects_malformed_ledger;
+          Alcotest.test_case "foreign schema" `Quick
+            test_perf_rejects_foreign_schema;
+          Alcotest.test_case "missing entry" `Quick
+            test_perf_missing_entry_is_misuse;
+          Alcotest.test_case "append/diff exit codes" `Quick
+            test_perf_append_then_diff_codes;
+          Alcotest.test_case "smoke gate" `Quick test_perf_smoke_gate;
+        ] );
       ( "fuzz modes",
         [
           Alcotest.test_case "requires a mode" `Quick test_fuzz_requires_mode;

@@ -128,7 +128,7 @@ let test_replay_rejects_drift () =
     | Error _ -> ())
 
 let test_corpus_schema_gate () =
-  let j = Jsonx.Obj [ (Jsonx.Schema.key, Jsonx.Str "mewc-trace/1") ] in
+  let j = Jsonx.Obj [ (Jsonx.Schema.key, Jsonx.Str "mewc-trace/2") ] in
   match Campaign.entry_of_json j with
   | Ok _ -> Alcotest.fail "accepted a foreign schema"
   | Error e ->
@@ -137,7 +137,7 @@ let test_corpus_schema_gate () =
       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
       go 0
     in
-    Alcotest.(check bool) "names the schema" true (contains e "mewc-trace/1")
+    Alcotest.(check bool) "names the schema" true (contains e "mewc-trace/2")
 
 let () =
   Alcotest.run "fuzz"

@@ -15,14 +15,17 @@ let trace_of events =
   List.iter (Trace.record tr) events;
   tr
 
-let send ?(byz = false) ?(words = 1) ?charged ~slot ~src ~dst msg =
+let send ?(id = 0) ?(parents = []) ?(byz = false) ?(words = 1) ?charged ~slot
+    ~src ~dst msg =
   let charged = match charged with Some c -> c | None -> src <> dst in
   Trace.Send
     {
+      id;
       envelope = { Envelope.src; dst; sent_at = slot; msg };
       byzantine_sender = byz;
       words;
       charged;
+      parents;
     }
 
 let violation_of monitor ~slots events =
@@ -87,7 +90,7 @@ let budget_rejections () =
 
 let agreement_rejections () =
   let c = cfg 3 in
-  let decide ~slot ~pid value = Trace.Decision { slot; pid; value } in
+  let decide ~slot ~pid value = Trace.Decision { slot; pid; value; parents = [] } in
   let everyone v = List.map (fun pid -> decide ~slot:1 ~pid v) [ 0; 1; 2 ] in
   check_accepts "agreement: unanimous"
     (Monitor.agreement ~cfg:c ())
@@ -154,7 +157,7 @@ let word_bound_rejections () =
 let early_termination_rejections () =
   let bound ~f = 5 * (f + 1) in
   let m () = Monitor.early_termination ~name:"test-latency" ~bound in
-  let decide ~slot ~pid = Trace.Decision { slot; pid; value = "v" } in
+  let decide ~slot ~pid = Trace.Decision { slot; pid; value = "v"; parents = [] } in
   check_accepts "latency: in time" (m ()) ~slots:20
     [ Trace.Slot_start 0; decide ~slot:5 ~pid:0 ];
   check_rejects "latency: too late at f=0" (m ()) ~slots:20
@@ -249,7 +252,7 @@ let sample_events =
     send ~byz:true ~slot:0 ~src:2 ~dst:0 "payload\nwith newline";
     send ~slot:0 ~src:1 ~dst:1 "self";
     Trace.Slot_start 1;
-    Trace.Decision { slot = 1; pid = 0; value = "v,comma" };
+    Trace.Decision { slot = 1; pid = 0; value = "v,comma"; parents = [ 2 ] };
   ]
 
 let json_round_trip () =
@@ -281,8 +284,8 @@ let json_rejects_garbage () =
   in
   check "not json" "{nope";
   check "wrong schema" {|{"schema":"mewc-trace/99","events":[]}|};
-  check "missing events" {|{"schema":"mewc-trace/1"}|};
-  check "bad event tag" {|{"schema":"mewc-trace/1","events":[{"type":"warp"}]}|}
+  check "missing events" {|{"schema":"mewc-trace/2"}|};
+  check "bad event tag" {|{"schema":"mewc-trace/2","events":[{"type":"warp"}]}|}
 
 let csv_export () =
   (* Newline-free payloads so lines can be counted by splitting; payloads
@@ -294,7 +297,7 @@ let csv_export () =
         Trace.Slot_start 0;
         Trace.Corruption { slot = 0; pid = 2; f = 1 };
         send ~slot:0 ~src:0 ~dst:1 ~words:3 "plain";
-        Trace.Decision { slot = 0; pid = 0; value = "v,comma" };
+        Trace.Decision { slot = 0; pid = 0; value = "v,comma"; parents = [] };
       ]
   in
   let csv = Trace.to_csv ~encode:Fun.id tr in
@@ -302,7 +305,8 @@ let csv_export () =
   (* Header plus one line per event. *)
   Alcotest.(check int) "line count" (1 + Trace.length tr) (List.length lines);
   Alcotest.(check string) "header"
-    "type,slot,src,dst,pid,words,byzantine,charged,detail" (List.hd lines);
+    "type,slot,src,dst,pid,id,words,byzantine,charged,parents,detail"
+    (List.hd lines);
   (* The comma inside the decision value must be quoted, not splitting. *)
   let last = List.nth lines (List.length lines - 1) in
   Alcotest.(check bool) "decision row" true
