@@ -8,18 +8,25 @@
      mewc run -p dolev-strong -n 9
      mewc trace -p weak-ba -n 9 --adversary crash -f 2 --format csv -o run.csv
      mewc trace -p weak-ba -n 9 --adversary crash -f 2 --cone 5 --dot
+     mewc run -p bb -n 9 --drop 0.3 --fault-seed 7
+     mewc chaos --smoke
+     mewc chaos --cell weak-ba:partition:3
      mewc perf diff -- -2 -1
    `run` prints per-process decisions and the run's communication metering
    (with --trace, also the per-slot word series); `trace` emits the full
-   structured execution trace as JSON (schema mewc-trace/2) or CSV, or a
-   decision's happens-before cone; `perf` manages the append-only
-   regression ledger (schema mewc-ledger/1).
+   structured execution trace as JSON (schema mewc-trace/3) or CSV, or a
+   decision's happens-before cone; `chaos` sweeps the (protocol x
+   fault-intensity) degradation matrix (schema mewc-degrade/1); `perf`
+   manages the append-only regression ledger (schema mewc-ledger/1).
 
    Exit codes, uniform across subcommands:
      0    success
      1    misuse or operational failure (unsupported combination, missing
           file, non-reproducing corpus entry, ...)
-     3    a finding: a fuzz violation, or a perf regression beyond threshold
+     2    a stall: the run (or the requested chaos cell) kept safety but
+          left correct non-faulted processes undecided
+     3    a finding: a fuzz violation, a perf regression beyond threshold,
+          an Unsafe chaos cell
      124  parse errors — ours (malformed JSON, wrong schema) and cmdliner's
           (bad command line), deliberately the same code *)
 
@@ -131,6 +138,29 @@ let epk_adversary ~cfg ~f ~input adversary =
     Attacks.epk_equivocating_king ~cfg ~king:1 ~v1:(input ^ "1") ~v2:(input ^ "2")
   | Error a -> unsupported "fallback" a
 
+(* ---- fault flags, shared plan construction ------------------------------- *)
+
+let plan_of_flags ~n ~seed ~drop ~dup ~delay ~delay_prob ~crash ~partition
+    ~fault_seed =
+  let plan =
+    {
+      Faults.seed =
+        (match fault_seed with Some s -> Int64.of_int s | None -> seed);
+      drop;
+      dup;
+      delay;
+      delay_prob = (if delay > 0 then delay_prob else 0.0);
+      processes = List.map (fun p -> (p, Faults.Crash { at = 0 })) crash;
+      partitions =
+        (if partition = [] then []
+         else
+           [ { Faults.from_slot = 0; until_slot = 1_000_000; island = partition } ]);
+    }
+  in
+  match Faults.validate ~n plan with
+  | Ok () -> plan
+  | Error e -> die_misuse "bad fault plan: %s" e
+
 (* ---- `run` ---------------------------------------------------------------- *)
 
 let print_per_slot (s : Meter.snapshot) =
@@ -161,28 +191,45 @@ let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) 
     c.Mewc_crypto.Pki.verify_hits c.Mewc_crypto.Pki.verify_misses
     c.Mewc_crypto.Pki.agg_hits c.Mewc_crypto.Pki.agg_misses;
   pr "  slots simulated            %d\n" o.Instances.slots;
+  (match o.Instances.faulty with
+  | [] -> ()
+  | ps ->
+    pr "  injected process faults    %s\n"
+      (String.concat ", " (List.map (Printf.sprintf "p%d") ps)));
+  pr "  status                     %s\n"
+    (Format.asprintf "%a" Instances.pp_status o.Instances.status);
   if show then begin
     pr "  non-silent phases          %d\n" o.Instances.nonsilent_phases;
     pr "  help requests              %d\n" o.Instances.help_requests;
     pr "  fallback runs              %d\n" o.Instances.fallback_runs
   end;
-  if trace then print_per_slot o.Instances.meter
+  if trace then print_per_slot o.Instances.meter;
+  o.Instances.status
 
 let decision_line p d = pr "  p%-3d decided %s\n" p d
 
-let run_cmd protocol n adversary f seed input trace profile_on =
+let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
+    delay_prob crash partition fault_seed =
   let cfg = Config.optimal ~n in
   let t = cfg.Config.t in
   let f = min f t in
   let seed = Int64.of_int seed in
+  let faults =
+    plan_of_flags ~n ~seed ~drop ~dup ~delay ~delay_prob ~crash ~partition
+      ~fault_seed
+  in
   let profile = if profile_on then Some (Profile.create ()) else None in
-  pr "mewc: n=%d t=%d protocol=%s adversary=%s f=%d seed=%Ld\n\n" n t
-    (protocol_name protocol) adversary f seed;
-  (match protocol with
-  | Bb ->
-    let adv = bb_adversary ~cfg ~f ~input adversary in
-    let o = Instances.run_bb ~cfg ~seed ?profile ~input ~adversary:adv () in
-    print_outcome ~show:true ~trace
+  pr "mewc: n=%d t=%d protocol=%s adversary=%s f=%d seed=%Ld%s\n\n" n t
+    (protocol_name protocol) adversary f seed
+    (if Faults.is_none faults then ""
+     else Printf.sprintf " faults=%s" (Format.asprintf "%a" Faults.pp faults));
+  let status =
+    let go () =
+      match protocol with
+      | Bb ->
+      let adv = bb_adversary ~cfg ~f ~input adversary in
+      let o = Instances.run_bb ~cfg ~seed ?profile ~faults ~input ~adversary:adv () in
+      print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
           (fun p d ->
@@ -197,8 +244,8 @@ let run_cmd protocol n adversary f seed input trace profile_on =
   | Weak_ba ->
     let adv = wba_adversary ~cfg ~n ~t ~f adversary in
     let o =
-      Instances.run_weak_ba ~cfg ~seed ?profile ~inputs:(Array.make n input)
-        ~adversary:adv ()
+      Instances.run_weak_ba ~cfg ~seed ?profile ~faults
+        ~inputs:(Array.make n input) ~adversary:adv ()
     in
     print_outcome ~show:true ~trace
       (fun () ->
@@ -215,7 +262,7 @@ let run_cmd protocol n adversary f seed input trace profile_on =
   | Strong_ba ->
     let adv = sba_adversary ~cfg ~n ~f adversary in
     let o =
-      Instances.run_strong_ba ~cfg ~seed ?profile
+      Instances.run_strong_ba ~cfg ~seed ?profile ~faults
         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
         ~adversary:adv ()
     in
@@ -233,7 +280,7 @@ let run_cmd protocol n adversary f seed input trace profile_on =
   | Fallback ->
     let adv = epk_adversary ~cfg ~f ~input adversary in
     let o =
-      Instances.run_fallback ~cfg ~seed ?profile
+      Instances.run_fallback ~cfg ~seed ?profile ~faults
         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
         ~adversary:adv ()
     in
@@ -249,6 +296,8 @@ let run_cmd protocol n adversary f seed input trace profile_on =
   | Dolev_strong ->
     if profile_on then
       die_misuse "--profile is only available for the paper's protocols";
+    if not (Faults.is_none faults) then
+      die_misuse "fault injection is only available for the paper's protocols";
     let adv =
       match generic ~f adversary with Ok a -> a | Error a -> unsupported "dolev-strong" a
     in
@@ -262,10 +311,13 @@ let run_cmd protocol n adversary f seed input trace profile_on =
         | None -> ())
       o.Mewc_baselines.Dolev_strong.decisions;
     pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Dolev_strong.words
-      o.Mewc_baselines.Dolev_strong.messages o.Mewc_baselines.Dolev_strong.signatures
+      o.Mewc_baselines.Dolev_strong.messages o.Mewc_baselines.Dolev_strong.signatures;
+    Instances.Decided
   | Naive_bb ->
     if profile_on then
       die_misuse "--profile is only available for the paper's protocols";
+    if not (Faults.is_none faults) then
+      die_misuse "fault injection is only available for the paper's protocols";
     let adv =
       match generic ~f adversary with Ok a -> a | Error a -> unsupported "naive-bb" a
     in
@@ -279,19 +331,28 @@ let run_cmd protocol n adversary f seed input trace profile_on =
         | None -> ())
       o.Mewc_baselines.Naive_bb.decisions;
     pr "\n  words %d, messages %d, signatures %d\n" o.Mewc_baselines.Naive_bb.words
-      o.Mewc_baselines.Naive_bb.messages o.Mewc_baselines.Naive_bb.signatures);
-  match profile with
+      o.Mewc_baselines.Naive_bb.messages o.Mewc_baselines.Naive_bb.signatures;
+    Instances.Decided
+    in
+    match go () with
+    | status -> status
+    | exception Monitor.Violation v ->
+      pr "\nmonitor violated: %s\n" (Format.asprintf "%a" Monitor.pp_violation v);
+      exit 3
+  in
+  (match profile with
   | None -> ()
   | Some p ->
     pr "\n";
-    print_string (Profile.flame p)
+    print_string (Profile.flame p));
+  match status with Instances.Decided -> () | Instances.Undecided _ -> exit 2
 
 (* ---- `trace` --------------------------------------------------------------- *)
 
 type trace_format = Json | Csv
 
 (* Re-decode the run's own JSON, so every trace invocation also exercises
-   the parse side of the mewc-trace/2 schema. *)
+   the parse side of the mewc-trace/3 schema. *)
 let reparsed_trace json =
   match Trace.of_json ~decode:Fun.id json with
   | Ok tr -> tr
@@ -670,6 +731,88 @@ let fuzz_cmd target count seed jobs out replay replay_dir minimize smoke list =
     | None, None, None -> fuzz_campaign ~target ~jobs ~seed ~count ~out
     | _ -> fuzz_fail "--replay, --replay-dir and --minimize are mutually exclusive"
 
+(* ---- `chaos`: the degradation matrix ------------------------------------- *)
+
+let parse_cell spec =
+  let planted_p, planted_prof, _ = Degrade.planted_unsafe in
+  let known = Degrade.protocols @ [ planted_p ] in
+  let known_profs = Degrade.profiles @ [ planted_prof ] in
+  let bad () =
+    die_misuse
+      "chaos: bad cell %S (want PROTOCOL:FAULT:LEVEL, e.g. \
+       weak-ba:partition:3; protocols: %s; faults: %s; levels 0..%d)"
+      spec
+      (String.concat ", " known)
+      (String.concat ", " known_profs)
+      (Degrade.levels - 1)
+  in
+  match String.split_on_char ':' spec with
+  | [ p; prof; l ] -> (
+    match int_of_string_opt l with
+    | Some level
+      when List.mem p known
+           && List.mem prof known_profs
+           && level >= 0 && level < Degrade.levels ->
+      (p, prof, level)
+    | _ -> bad ())
+  | _ -> bad ()
+
+let write_matrix path cells =
+  match open_out path with
+  | exception Sys_error e -> die_misuse "cannot write %s: %s" path e
+  | oc ->
+    output_string oc (Jsonx.to_string (Degrade.matrix_to_json cells));
+    output_char oc '\n';
+    close_out oc;
+    pr "wrote %s (schema mewc-degrade/1)\n" path
+
+let chaos_cmd jobs smoke cell output =
+  match cell with
+  | Some spec ->
+    let protocol, profile, level = parse_cell spec in
+    let c = Degrade.run_cell ~protocol ~profile ~level in
+    pr "mewc chaos: %s/%s/L%d seed=%Ld -> %s\n" protocol profile level
+      c.Degrade.seed
+      (Format.asprintf "%a" Monitor.pp_classification c.Degrade.verdict);
+    pr "  faulty %d, undecided %d, words %d, slots %d\n" c.Degrade.faulty
+      c.Degrade.undecided c.Degrade.words c.Degrade.slots;
+    (match c.Degrade.verdict with
+    | Monitor.Safe_live -> ()
+    | Monitor.Safe_stalled _ -> exit 2
+    | Monitor.Unsafe _ -> exit 3)
+  | None ->
+    if smoke then (
+      match Degrade.smoke ?jobs () with
+      | Error msg ->
+        epr "mewc chaos: smoke FAILED: %s\n%!" msg;
+        exit 1
+      | Ok cells ->
+        print_string (Degrade.render cells);
+        let p, prof, l = Degrade.planted_unsafe in
+        pr
+          "mewc chaos: smoke ok — controls and crash-only cells live, \
+           duplication safe, a partition stalls, and the planted %s/%s/L%d \
+           violation is still caught\n"
+          p prof l;
+        Option.iter (fun path -> write_matrix path cells) output)
+    else begin
+      let cells = Degrade.run_all ?jobs () in
+      print_string (Degrade.render cells);
+      Option.iter (fun path -> write_matrix path cells) output;
+      match Degrade.unsafe_cells cells with
+      | [] -> ()
+      | unsafe ->
+        List.iter
+          (fun (c : Degrade.cell) ->
+            epr "mewc chaos: UNSAFE %s/%s/L%d (seed %Ld): %s\n" c.Degrade.protocol
+              c.Degrade.profile c.Degrade.level c.Degrade.seed
+              (match c.Degrade.verdict with
+              | Monitor.Unsafe v -> Format.asprintf "%a" Monitor.pp_violation v
+              | _ -> assert false))
+          unsafe;
+        exit 3
+    end
+
 open Cmdliner
 
 let protocol_arg =
@@ -715,9 +858,54 @@ let run_term =
             "Print a wall-clock/allocation flame summary of the run's engine \
              phases, crypto hot paths and serialization.")
   in
+  let drop =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:"Per-link-delivery drop probability (fault injection).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~docv:"P" ~doc:"Per-delivery duplication probability.")
+  in
+  let delay =
+    Arg.(
+      value & opt int 0
+      & info [ "delay" ] ~docv:"K"
+          ~doc:"Delay affected messages by $(docv) extra slots (a δ violation).")
+  in
+  let delay_prob =
+    Arg.(
+      value & opt float 0.5
+      & info [ "delay-prob" ] ~docv:"P"
+          ~doc:"Probability a send is delayed (only with $(b,--delay)).")
+  in
+  let crash =
+    Arg.(
+      value & opt (list int) []
+      & info [ "crash" ] ~docv:"PIDS"
+          ~doc:"Crash these processes (comma-separated pids) at slot 0.")
+  in
+  let partition =
+    Arg.(
+      value & opt (list int) []
+      & info [ "partition" ] ~docv:"PIDS"
+          ~doc:
+            "Partition these pids into an island for the whole run: links \
+             crossing the cut fail both ways.")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the fault layer's coin flips (default: --seed).")
+  in
   Term.(
     const run_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
-    $ input_arg $ trace $ profile)
+    $ input_arg $ trace $ profile $ drop $ dup $ delay $ delay_prob $ crash
+    $ partition $ fault_seed)
 
 let trace_term =
   let format =
@@ -853,6 +1041,42 @@ let fuzz_term =
     const fuzz_cmd $ target $ count $ seed $ jobs $ out $ replay $ replay_dir
     $ minimize $ smoke $ list)
 
+let chaos_term =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for the parallel sweep (default 1). The matrix is \
+                independent of this.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI self-validation: run the full matrix and check the \
+                expected degradation envelope — controls and crash-only \
+                cells safe-live, duplication never unsafe, at least one \
+                partition stall, and the planted reliability violation \
+                still unsafe.")
+  in
+  let cell =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cell" ] ~docv:"PROTOCOL:FAULT:LEVEL"
+          ~doc:"Run one grid cell and exit 0 (live) / 2 (stalled) / 3 \
+                (unsafe).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the mewc-degrade/1 JSON matrix to FILE.")
+  in
+  Term.(const chaos_cmd $ jobs $ smoke $ cell $ output)
+
 let perf_cmd =
   let ledger_arg =
     Arg.(
@@ -983,7 +1207,7 @@ let cmd =
         (Cmd.info "trace"
            ~doc:
              "Run one protocol execution and emit its structured trace \
-              (mewc-trace/2) as JSON or CSV, or a decision's happens-before \
+              (mewc-trace/3) as JSON or CSV, or a decision's happens-before \
               cone (--cone, --dot).")
         trace_term;
       perf_cmd;
@@ -1003,6 +1227,14 @@ let cmd =
               violation to a minimal scenario, and manage the replayable \
               mewc-fuzz/1 corpus.")
         fuzz_term;
+      Cmd.v
+        (Cmd.info "chaos"
+           ~doc:
+             "Sweep every protocol over the fault-injection grid (crashes, \
+              omissions, duplication, delays, drops, partitions at rising \
+              intensity) and classify each cell safe-live / safe-stalled / \
+              unsafe (mewc-degrade/1); an unsafe cell exits 3.")
+        chaos_term;
     ]
 
 let () = exit (Cmd.eval cmd)

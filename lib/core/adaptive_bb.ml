@@ -320,9 +320,18 @@ let emit st ~slot ~rel =
         match st.vi with
         | Some v -> v
         | None ->
-          (* Lemma 11 rules this out for correct processes; failing loudly
-             beats silently proposing garbage. *)
-          failwith "Adaptive_bb: no valid weak-BA input after vetting"
+          (* Lemma 11 rules this out on the reliable network, but injected
+             message loss can leave a correct process with nothing vetted.
+             Degrade instead of crashing the run: propose a placeholder
+             whose signature does not cover its claimed value, so
+             [bb_valid] rejects it everywhere (this process included) and
+             weak BA drifts toward ⊥ — a stall the harness can classify,
+             not a bogus decision. *)
+          let sg =
+            Certificate.share st.pki st.secret ~purpose:sender_purpose
+              ~payload:"?"
+          in
+          Sender_signed { value = "⊥"; sg }
       in
       st.wba <-
         Some

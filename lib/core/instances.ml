@@ -12,10 +12,20 @@ end
 
 module Weak_str = Weak_ba.Make (Value.Str) (Fallback_str)
 
+type status = Decided | Undecided of Pid.t list
+
+let pp_status fmt = function
+  | Decided -> Format.fprintf fmt "decided"
+  | Undecided ps ->
+    Format.fprintf fmt "undecided{%s}"
+      (String.concat "," (List.map string_of_int ps))
+
 type 'o agreement_outcome = {
   decisions : 'o option array;
   corrupted : Mewc_prelude.Pid.t list;
   f : int;
+  faulty : Mewc_prelude.Pid.t list;
+  status : status;
   words : int;
   messages : int;
   byz_words : int;
@@ -30,11 +40,14 @@ type 'o agreement_outcome = {
   trace_json : Mewc_prelude.Jsonx.t option;
 }
 
-(* Latest decision slot among correct processes; -1 if one never decided. *)
-let latency_of ~corrupted ~decided_at states =
+(* Latest decision slot among correct non-faulted processes; -1 if one never
+   decided. Injected process faults void a pid's latency obligation the same
+   way corruption does. *)
+let latency_of ~corrupted ~faulty ~decided_at states =
   Array.to_list states
   |> List.mapi (fun p st -> (p, st))
-  |> List.filter (fun (p, _) -> not (List.mem p corrupted))
+  |> List.filter (fun (p, _) ->
+         (not (List.mem p corrupted)) && not (List.mem p faulty))
   |> List.fold_left
        (fun acc (_, st) ->
          match (acc, decided_at st) with
@@ -78,7 +91,8 @@ let weak_word_bound cfg ~f =
 let std_monitors ~cfg ~word_name ~word_bound ~early_name ~early_bound =
   [
     Monitor.corruption_budget ~cfg;
-    Monitor.agreement ~cfg ();
+    Monitor.agreement ();
+    Monitor.termination ~cfg;
     Monitor.word_bound ~name:word_name ~bound:word_bound;
     (* The causal cone of a decision spends at most what all correct
        processes spent, so the global envelope is a sound per-decision
@@ -502,8 +516,8 @@ end
 (* ---- the generic runner ------------------------------------------------ *)
 
 let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
-    ?shuffle_seed ?(record_trace = false) ?monitors ?profile ~params ~adversary
-    () =
+    ?shuffle_seed ?(record_trace = false) ?monitors ?profile
+    ?(faults = Faults.none) ~params ~adversary () =
   P.validate_params ~cfg ~params;
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
@@ -517,7 +531,17 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
   let adversary = adversary ~pki ~secrets in
   let horizon = P.horizon ~cfg ~params in
   let monitors =
-    match monitors with Some ms -> ms | None -> P.monitors ~cfg ~params
+    match monitors with
+    | Some ms -> ms
+    | None ->
+      if Faults.is_none faults then P.monitors ~cfg ~params
+      else
+        (* Under injected faults only the model-independent safety core is
+           promised: liveness envelopes (termination, latency) are read off
+           [status] instead, and the word/cone bounds — Safety-severity, but
+           calibrated against the realized f on a reliable network — would
+           trip spuriously when loss legitimately changes spending at f=0. *)
+        [ Monitor.corruption_budget ~cfg; Monitor.agreement (); Monitor.metering () ]
   in
   let res =
     replayable ~seed ~shuffle_seed (fun () ->
@@ -529,12 +553,20 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
               monitors;
               decided = Some P.decided_str;
               profile;
+              faults;
             }
           ~words:P.words ~horizon ~protocol ~adversary ())
   in
   let correct_states =
     Array.to_list res.Engine.states
     |> List.filteri (fun p _ -> not (List.mem p res.Engine.corrupted))
+  in
+  let undecided =
+    Pid.all ~n
+    |> List.filter (fun p ->
+           (not (List.mem p res.Engine.corrupted))
+           && (not (List.mem p res.Engine.faulty))
+           && Option.is_none (P.decision res.Engine.states.(p)))
   in
   let { Protocol.fallback_runs; nonsilent_phases; help_requests } =
     P.counters correct_states
@@ -543,6 +575,8 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
     decisions = Array.map P.decision res.Engine.states;
     corrupted = res.Engine.corrupted;
     f = res.Engine.f;
+    faulty = res.Engine.faulty;
+    status = (if undecided = [] then Decided else Undecided undecided);
     words = Meter.correct_words res.Engine.meter;
     messages = Meter.correct_messages res.Engine.meter;
     byz_words = Meter.byzantine_words res.Engine.meter;
@@ -552,8 +586,8 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
     nonsilent_phases;
     help_requests;
     latency =
-      latency_of ~corrupted:res.Engine.corrupted ~decided_at:P.decided_at
-        res.Engine.states;
+      latency_of ~corrupted:res.Engine.corrupted ~faulty:res.Engine.faulty
+        ~decided_at:P.decided_at res.Engine.states;
     meter = Meter.snapshot res.Engine.meter;
     crypto = Pki.cache_stats pki;
     trace_json =
@@ -570,41 +604,41 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
 (* ---- legacy entry points (thin wrappers over [run]) -------------------- *)
 
 let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
+    ?faults ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
   run
     (module Fallback_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
     ~params:{ Fallback_protocol.inputs; round_len; start_slot }
     ~adversary ()
 
 let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
+    ?faults ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
   run
     (module Weak_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
     ~params:{ Weak_ba_protocol.inputs; validate; quorum_override }
     ~adversary ()
 
-let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile ?(sender = 0)
-    ~input ~adversary () =
+let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
+    ?faults ?(sender = 0) ~input ~adversary () =
   run
     (module Bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
     ~params:{ Bb_protocol.sender; input }
     ~adversary ()
 
 let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?(sender = 0) ~input ~adversary () =
+    ?faults ?(sender = 0) ~input ~adversary () =
   run
     (module Binary_bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
     ~params:{ Binary_bb_protocol.sender; input }
     ~adversary ()
 
 let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?(leader = 0) ~inputs ~adversary () =
+    ?faults ?(leader = 0) ~inputs ~adversary () =
   run
     (module Strong_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
     ~params:{ Strong_ba_protocol.leader; inputs }
     ~adversary ()

@@ -44,12 +44,25 @@ module Binary_bb_bool : module type of Binary_bb.Make (Fallback_bool)
 (** Binary BB via the §5 reduction over Algorithm 5: O(n) when the sender is
     correct and f = 0. *)
 
+type status =
+  | Decided  (** every correct, non-faulted process decided *)
+  | Undecided of Mewc_prelude.Pid.t list
+      (** the run exhausted its horizon with these correct non-faulted
+          processes undecided — a stall, first-class rather than inferred
+          from [-1] latency. Expected under injected faults; a protocol bug
+          on a reliable run (and then caught by the termination monitor). *)
+
+val pp_status : Format.formatter -> status -> unit
+
 type 'o agreement_outcome = {
   decisions : 'o option array;
       (** per process; [None] for processes that were corrupted or (bug)
           never decided *)
   corrupted : Mewc_prelude.Pid.t list;
   f : int;
+  faulty : Mewc_prelude.Pid.t list;
+      (** processes hit by an injected process fault, in first-event order *)
+  status : status;
   words : int;  (** words sent by correct processes — the paper's measure *)
   messages : int;
   byz_words : int;
@@ -59,15 +72,15 @@ type 'o agreement_outcome = {
   nonsilent_phases : int;  (** non-silent phases led by correct processes *)
   help_requests : int;  (** help requests sent by correct processes *)
   latency : int;
-      (** slots (= δ units) until the {e last} correct process decided;
-          -1 if some correct process never decided (a bug caught by tests) *)
+      (** slots (= δ units) until the {e last} correct non-faulted process
+          decided; -1 if one of them never decided (see [status]) *)
   meter : Mewc_sim.Meter.snapshot;
       (** per-slot and per-process word/message series for this run *)
   crypto : Mewc_crypto.Pki.cache_stats;
       (** hit/miss counters of this run's PKI memo tables (share-tag and
           aggregate-tag caches) *)
   trace_json : Mewc_prelude.Jsonx.t option;
-      (** the run's structured trace (schema ["mewc-trace/2"], message
+      (** the run's structured trace (schema ["mewc-trace/3"], message
           payloads rendered via the protocol's printer); [Some] iff
           [record_trace] was set *)
 }
@@ -170,6 +183,7 @@ val run :
   ?record_trace:bool ->
   ?monitors:'m Mewc_sim.Monitor.t list ->
   ?profile:Mewc_sim.Profile.t ->
+  ?faults:Mewc_sim.Faults.plan ->
   params:'p ->
   adversary:('s, 'm) Mewc_sim.Adversary.factory ->
   unit ->
@@ -180,7 +194,14 @@ val run :
     verbatim when given (the fuzzer installs its own safety suite) — and
     the outcome assembled from the final states, meter and PKI counters.
     With [profile], engine phases, the PKI's hash hot paths and trace
-    serialization are charged to the given {!Mewc_sim.Profile.t} spans. *)
+    serialization are charged to the given {!Mewc_sim.Profile.t} spans.
+    With [faults] (default {!Mewc_sim.Faults.none}), the plan is threaded to
+    the engine's deliver boundary; when [monitors] is not given, the
+    default suite is narrowed to the model-independent safety core
+    (corruption budget, agreement, metering), since neither the liveness
+    envelopes nor the word bounds — calibrated against the realized f on a
+    reliable network — are promised off the reliable model. Read stalls
+    off [status] instead. *)
 
 (** {2 Legacy entry points}
 
@@ -195,6 +216,7 @@ val run_fallback :
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
+  ?faults:Mewc_sim.Faults.plan ->
   ?round_len:int ->
   ?start_slot:(Mewc_prelude.Pid.t -> int) ->
   inputs:string array ->
@@ -209,6 +231,7 @@ val run_weak_ba :
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
+  ?faults:Mewc_sim.Faults.plan ->
   ?validate:(string -> bool) ->
   ?quorum_override:int ->
   inputs:string array ->
@@ -223,6 +246,7 @@ val run_bb :
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
+  ?faults:Mewc_sim.Faults.plan ->
   ?sender:Mewc_prelude.Pid.t ->
   input:string ->
   adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
@@ -236,6 +260,7 @@ val run_binary_bb :
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
+  ?faults:Mewc_sim.Faults.plan ->
   ?sender:Mewc_prelude.Pid.t ->
   input:bool ->
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
@@ -249,6 +274,7 @@ val run_strong_ba :
   ?shuffle_seed:int64 ->
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
+  ?faults:Mewc_sim.Faults.plan ->
   ?leader:Mewc_prelude.Pid.t ->
   inputs:bool array ->
   adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->

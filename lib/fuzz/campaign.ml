@@ -71,18 +71,15 @@ let zoo =
 let find_target name =
   List.find_opt (fun t -> String.equal (target_name t) name) zoo
 
-(* Fuzz runs install the safety suite only: budget sanity, agreement (with
-   termination, except against ablated targets, whose whole point is that
-   liveness/safety break), and meter/engine consistency. The word/latency
-   envelope monitors are deliberately excluded — they are calibrated against
-   the scripted adversary zoo, and a random adversary tripping them would be
-   a calibration artifact, not a protocol bug. *)
+(* Fuzz runs install budget sanity, agreement, meter/engine consistency,
+   and — except against ablated targets, whose whole point is that
+   liveness/safety break — termination. The word/latency envelope monitors
+   are deliberately excluded: they are calibrated against the scripted
+   adversary zoo, and a random adversary tripping them would be a
+   calibration artifact, not a protocol bug. *)
 let safety_monitors ~cfg ~ablated =
-  [
-    Monitor.corruption_budget ~cfg;
-    Monitor.agreement ~require_termination:(not ablated) ~cfg ();
-    Monitor.metering ();
-  ]
+  [ Monitor.corruption_budget ~cfg; Monitor.agreement (); Monitor.metering () ]
+  @ (if ablated then [] else [ Monitor.termination ~cfg ])
 
 let violation_of (Target { protocol; params; ablated; _ }) ~cfg
     (sc : Scenario.t) =
@@ -92,7 +89,7 @@ let violation_of (Target { protocol; params; ablated; _ }) ~cfg
     Instances.run protocol ~cfg ~seed:sc.Scenario.seed
       ?shuffle_seed:sc.Scenario.shuffle
       ~monitors:(safety_monitors ~cfg ~ablated)
-      ~params ~adversary ()
+      ~faults:(Compile.plan_of_scenario sc) ~params ~adversary ()
   with
   | _ -> None
   | exception Monitor.Violation v -> Some v
@@ -109,7 +106,9 @@ let batch_size = 32
 
 let campaign ?jobs target ~cfg ~seed ~count () =
   let rng = Rng.create seed in
-  let dummy = { Scenario.seed = 0L; shuffle = None; corruptions = [] } in
+  let dummy =
+    { Scenario.seed = 0L; shuffle = None; corruptions = []; faults = [] }
+  in
   let rec loop start =
     if start >= count then None
     else begin

@@ -6,6 +6,28 @@ let rec take k = function
   | [] -> []
   | x :: tl -> if k <= 0 then [] else x :: take (k - 1) tl
 
+(* Scenario process faults ride the engine's injection layer — one
+   mechanism shared with the degradation harness, not a parallel
+   adversary-side emulation. The plan draws no coins (crash/omission are
+   deterministic), so the seed is only a label. *)
+let plan_of_scenario (sc : Scenario.t) =
+  if sc.Scenario.faults = [] then Faults.none
+  else
+    {
+      Faults.none with
+      Faults.seed = sc.Scenario.seed;
+      processes =
+        List.map
+          (fun (fl : Scenario.fault) ->
+            ( fl.Scenario.victim,
+              match fl.Scenario.kind with
+              | Scenario.Crash_fault -> Faults.Crash { at = fl.Scenario.fault_at }
+              | Scenario.Omission_fault { drop_mod; drop_rem } ->
+                Faults.Send_omission
+                  { from_ = fl.Scenario.fault_at; drop_mod; drop_rem } ))
+          sc.Scenario.faults;
+    }
+
 let adversary (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg
     ~(params : p) (sc : Scenario.t) : (s, m) Adversary.factory =
  fun ~pki ~secrets ->

@@ -15,6 +15,12 @@
 open Mewc_sim
 open Mewc_core
 
+val plan_of_scenario : Scenario.t -> Faults.plan
+(** The scenario's process faults as an engine {!Faults.plan}
+    ({!Faults.none} when there are none) — the same injection layer the
+    degradation harness uses, so a fuzzed crash and a chaos-grid crash are
+    literally one mechanism. *)
+
 val adversary :
   ('p, 's, 'm, 'd) Protocol.t ->
   cfg:Config.t ->

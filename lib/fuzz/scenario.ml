@@ -12,7 +12,18 @@ type behavior =
 
 type corruption = { at : int; pid : Pid.t; behavior : behavior }
 
-type t = { seed : int64; shuffle : int64 option; corruptions : corruption list }
+type fault_kind =
+  | Crash_fault
+  | Omission_fault of { drop_mod : int; drop_rem : int }
+
+type fault = { fault_at : int; victim : Pid.t; kind : fault_kind }
+
+type t = {
+  seed : int64;
+  shuffle : int64 option;
+  corruptions : corruption list;
+  faults : fault list;
+}
 
 (* ---- equality, printing ------------------------------------------------ *)
 
@@ -21,10 +32,13 @@ let equal_behavior (a : behavior) (b : behavior) = a = b
 let equal_corruption a b =
   a.at = b.at && Pid.equal a.pid b.pid && equal_behavior a.behavior b.behavior
 
+let equal_fault (a : fault) (b : fault) = a = b
+
 let equal a b =
   Int64.equal a.seed b.seed
   && Option.equal Int64.equal a.shuffle b.shuffle
   && List.equal equal_corruption a.corruptions b.corruptions
+  && List.equal equal_fault a.faults b.faults
 
 let pp_behavior fmt = function
   | Silent -> Format.pp_print_string fmt "silent"
@@ -36,6 +50,11 @@ let pp_behavior fmt = function
   | Replay_stale { delay } -> Format.fprintf fmt "replay-stale(delay=%d)" delay
   | Spray { intensity } -> Format.fprintf fmt "spray(intensity=%d)" intensity
 
+let pp_fault_kind fmt = function
+  | Crash_fault -> Format.pp_print_string fmt "crash"
+  | Omission_fault { drop_mod; drop_rem } ->
+    Format.fprintf fmt "omit(dst mod %d = %d)" drop_mod drop_rem
+
 let pp fmt t =
   Format.fprintf fmt "seed=%Ld shuffle=%s [%a]" t.seed
     (match t.shuffle with None -> "none" | Some s -> Int64.to_string s)
@@ -43,7 +62,15 @@ let pp fmt t =
        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
        (fun fmt c ->
          Format.fprintf fmt "p%d@%d:%a" c.pid c.at pp_behavior c.behavior))
-    t.corruptions
+    t.corruptions;
+  if t.faults <> [] then
+    Format.fprintf fmt " faults[%a]"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+         (fun fmt fl ->
+           Format.fprintf fmt "p%d@%d:%a" fl.victim fl.fault_at pp_fault_kind
+             fl.kind))
+      t.faults
 
 (* ---- generation -------------------------------------------------------- *)
 
@@ -51,6 +78,11 @@ let canonical corruptions =
   List.sort
     (fun a b -> Stdlib.compare (a.at, a.pid) (b.at, b.pid))
     corruptions
+
+let canonical_faults faults =
+  List.sort
+    (fun a b -> Stdlib.compare (a.fault_at, a.victim) (b.fault_at, b.victim))
+    faults
 
 let gen_behavior rng =
   match Rng.int rng 10 with
@@ -92,7 +124,34 @@ let generate ~cfg ~rng =
            pids)
     end
   in
-  { seed; shuffle; corruptions }
+  (* Benign process faults compile to the engine's fault layer. Crash and
+     omission faulty behaviors are a subset of Byzantine ones, so soundness
+     of the clean-campaign gate needs |corruptions| + |faults| <= t, with
+     disjoint victims. Half the scenarios stay fault-free. *)
+  let faults =
+    let budget = t - List.length corruptions in
+    if budget <= 0 || Rng.bool rng then []
+    else begin
+      let corrupted = List.map (fun c -> c.pid) corruptions in
+      let free =
+        List.filter (fun p -> not (List.mem p corrupted)) (Pid.all ~n)
+      in
+      let k = min (1 + Rng.int rng budget) (List.length free) in
+      canonical_faults
+        (List.map
+           (fun victim ->
+             let fault_at = if Rng.bool rng then 0 else Rng.int rng 8 in
+             let kind =
+               if Rng.int rng 3 = 0 then
+                 Omission_fault
+                   { drop_mod = 2 + Rng.int rng 2; drop_rem = Rng.int rng 2 }
+               else Crash_fault
+             in
+             { fault_at; victim; kind })
+           (Rng.sample rng k free))
+    end
+  in
+  { seed; shuffle; corruptions; faults }
 
 (* ---- shrinking --------------------------------------------------------- *)
 
@@ -105,11 +164,18 @@ let behavior_weight = function
   | Replay_stale { delay } -> 2 + delay
   | Spray { intensity } -> 3 + intensity
 
+let fault_weight = function
+  | Crash_fault -> 0
+  | Omission_fault { drop_mod; drop_rem } -> 1 + drop_mod + drop_rem
+
 let size t =
   (match t.shuffle with None -> 0 | Some _ -> 1)
   + List.fold_left
       (fun acc c -> acc + 16 + c.at + behavior_weight c.behavior)
       0 t.corruptions
+  + List.fold_left
+      (fun acc fl -> acc + 16 + fl.fault_at + fault_weight fl.kind)
+      0 t.faults
 
 let simpler_behaviors = function
   | Silent -> []
@@ -171,7 +237,51 @@ let candidates t =
   let unshuffle =
     match t.shuffle with None -> [] | Some _ -> [ { t with shuffle = None } ]
   in
-  drop @ simplify @ earlier @ unshuffle
+  let nf = List.length t.faults in
+  let drop_fault =
+    List.init nf (fun i ->
+        { t with faults = List.filteri (fun j _ -> j <> i) t.faults })
+  in
+  let simplify_fault =
+    List.concat
+      (List.mapi
+         (fun i fl ->
+           match fl.kind with
+           | Crash_fault -> []
+           | Omission_fault _ ->
+             [
+               {
+                 t with
+                 faults =
+                   List.mapi
+                     (fun j f' ->
+                       if j = i then { f' with kind = Crash_fault } else f')
+                     t.faults;
+               };
+             ])
+         t.faults)
+  in
+  let earlier_fault =
+    List.concat
+      (List.mapi
+         (fun i fl ->
+           if fl.fault_at = 0 then []
+           else
+             [
+               {
+                 t with
+                 faults =
+                   canonical_faults
+                     (List.mapi
+                        (fun j f' ->
+                          if j = i then { f' with fault_at = 0 } else f')
+                        t.faults);
+               };
+             ])
+         t.faults)
+  in
+  drop @ drop_fault @ simplify @ simplify_fault @ earlier @ earlier_fault
+  @ unshuffle
 
 (* ---- JSON (fields of a mewc-fuzz/1 document) --------------------------- *)
 
@@ -214,6 +324,26 @@ let to_json t =
                    ("behavior", behavior_to_json c.behavior);
                  ])
              t.corruptions) );
+      ( "faults",
+        Arr
+          (List.map
+             (fun fl ->
+               Obj
+                 [
+                   ("at", Int fl.fault_at);
+                   ("pid", Int fl.victim);
+                   ( "kind",
+                     match fl.kind with
+                     | Crash_fault -> Obj [ ("kind", Str "crash") ]
+                     | Omission_fault { drop_mod; drop_rem } ->
+                       Obj
+                         [
+                           ("kind", Str "omission");
+                           ("drop_mod", Int drop_mod);
+                           ("drop_rem", Int drop_rem);
+                         ] );
+                 ])
+             t.faults) );
     ]
 
 let ( let* ) = Result.bind
@@ -279,4 +409,34 @@ let of_json j =
         (Ok []) items
       |> Result.map List.rev
   in
-  Ok { seed; shuffle; corruptions }
+  (* Absent in pre-fault corpus entries: default to none. *)
+  let* faults =
+    match Jsonx.member "faults" j with
+    | None -> Ok []
+    | Some fj -> (
+      match Jsonx.get_list fj with
+      | None -> Error "ill-typed field \"faults\""
+      | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* fault_at = field "at" Jsonx.get_int item in
+            let* victim = field "pid" Jsonx.get_int item in
+            let* kind =
+              match Jsonx.member "kind" item with
+              | None -> Error "missing fault kind"
+              | Some kj -> (
+                let* k = field "kind" Jsonx.get_str kj in
+                match k with
+                | "crash" -> Ok Crash_fault
+                | "omission" ->
+                  let* drop_mod = field "drop_mod" Jsonx.get_int kj in
+                  let* drop_rem = field "drop_rem" Jsonx.get_int kj in
+                  Ok (Omission_fault { drop_mod; drop_rem })
+                | k -> Error (Printf.sprintf "unknown fault kind %S" k))
+            in
+            Ok ({ fault_at; victim; kind } :: acc))
+          (Ok []) items
+        |> Result.map List.rev)
+  in
+  Ok { seed; shuffle; corruptions; faults }

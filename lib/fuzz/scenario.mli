@@ -39,31 +39,51 @@ type behavior =
 
 type corruption = { at : int; pid : Pid.t; behavior : behavior }
 
+(** Benign (non-Byzantine) process faults, compiled by {!Compile} down to
+    the engine's {!Mewc_sim.Faults} layer — one injection mechanism for
+    both the fuzzer and the degradation harness. *)
+type fault_kind =
+  | Crash_fault  (** permanent halt at [fault_at] *)
+  | Omission_fault of { drop_mod : int; drop_rem : int }
+      (** from [fault_at] on, sends to [dst mod drop_mod = drop_rem] are
+          lost *)
+
+type fault = { fault_at : int; victim : Pid.t; kind : fault_kind }
+
 type t = {
   seed : int64;  (** the run's trusted-setup seed *)
   shuffle : int64 option;  (** the run's inbox-shuffle seed *)
   corruptions : corruption list;
       (** distinct pids, canonically sorted by [(at, pid)]; the generator
           emits at most [cfg.t] of them *)
+  faults : fault list;
+      (** injected process faults, canonically sorted by
+          [(fault_at, victim)]; victims are distinct from each other and
+          from corrupted pids, and |corruptions| + |faults| <= [cfg.t] —
+          crash/omission behavior is a subset of Byzantine behavior, so the
+          clean-campaign gate stays sound under the combined budget *)
 }
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val pp_behavior : Format.formatter -> behavior -> unit
+val pp_fault_kind : Format.formatter -> fault_kind -> unit
 
 val generate : cfg:Config.t -> rng:Rng.t -> t
 (** Draw a scenario: fresh run seeds, 1..[cfg.t] victims (half the time
     seeded with a phase-leader pid — the high-value target), corruption
-    slots biased early, behaviors weighted toward the interesting ones. *)
+    slots biased early, behaviors weighted toward the interesting ones.
+    Half the scenarios additionally draw process faults from the remaining
+    [cfg.t - |corruptions|] budget. *)
 
 val size : t -> int
 (** Strictly positive complexity measure; every {!candidates} element is
     strictly smaller, so greedy shrinking terminates. *)
 
 val candidates : t -> t list
-(** One-step shrinks, in preference order: drop a corruption, simplify a
-    behavior (ultimately to [Silent]), move a corruption to slot 0, drop
-    the shuffle seed. *)
+(** One-step shrinks, in preference order: drop a corruption or fault,
+    simplify a behavior (ultimately to [Silent]) or a fault (omission to
+    crash), move a corruption or fault to slot 0, drop the shuffle seed. *)
 
 val to_json : t -> Jsonx.t
 val of_json : Jsonx.t -> (t, string) result

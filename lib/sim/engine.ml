@@ -4,6 +4,7 @@ type ('s, 'm) outcome = {
   states : 's array;
   corrupted : Pid.t list;
   f : int;
+  faulty : Pid.t list;
   meter : Meter.t;
   trace : 'm Trace.t;
   slots : int;
@@ -15,6 +16,7 @@ type ('s, 'm) options = {
   monitors : 'm Monitor.t list;
   decided : ('s -> string option) option;
   profile : Profile.t option;
+  faults : Faults.plan;
 }
 
 let default_options =
@@ -24,11 +26,14 @@ let default_options =
     monitors = [];
     decided = None;
     profile = None;
+    faults = Faults.none;
   }
 
 let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     () =
-  let { record_trace; shuffle_seed; monitors; decided; profile } = options in
+  let { record_trace; shuffle_seed; monitors; decided; profile; faults } =
+    options
+  in
   (* Sections are per slot, not per message, so an unprofiled run pays one
      closure and one match per section per slot — noise. *)
   let timed category name f =
@@ -38,6 +43,14 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
   in
   let n = cfg.Config.n in
   let shuffle_rng = Option.map Rng.create shuffle_seed in
+  (* [None] when the plan is empty, so the reliable path is byte-identical
+     to a faultless build: no extra draws, allocations, or branches that
+     could perturb traces. *)
+  let faults_rt =
+    if Faults.is_none faults then None else Some (Faults.start ~n faults)
+  in
+  let faulty_seen = Array.make n false in
+  let faulty_order = ref [] in
   let machines = Array.init n protocol in
   let states = Array.map (fun m -> m.Process.init) machines in
   let corrupted = Array.make n false in
@@ -62,6 +75,27 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
   let inbox_ids = Array.make n [] in
   (* [inbox_ids.(p)] — ids of the messages delivered to [p] this slot, in
      inbox order; the provenance [parents] of anything [p] emits now. *)
+  let delayed = Hashtbl.create 8 in
+  (* [delayed] buckets messages a [Faults.Delayed] verdict postponed, keyed
+     by delivery slot. Kept apart from [pending] so the reliable path never
+     touches it. Buckets past the horizon are simply never flushed: the
+     message is lost to the end of time, which is what a late message in a
+     terminated synchronous protocol is. *)
+  let flush_delayed slot =
+    match Hashtbl.find_opt delayed slot with
+    | None -> ()
+    | Some entries ->
+      Hashtbl.remove delayed slot;
+      (* Entries were consed (newest first); re-reverse and cons onto
+         [pending] so after the final [List.rev] they land after the slot's
+         punctual messages, in original send order. *)
+      List.iter
+        (fun (dst, entry) -> pending.(dst) <- entry :: pending.(dst))
+        (List.rev entries)
+  in
+  let is_down p =
+    match faults_rt with None -> false | Some rt -> Faults.is_down rt p
+  in
   let deliver () =
     let order messages =
       (* Shuffling the (id, envelope) pairs draws exactly what shuffling the
@@ -73,6 +107,12 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     in
     let pairs = Array.map order pending in
     Array.fill pending 0 n [];
+    (* A down process receives nothing: whatever was addressed to it this
+       slot is lost, exactly like a crashed machine's NIC. *)
+    let pairs =
+      if faults_rt = None then pairs
+      else Array.mapi (fun p inbox -> if is_down p then [] else inbox) pairs
+    in
     Array.iteri (fun p l -> inbox_ids.(p) <- List.map fst l) pairs;
     Array.map (List.map snd) pairs
   in
@@ -98,11 +138,39 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
              charged;
              parents = inbox_ids.(src);
            });
-    pending.(dst) <- (id, envelope) :: pending.(dst)
+    match faults_rt with
+    | None -> pending.(dst) <- (id, envelope) :: pending.(dst)
+    | Some rt -> (
+      match Faults.fate rt ~slot ~src ~dst with
+      | None -> pending.(dst) <- (id, envelope) :: pending.(dst)
+      | Some fault ->
+        (* The send happened — it was charged and traced above; only its
+           delivery is tampered with here. *)
+        if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
+        (match fault with
+        | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
+        | Faults.Delayed k ->
+          let at = slot + 1 + k in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt delayed at) in
+          Hashtbl.replace delayed at ((dst, (id, envelope)) :: prev)
+        | Faults.Duplicated ->
+          pending.(dst) <- (id, envelope) :: (id, envelope) :: pending.(dst)))
   in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
     if observing then emit (Trace.Slot_start slot);
+    (match faults_rt with
+    | None -> ()
+    | Some rt ->
+      List.iter
+        (fun (pid, event) ->
+          if not faulty_seen.(pid) then begin
+            faulty_seen.(pid) <- true;
+            faulty_order := pid :: !faulty_order
+          end;
+          if observing then emit (Trace.Process_fault { slot; pid; event }))
+        (Faults.transitions rt ~slot);
+      flush_delayed slot);
     let inboxes = timed Profile.Engine "engine.deliver" deliver in
     (* The defensive copies are lazy: honest/crash adversaries never force
        them, so the common sweep point pays nothing for the snapshot. *)
@@ -142,7 +210,9 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     let correct_sends = ref [] in
     timed Profile.Machine "machine.step" (fun () ->
         for p = 0 to n - 1 do
-          if not corrupted.(p) then begin
+          (* A down process neither steps nor sends; a corrupted one is the
+             adversary's problem regardless of injected faults. *)
+          if (not corrupted.(p)) && not (is_down p) then begin
             let state', sends =
               machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
             in
@@ -201,6 +271,7 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     states;
     corrupted = List.rev !corruption_order;
     f = !corruption_count;
+    faulty = List.rev !faulty_order;
     meter;
     trace;
     slots = horizon;

@@ -31,6 +31,9 @@ type ('s, 'm) outcome = {
           corruption time) *)
   corrupted : Mewc_prelude.Pid.t list;  (** in order of corruption *)
   f : int;  (** actual number of corruptions — the paper's [f] *)
+  faulty : Mewc_prelude.Pid.t list;
+      (** processes hit by an injected {!Faults.process_fault}, in order of
+          first transition; empty on a reliable run *)
   meter : Meter.t;
   trace : 'm Trace.t;
   slots : int;
@@ -53,13 +56,21 @@ type ('s, 'm) options = {
       (** when given, the engine charges each slot's phases to spans:
           [engine.deliver], [adversary.corrupt], [machine.step],
           [adversary.byz_step], [engine.post]. *)
+  faults : Faults.plan;
+      (** injected network/process faults ({!Faults.none} = the paper's
+          reliable model). Every injection is stamped into the trace as a
+          {!Trace.Link_fault} / {!Trace.Process_fault} event; sends are
+          charged whether or not their delivery is then tampered with.
+          Raises [Invalid_argument] from {!run} if the plan fails
+          {!Faults.validate}. *)
 }
 (** Observability knobs, gathered in one record so that adding a knob does
     not grow every caller's argument list. Start from {!default_options} and
     override the fields you need. *)
 
 val default_options : ('s, 'm) options
-(** No trace, in-order delivery, no monitors, no decision projection. *)
+(** No trace, in-order delivery, no monitors, no decision projection, no
+    faults. *)
 
 val run :
   cfg:Config.t ->

@@ -1,0 +1,401 @@
+open Mewc_prelude
+
+type process_fault =
+  | Crash of { at : int }
+  | Send_omission of { from_ : int; drop_mod : int; drop_rem : int }
+  | Crash_recovery of { down_at : int; up_at : int }
+
+type partition = {
+  from_slot : int;
+  until_slot : int;
+  island : Pid.t list;
+}
+
+type plan = {
+  seed : int64;
+  drop : float;
+  delay : int;
+  delay_prob : float;
+  dup : float;
+  partitions : partition list;
+  processes : (Pid.t * process_fault) list;
+}
+
+let none =
+  {
+    seed = 0L;
+    drop = 0.0;
+    delay = 0;
+    delay_prob = 0.0;
+    dup = 0.0;
+    partitions = [];
+    processes = [];
+  }
+
+let is_none p =
+  p.drop = 0.0 && p.delay_prob = 0.0 && p.dup = 0.0 && p.partitions = []
+  && p.processes = []
+
+let validate ~n plan =
+  let ( let* ) = Result.bind in
+  let prob name v =
+    if v >= 0.0 && v <= 1.0 then Ok ()
+    else Error (Printf.sprintf "%s probability %g outside [0, 1]" name v)
+  in
+  let* () = prob "drop" plan.drop in
+  let* () = prob "delay" plan.delay_prob in
+  let* () = prob "dup" plan.dup in
+  let* () =
+    if plan.delay_prob > 0.0 && plan.delay < 1 then
+      Error (Printf.sprintf "delay %d < 1 with delay_prob > 0" plan.delay)
+    else if plan.delay < 0 then Error (Printf.sprintf "delay %d < 0" plan.delay)
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc { from_slot; until_slot; island } ->
+        let* () = acc in
+        if from_slot < 0 || from_slot > until_slot then
+          Error
+            (Printf.sprintf "partition slots [%d, %d) ill-formed" from_slot
+               until_slot)
+        else if island = [] then Error "partition island is empty"
+        else if List.exists (fun p -> not (Pid.is_valid ~n p)) island then
+          Error "partition island names an unknown process"
+        else if
+          List.length (List.sort_uniq compare island) <> List.length island
+        then Error "partition island repeats a process"
+        else if List.length island >= n then
+          Error "partition island must be a proper subset"
+        else Ok ())
+      (Ok ()) plan.partitions
+  in
+  let pids = List.map fst plan.processes in
+  let* () =
+    if List.length (List.sort_uniq compare pids) <> List.length pids then
+      Error "a process has two fault assignments"
+    else Ok ()
+  in
+  List.fold_left
+    (fun acc (pid, fault) ->
+      let* () = acc in
+      if not (Pid.is_valid ~n pid) then
+        Error (Printf.sprintf "process fault on unknown process %d" pid)
+      else
+        match fault with
+        | Crash { at } ->
+          if at < 0 then Error (Printf.sprintf "p%d crashes at slot %d < 0" pid at)
+          else Ok ()
+        | Send_omission { from_; drop_mod; drop_rem } ->
+          if from_ < 0 then
+            Error (Printf.sprintf "p%d omits from slot %d < 0" pid from_)
+          else if drop_mod < 1 then
+            Error (Printf.sprintf "p%d omission modulus %d < 1" pid drop_mod)
+          else if drop_rem < 0 || drop_rem >= drop_mod then
+            Error
+              (Printf.sprintf "p%d omission residue %d outside [0, %d)" pid
+                 drop_rem drop_mod)
+          else Ok ()
+        | Crash_recovery { down_at; up_at } ->
+          if down_at < 0 || down_at >= up_at then
+            Error
+              (Printf.sprintf "p%d down window [%d, %d) ill-formed" pid down_at
+                 up_at)
+          else Ok ())
+    (Ok ()) plan.processes
+
+let equal_process_fault a b =
+  match (a, b) with
+  | Crash a, Crash b -> a.at = b.at
+  | Send_omission a, Send_omission b ->
+    a.from_ = b.from_ && a.drop_mod = b.drop_mod && a.drop_rem = b.drop_rem
+  | Crash_recovery a, Crash_recovery b ->
+    a.down_at = b.down_at && a.up_at = b.up_at
+  | (Crash _ | Send_omission _ | Crash_recovery _), _ -> false
+
+let equal_partition a b =
+  a.from_slot = b.from_slot && a.until_slot = b.until_slot
+  && List.equal Pid.equal a.island b.island
+
+let equal a b =
+  Int64.equal a.seed b.seed && a.drop = b.drop && a.delay = b.delay
+  && a.delay_prob = b.delay_prob && a.dup = b.dup
+  && List.equal equal_partition a.partitions b.partitions
+  && List.equal
+       (fun (p, f) (p', f') -> Pid.equal p p' && equal_process_fault f f')
+       a.processes b.processes
+
+let pp_process_fault fmt = function
+  | Crash { at } -> Format.fprintf fmt "crash@%d" at
+  | Send_omission { from_; drop_mod; drop_rem } ->
+    Format.fprintf fmt "omit@%d(dst%%%d=%d)" from_ drop_mod drop_rem
+  | Crash_recovery { down_at; up_at } ->
+    Format.fprintf fmt "down@[%d,%d)" down_at up_at
+
+let pp fmt p =
+  if is_none p then Format.fprintf fmt "no-faults"
+  else begin
+    Format.fprintf fmt "faults{seed=%Ld" p.seed;
+    if p.drop > 0.0 then Format.fprintf fmt "; drop=%g" p.drop;
+    if p.delay_prob > 0.0 then
+      Format.fprintf fmt "; delay=+%d@%g" p.delay p.delay_prob;
+    if p.dup > 0.0 then Format.fprintf fmt "; dup=%g" p.dup;
+    List.iter
+      (fun { from_slot; until_slot; island } ->
+        Format.fprintf fmt "; part[%d,%d){%s}" from_slot until_slot
+          (String.concat "," (List.map string_of_int island)))
+      p.partitions;
+    List.iter
+      (fun (pid, f) -> Format.fprintf fmt "; p%d:%a" pid pp_process_fault f)
+      p.processes;
+    Format.fprintf fmt "}"
+  end
+
+(* ---- serialization ----------------------------------------------------- *)
+
+let schema = "mewc-faults/1"
+
+(* Jsonx prints whole floats with a trailing ".0" but plans built in code
+   often use literals like [0.25]; accept both Int and Float on parse. *)
+let get_float = function
+  | Jsonx.Float f -> Some f
+  | Jsonx.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let process_fault_to_json = function
+  | Crash { at } ->
+    Jsonx.Obj [ ("kind", Jsonx.Str "crash"); ("at", Jsonx.Int at) ]
+  | Send_omission { from_; drop_mod; drop_rem } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.Str "send-omission");
+        ("from", Jsonx.Int from_);
+        ("mod", Jsonx.Int drop_mod);
+        ("rem", Jsonx.Int drop_rem);
+      ]
+  | Crash_recovery { down_at; up_at } ->
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.Str "crash-recovery");
+        ("down", Jsonx.Int down_at);
+        ("up", Jsonx.Int up_at);
+      ]
+
+let to_json p =
+  Jsonx.Schema.tag schema
+    [
+      ("seed", Jsonx.Str (Int64.to_string p.seed));
+      ("drop", Jsonx.Float p.drop);
+      ("delay", Jsonx.Int p.delay);
+      ("delay_prob", Jsonx.Float p.delay_prob);
+      ("dup", Jsonx.Float p.dup);
+      ( "partitions",
+        Jsonx.Arr
+          (List.map
+             (fun { from_slot; until_slot; island } ->
+               Jsonx.Obj
+                 [
+                   ("from", Jsonx.Int from_slot);
+                   ("until", Jsonx.Int until_slot);
+                   ("island", Jsonx.Arr (List.map (fun p -> Jsonx.Int p) island));
+                 ])
+             p.partitions) );
+      ( "processes",
+        Jsonx.Arr
+          (List.map
+             (fun (pid, f) ->
+               Jsonx.Obj
+                 [ ("pid", Jsonx.Int pid); ("fault", process_fault_to_json f) ])
+             p.processes) );
+    ]
+
+let field j name get =
+  match Option.bind (Jsonx.member name j) get with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let process_fault_of_json j =
+  let ( let* ) = Result.bind in
+  let* kind = field j "kind" Jsonx.get_str in
+  match kind with
+  | "crash" ->
+    let* at = field j "at" Jsonx.get_int in
+    Ok (Crash { at })
+  | "send-omission" ->
+    let* from_ = field j "from" Jsonx.get_int in
+    let* drop_mod = field j "mod" Jsonx.get_int in
+    let* drop_rem = field j "rem" Jsonx.get_int in
+    Ok (Send_omission { from_; drop_mod; drop_rem })
+  | "crash-recovery" ->
+    let* down_at = field j "down" Jsonx.get_int in
+    let* up_at = field j "up" Jsonx.get_int in
+    Ok (Crash_recovery { down_at; up_at })
+  | other -> Error (Printf.sprintf "unknown process fault kind %S" other)
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* () = Jsonx.Schema.check schema j in
+  let* seed_s = field j "seed" Jsonx.get_str in
+  let* seed =
+    match Int64.of_string_opt seed_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "bad seed %S" seed_s)
+  in
+  let* drop = field j "drop" get_float in
+  let* delay = field j "delay" Jsonx.get_int in
+  let* delay_prob = field j "delay_prob" get_float in
+  let* dup = field j "dup" get_float in
+  let* partitions =
+    let* items = field j "partitions" Jsonx.get_list in
+    List.fold_left
+      (fun acc item ->
+        let* ps = acc in
+        let* from_slot = field item "from" Jsonx.get_int in
+        let* until_slot = field item "until" Jsonx.get_int in
+        let* island_js = field item "island" Jsonx.get_list in
+        let* island =
+          List.fold_left
+            (fun acc pj ->
+              let* l = acc in
+              match Jsonx.get_int pj with
+              | Some p -> Ok (p :: l)
+              | None -> Error "non-integer pid in island")
+            (Ok []) island_js
+          |> Result.map List.rev
+        in
+        Ok ({ from_slot; until_slot; island } :: ps))
+      (Ok []) items
+    |> Result.map List.rev
+  in
+  let* processes =
+    let* items = field j "processes" Jsonx.get_list in
+    List.fold_left
+      (fun acc item ->
+        let* ps = acc in
+        let* pid = field item "pid" Jsonx.get_int in
+        let* fj =
+          match Jsonx.member "fault" item with
+          | Some f -> Ok f
+          | None -> Error "missing field \"fault\""
+        in
+        let* fault = process_fault_of_json fj in
+        Ok ((pid, fault) :: ps))
+      (Ok []) items
+    |> Result.map List.rev
+  in
+  Ok { seed; drop; delay; delay_prob; dup; partitions; processes }
+
+(* ---- fault events ------------------------------------------------------ *)
+
+type link_fault =
+  | Omitted
+  | Partitioned
+  | Dropped
+  | Delayed of int
+  | Duplicated
+
+type process_event = Crashed | Went_down | Recovered | Omitting
+
+let link_fault_to_string = function
+  | Omitted -> "omitted"
+  | Partitioned -> "partitioned"
+  | Dropped -> "dropped"
+  | Delayed k -> Printf.sprintf "delayed+%d" k
+  | Duplicated -> "duplicated"
+
+let link_fault_of_string s =
+  match s with
+  | "omitted" -> Ok Omitted
+  | "partitioned" -> Ok Partitioned
+  | "dropped" -> Ok Dropped
+  | "duplicated" -> Ok Duplicated
+  | _ -> (
+    match
+      if String.length s > 8 && String.sub s 0 8 = "delayed+" then
+        int_of_string_opt (String.sub s 8 (String.length s - 8))
+      else None
+    with
+    | Some k -> Ok (Delayed k)
+    | None -> Error (Printf.sprintf "unknown link fault %S" s))
+
+let process_event_to_string = function
+  | Crashed -> "crashed"
+  | Went_down -> "went-down"
+  | Recovered -> "recovered"
+  | Omitting -> "omitting"
+
+let process_event_of_string = function
+  | "crashed" -> Ok Crashed
+  | "went-down" -> Ok Went_down
+  | "recovered" -> Ok Recovered
+  | "omitting" -> Ok Omitting
+  | s -> Error (Printf.sprintf "unknown process event %S" s)
+
+(* ---- runtime ----------------------------------------------------------- *)
+
+type runtime = {
+  plan : plan;
+  rng : Rng.t;
+  down : bool array;
+  omit : (int * int) option array;  (* (drop_mod, drop_rem) once active *)
+}
+
+let start ~n plan =
+  (match validate ~n plan with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Faults.start: %s" e));
+  {
+    plan;
+    rng = Rng.create plan.seed;
+    down = Array.make n false;
+    omit = Array.make n None;
+  }
+
+let transitions rt ~slot =
+  List.filter_map
+    (fun (pid, fault) ->
+      match fault with
+      | Crash { at } when at = slot ->
+        rt.down.(pid) <- true;
+        Some (pid, Crashed)
+      | Send_omission { from_; drop_mod; drop_rem } when from_ = slot ->
+        rt.omit.(pid) <- Some (drop_mod, drop_rem);
+        Some (pid, Omitting)
+      | Crash_recovery { down_at; _ } when down_at = slot ->
+        rt.down.(pid) <- true;
+        Some (pid, Went_down)
+      | Crash_recovery { up_at; _ } when up_at = slot ->
+        rt.down.(pid) <- false;
+        Some (pid, Recovered)
+      | Crash _ | Send_omission _ | Crash_recovery _ -> None)
+    rt.plan.processes
+
+let is_down rt pid = rt.down.(pid)
+
+let in_island island pid = List.exists (Pid.equal pid) island
+
+let fate rt ~slot ~src ~dst =
+  if src = dst then None
+  else
+    let omitted =
+      match rt.omit.(src) with
+      | Some (m, r) -> dst mod m = r
+      | None -> false
+    in
+    if omitted then Some Omitted
+    else if
+      List.exists
+        (fun { from_slot; until_slot; island } ->
+          slot >= from_slot && slot < until_slot
+          && in_island island src <> in_island island dst)
+        rt.plan.partitions
+    then Some Partitioned
+    else
+      (* Coins are drawn in a fixed order and only when the corresponding
+         probability is positive, so a plan's draw sequence depends only on
+         the (deterministic) send order of non-faulted cross-links. *)
+      let coin p = p > 0.0 && Rng.float rt.rng 1.0 < p in
+      if coin rt.plan.drop then Some Dropped
+      else if coin rt.plan.delay_prob then Some (Delayed rt.plan.delay)
+      else if coin rt.plan.dup then Some Duplicated
+      else None

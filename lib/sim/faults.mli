@@ -1,0 +1,119 @@
+(** Seeded, deterministic link/process fault injection.
+
+    The paper's model (§2) assumes a perfectly synchronous, reliable
+    network: a message sent in slot τ is delivered in slot τ+1, exactly
+    once, and correct processes never stop. This module makes each of
+    those assumptions individually breakable — per-link drops, fixed
+    k-slot delays (a δ violation), duplication, slot-ranged partitions,
+    and crash / send-omission / crash-recovery process faults — so the
+    degradation harness can measure how protocols fail when the model is
+    stressed.
+
+    A {!plan} is pure data: validated up front, serializable
+    ([mewc-faults/1] JSON), and threaded through [Engine.options]. All
+    probabilistic choices are drawn from a dedicated generator seeded by
+    [plan.seed], independent of the engine's shuffle stream, so the same
+    seed and plan always produce byte-identical traces. Every injected
+    fault is stamped into the trace ([mewc-trace/3] adds [Link_fault] and
+    [Process_fault] events), keeping replay and post-mortems exact. *)
+
+type process_fault =
+  | Crash of { at : int }  (** halts before stepping in slot [at], forever *)
+  | Send_omission of { from_ : int; drop_mod : int; drop_rem : int }
+      (** from slot [from_] on, sends to destinations with
+          [dst mod drop_mod = drop_rem] are silently lost — a faulty NIC
+          that still receives *)
+  | Crash_recovery of { down_at : int; up_at : int }
+      (** down for slots [down_at, up_at): neither steps nor receives;
+          resumes with its pre-crash state (messages in flight are lost) *)
+
+type partition = {
+  from_slot : int;
+  until_slot : int;  (** exclusive; the partition heals at [until_slot] *)
+  island : Mewc_prelude.Pid.t list;
+      (** links crossing the [island] / complement cut fail both ways *)
+}
+
+type plan = {
+  seed : int64;  (** seeds every probabilistic draw below *)
+  drop : float;  (** per-link-delivery drop probability in [0, 1] *)
+  delay : int;  (** extra slots a delayed message waits (k of the δ bump) *)
+  delay_prob : float;  (** probability a given send is delayed by [delay] *)
+  dup : float;  (** probability a given delivery is duplicated *)
+  partitions : partition list;
+  processes : (Mewc_prelude.Pid.t * process_fault) list;
+}
+
+val none : plan
+(** The reliable network: no faults of any kind. *)
+
+val is_none : plan -> bool
+(** [true] iff the plan can never inject anything (seed ignored). *)
+
+val validate : n:int -> plan -> (unit, string) result
+(** Structural sanity: probabilities in [0, 1]; [delay >= 1] whenever
+    [delay_prob > 0]; partition islands are nonempty proper subsets of
+    valid pids with [from_slot <= until_slot]; process-fault pids valid
+    and distinct; [drop_mod >= 1], [0 <= drop_rem < drop_mod],
+    [down_at < up_at], and slot stamps non-negative. *)
+
+val equal : plan -> plan -> bool
+val pp : Format.formatter -> plan -> unit
+
+val to_json : plan -> Mewc_prelude.Jsonx.t
+(** Schema [mewc-faults/1]. *)
+
+val of_json : Mewc_prelude.Jsonx.t -> (plan, string) result
+
+(** {2 Fault events}
+
+    What the engine stamps into the trace when an injection fires. *)
+
+type link_fault =
+  | Omitted  (** lost to the sender's send-omission fault *)
+  | Partitioned  (** lost to an active partition cut *)
+  | Dropped  (** lost to the per-link drop coin *)
+  | Delayed of int  (** delivery postponed by this many extra slots *)
+  | Duplicated  (** delivered twice in the same slot *)
+
+type process_event =
+  | Crashed  (** permanent halt *)
+  | Went_down  (** crash-recovery: down phase begins *)
+  | Recovered  (** crash-recovery: back up *)
+  | Omitting  (** send-omission behavior activates *)
+
+val link_fault_to_string : link_fault -> string
+val link_fault_of_string : string -> (link_fault, string) result
+val process_event_to_string : process_event -> string
+val process_event_of_string : string -> (process_event, string) result
+
+(** {2 Runtime}
+
+    The engine-side interpreter of a plan. All [Rng] draws happen in a
+    fixed order (omission, partition, drop, delay, duplication — though at
+    most one coin sequence per send), so outcomes depend only on
+    [plan.seed] and the engine's deterministic send order. *)
+
+type runtime
+
+val start : n:int -> plan -> runtime
+(** Raises [Invalid_argument] if [validate ~n] rejects the plan. *)
+
+val transitions : runtime -> slot:int -> (Mewc_prelude.Pid.t * process_event) list
+(** Process-fault transitions firing at [slot], in plan order; updates the
+    runtime's up/down and omission state. Call once per slot, before
+    delivery. *)
+
+val is_down : runtime -> Mewc_prelude.Pid.t -> bool
+(** Crashed or in a crash-recovery down phase, as of the last
+    [transitions] call. Down processes neither step nor receive. *)
+
+val fate :
+  runtime ->
+  slot:int ->
+  src:Mewc_prelude.Pid.t ->
+  dst:Mewc_prelude.Pid.t ->
+  link_fault option
+(** The fate of a message sent at [slot] on link [src -> dst]. [None]
+    means normal next-slot delivery. Self-addressed sends are never
+    faulted (local delivery does not cross the network). *)

@@ -5,16 +5,20 @@ exception Violation of violation
 let pp_violation fmt { monitor; slot; reason } =
   Format.fprintf fmt "monitor %S violated at slot %d: %s" monitor slot reason
 
+type severity = Safety | Liveness
+
 type 'm t = {
   name : string;
+  severity : severity;
   on_event : 'm Trace.event -> unit;
   on_finish : slots:int -> unit;
 }
 
-let make ~name ?on_event ?on_finish () =
+let make ~name ?(severity = Safety) ?on_event ?on_finish () =
   let violate ~slot reason = raise (Violation { monitor = name; slot; reason }) in
   {
     name;
+    severity;
     on_event =
       (match on_event with None -> fun _ -> () | Some f -> f ~violate);
     on_finish =
@@ -23,9 +27,14 @@ let make ~name ?on_event ?on_finish () =
       | Some f -> f ~violate);
   }
 
+let split ms = List.partition (fun m -> m.severity = Safety) ms
+
 let all monitors =
   {
     name = String.concat "+" (List.map (fun m -> m.name) monitors);
+    severity =
+      (if List.exists (fun m -> m.severity = Safety) monitors then Safety
+       else Liveness);
     on_event = (fun ev -> List.iter (fun m -> m.on_event ev) monitors);
     on_finish = (fun ~slots -> List.iter (fun m -> m.on_finish ~slots) monitors);
   }
@@ -34,6 +43,23 @@ let replay monitors ~slots trace =
   let m = all monitors in
   List.iter m.on_event (Trace.events trace);
   m.on_finish ~slots
+
+(* ---- classification ----------------------------------------------------- *)
+
+type classification = Safe_live | Safe_stalled of violation | Unsafe of violation
+
+let pp_classification fmt = function
+  | Safe_live -> Format.fprintf fmt "safe-live"
+  | Safe_stalled v -> Format.fprintf fmt "safe-stalled (%a)" pp_violation v
+  | Unsafe v -> Format.fprintf fmt "UNSAFE (%a)" pp_violation v
+
+let classify ~run ~liveness =
+  match run () with
+  | exception Violation v -> (None, Unsafe v)
+  | x -> (
+    match liveness x with
+    | () -> (Some x, Safe_live)
+    | exception Violation v -> (Some x, Safe_stalled v))
 
 (* ---- the standard invariants ------------------------------------------- *)
 
@@ -65,13 +91,11 @@ let corruption_budget ~cfg =
       | _ -> ())
     ()
 
-let agreement ?(require_termination = true) ~cfg () =
+let agreement () =
   let decided : (int, string) Hashtbl.t = Hashtbl.create 8 in
-  let corrupted = Hashtbl.create 8 in
   let first : (int * string) option ref = ref None in
   make ~name:"agreement"
     ~on_event:(fun ~violate -> function
-      | Trace.Corruption { pid; _ } -> Hashtbl.replace corrupted pid ()
       | Trace.Decision { slot; pid; value; _ } -> (
         (match Hashtbl.find_opt decided pid with
         | Some prior when not (String.equal prior value) ->
@@ -86,14 +110,28 @@ let agreement ?(require_termination = true) ~cfg () =
             violate ~slot
               (Printf.sprintf "p%d decided %s but p%d decided %s" pid value p0 v0))
       | _ -> ())
+    ()
+
+let termination ~cfg =
+  (* Only processes the model still promises anything about must decide:
+     corrupted pids are the adversary's, and any pid touched by an injected
+     process fault (crash, omission, down phase) has no termination
+     guarantee under the stressed model. *)
+  let decided = Hashtbl.create 8 in
+  let exempt = Hashtbl.create 8 in
+  make ~name:"termination" ~severity:Liveness
+    ~on_event:(fun ~violate:_ -> function
+      | Trace.Corruption { pid; _ } -> Hashtbl.replace exempt pid ()
+      | Trace.Process_fault { pid; _ } -> Hashtbl.replace exempt pid ()
+      | Trace.Decision { pid; _ } -> Hashtbl.replace decided pid ()
+      | _ -> ())
     ~on_finish:(fun ~violate ~slots ->
-      if require_termination then
-        List.iter
-          (fun p ->
-            if not (Hashtbl.mem corrupted p || Hashtbl.mem decided p) then
-              violate ~slot:slots
-                (Printf.sprintf "termination: correct p%d never decided" p))
-          (Mewc_prelude.Pid.all ~n:cfg.Config.n))
+      List.iter
+        (fun p ->
+          if not (Hashtbl.mem exempt p || Hashtbl.mem decided p) then
+            violate ~slot:slots
+              (Printf.sprintf "termination: correct p%d never decided" p))
+        (Mewc_prelude.Pid.all ~n:cfg.Config.n))
     ()
 
 let word_bound ~name ~bound =
@@ -121,7 +159,7 @@ let word_bound ~name ~bound =
 let early_termination ~name ~bound =
   let f = ref 0 in
   let last_decision = ref None in
-  make ~name
+  make ~name ~severity:Liveness
     ~on_event:(fun ~violate:_ -> function
       | Trace.Corruption { f = f'; _ } -> f := f'
       | Trace.Decision { slot; _ } -> (

@@ -12,7 +12,14 @@
     the realized [f] from [Corruption] events, the paper's word measure
     from charged non-Byzantine [Send]s, decisions from [Decision] events.
     A monitor therefore works identically online (installed in
-    {!Engine.run}) and offline ({!replay} over a recorded trace). *)
+    {!Engine.run}) and offline ({!replay} over a recorded trace).
+
+    Every monitor carries a {!severity}: [Safety] invariants must hold in
+    any execution (disagreement is never excusable), while [Liveness]
+    invariants (termination, latency envelopes) are only promised under
+    the paper's reliable synchronous model and are expected to fail —
+    gracefully — under injected faults. {!split} and {!classify} turn that
+    distinction into the degradation harness's three-way verdict. *)
 
 type violation = { monitor : string; slot : int; reason : string }
 
@@ -20,20 +27,27 @@ exception Violation of violation
 
 val pp_violation : Format.formatter -> violation -> unit
 
+type severity = Safety | Liveness
+
 type 'm t = {
   name : string;
+  severity : severity;
   on_event : 'm Trace.event -> unit;
   on_finish : slots:int -> unit;
 }
 
 val make :
   name:string ->
+  ?severity:severity ->
   ?on_event:(violate:(slot:int -> string -> unit) -> 'm Trace.event -> unit) ->
   ?on_finish:(violate:(slot:int -> string -> unit) -> slots:int -> unit) ->
   unit ->
   'm t
 (** Build a custom monitor; [violate] raises {!Violation} tagged with the
-    monitor's name. *)
+    monitor's name. [severity] defaults to [Safety]. *)
+
+val split : 'm t list -> 'm t list * 'm t list
+(** [(safety, liveness)] partition, order-preserving. *)
 
 val all : 'm t list -> 'm t
 (** Compose monitors into one that forwards every event to each in order. *)
@@ -42,19 +56,43 @@ val replay : 'm t list -> slots:int -> 'm Trace.t -> unit
 (** Drive monitors from a recorded trace: every event in order, then
     [on_finish]. Raises {!Violation} exactly as an online run would. *)
 
+(** {2 Degradation classification} *)
+
+type classification =
+  | Safe_live  (** every safety and liveness invariant held *)
+  | Safe_stalled of violation
+      (** safety held but a liveness invariant broke — the protocol
+          degraded detectably (stalled) rather than misbehaving *)
+  | Unsafe of violation
+      (** a safety invariant broke — silent disagreement territory *)
+
+val pp_classification : Format.formatter -> classification -> unit
+
+val classify :
+  run:(unit -> 'a) -> liveness:('a -> unit) -> 'a option * classification
+(** [classify ~run ~liveness] executes [run] (a protocol run with the
+    {e safety} monitors installed online) and then [liveness] on its
+    result (the liveness monitors, typically replayed offline over the
+    recorded trace). A {!Violation} from [run] is {!Unsafe} (no outcome);
+    one from [liveness] is {!Safe_stalled}; otherwise {!Safe_live}. Any
+    other exception propagates. *)
+
 (** {2 The standard invariants} *)
 
 val corruption_budget : cfg:Config.t -> 'm t
 (** The adversary's corruption schedule is sane: at most [cfg.t] corruptions
     overall, [f] counts up by exactly 1 per corruption, no process is
     corrupted twice, pids are valid, and corruption stamps are within the
-    current slot. *)
+    current slot. Safety. *)
 
-val agreement : ?require_termination:bool -> cfg:Config.t -> unit -> 'm t
+val agreement : unit -> 'm t
 (** Agreement-once-decided: all [Decision] values across the run are equal,
-    and no process ever re-decides a different value. With
-    [require_termination] (default [true]), also checks at the end of the
-    run that every never-corrupted process decided. *)
+    and no process ever re-decides a different value. Safety. (Termination
+    is {!termination}, a separate liveness monitor.) *)
+
+val termination : cfg:Config.t -> 'm t
+(** At the end of the run every process that was neither corrupted nor
+    touched by an injected {!Trace.Process_fault} has decided. Liveness. *)
 
 val word_bound : name:string -> bound:(f:int -> int) -> 'm t
 (** The paper's adaptive per-execution bounds: the cumulative word count of
@@ -63,7 +101,8 @@ val word_bound : name:string -> bound:(f:int -> int) -> 'm t
     checked after every send, and again at the end of the run against the
     final [f]. Corruption precedes the spending it induces (the adversary
     corrupts at slot start, before processes step), so the online check is
-    sound for adaptive bounds of the O(n(f+1)) family. *)
+    sound for adaptive bounds of the O(n(f+1)) family. Safety (of the
+    complexity claim). *)
 
 val cone_words_bound :
   cfg:Config.t ->
@@ -85,7 +124,7 @@ val cone_words_bound :
 val early_termination : name:string -> bound:(f:int -> int) -> 'm t
 (** Early termination: at the end of the run, the last [Decision] slot is at
     most [bound ~f] for the realized [f]. Protocols instantiate [bound]
-    with their constant-round (small f) latency envelope. *)
+    with their constant-round (small f) latency envelope. Liveness. *)
 
 val metering : unit -> 'm t
 (** Meter/engine consistency on every [Send]: word cost is at least 1,

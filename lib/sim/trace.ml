@@ -19,6 +19,18 @@ type 'm event =
       value : string;
       parents : int list;
     }
+  | Link_fault of {
+      slot : int;
+      id : int;
+      src : Mewc_prelude.Pid.t;
+      dst : Mewc_prelude.Pid.t;
+      fault : Faults.link_fault;
+    }
+  | Process_fault of {
+      slot : int;
+      pid : Mewc_prelude.Pid.t;
+      event : Faults.process_event;
+    }
 
 type 'm t = {
   enabled : bool;
@@ -66,6 +78,11 @@ let equal_event eq_msg a b =
   | Decision a, Decision b ->
     a.slot = b.slot && a.pid = b.pid && String.equal a.value b.value
     && List.equal Int.equal a.parents b.parents
+  | Link_fault a, Link_fault b ->
+    a.slot = b.slot && a.id = b.id && a.src = b.src && a.dst = b.dst
+    && a.fault = b.fault
+  | Process_fault a, Process_fault b ->
+    a.slot = b.slot && a.pid = b.pid && a.event = b.event
   | _ -> false
 
 let equal eq_msg a b = List.equal (equal_event eq_msg) (events a) (events b)
@@ -89,13 +106,19 @@ let pp_event pp_msg fmt = function
       pp_parents parents
   | Decision { slot; pid; value; parents } ->
     Format.fprintf fmt "[%d] p%d decides %s%a" slot pid value pp_parents parents
+  | Link_fault { slot; id; src; dst; fault } ->
+    Format.fprintf fmt "[%d] fault #%d p%d->p%d %s" slot id src dst
+      (Faults.link_fault_to_string fault)
+  | Process_fault { slot; pid; event } ->
+    Format.fprintf fmt "[%d] fault p%d %s" slot pid
+      (Faults.process_event_to_string event)
 
 let pp pp_msg fmt t =
   List.iter (fun ev -> Format.fprintf fmt "%a@." (pp_event pp_msg) ev) (events t)
 
 (* ---- serialization ----------------------------------------------------- *)
 
-let schema = "mewc-trace/2"
+let schema = "mewc-trace/3"
 
 let parents_to_json ps = Jsonx.Arr (List.map (fun p -> Jsonx.Int p) ps)
 
@@ -139,6 +162,24 @@ let event_to_json ~encode = function
         ("pid", Jsonx.Int pid);
         ("parents", parents_to_json parents);
         ("value", Jsonx.Str value);
+      ]
+  | Link_fault { slot; id; src; dst; fault } ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "link-fault");
+        ("slot", Jsonx.Int slot);
+        ("id", Jsonx.Int id);
+        ("src", Jsonx.Int src);
+        ("dst", Jsonx.Int dst);
+        ("fault", Jsonx.Str (Faults.link_fault_to_string fault));
+      ]
+  | Process_fault { slot; pid; event } ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "process-fault");
+        ("slot", Jsonx.Int slot);
+        ("pid", Jsonx.Int pid);
+        ("event", Jsonx.Str (Faults.process_event_to_string event));
       ]
 
 let to_json ~encode t =
@@ -201,6 +242,20 @@ let event_of_json ~decode j =
     let* parents = parents_field () in
     let* value = field "value" Jsonx.get_str in
     Ok (Decision { slot; pid; value; parents })
+  | "link-fault" ->
+    let* slot = field "slot" Jsonx.get_int in
+    let* id = field "id" Jsonx.get_int in
+    let* src = field "src" Jsonx.get_int in
+    let* dst = field "dst" Jsonx.get_int in
+    let* fault_s = field "fault" Jsonx.get_str in
+    let* fault = Faults.link_fault_of_string fault_s in
+    Ok (Link_fault { slot; id; src; dst; fault })
+  | "process-fault" ->
+    let* slot = field "slot" Jsonx.get_int in
+    let* pid = field "pid" Jsonx.get_int in
+    let* event_s = field "event" Jsonx.get_str in
+    let* event = Faults.process_event_of_string event_s in
+    Ok (Process_fault { slot; pid; event })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let of_json ~decode j =
@@ -274,6 +329,12 @@ let to_csv ~encode t =
           ~parents:(parents_to_csv parents) ~detail:(encode msg) ()
       | Decision { slot; pid; value; parents } ->
         line "decide" ~slot ~pid ~parents:(parents_to_csv parents)
-          ~detail:value ())
+          ~detail:value ()
+      | Link_fault { slot; id; src; dst; fault } ->
+        line "link-fault" ~slot ~src ~dst ~id
+          ~detail:(Faults.link_fault_to_string fault) ()
+      | Process_fault { slot; pid; event } ->
+        line "process-fault" ~slot ~pid
+          ~detail:(Faults.process_event_to_string event) ())
     (events t);
   Buffer.contents buf

@@ -35,6 +35,20 @@ type 'm event =
           (** ids of the messages [pid] read in the deciding slot *)
     }
       (** [pid]'s decision became [value] (printed form) in [slot] *)
+  | Link_fault of {
+      slot : int;
+      id : int;  (** the faulted send's envelope id *)
+      src : Mewc_prelude.Pid.t;
+      dst : Mewc_prelude.Pid.t;
+      fault : Faults.link_fault;
+    }
+      (** the injected network fault that hit send [id] on [src -> dst] *)
+  | Process_fault of {
+      slot : int;
+      pid : Mewc_prelude.Pid.t;
+      event : Faults.process_event;
+    }
+      (** an injected process fault's state transition at [slot] *)
 
 type 'm t
 
@@ -67,9 +81,10 @@ val pp :
 
 (** {2 Serialization}
 
-    The JSON schema is ["mewc-trace/2"]: an object with a [schema] tag and
+    The JSON schema is ["mewc-trace/3"]: an object with a [schema] tag and
     an [events] array; message payloads are embedded via [encode], send and
-    decision events carry [id]/[parents] provenance. CSV has one event per
+    decision events carry [id]/[parents] provenance, and injected faults
+    appear as [link-fault] / [process-fault] events. CSV has one event per
     line with columns
     [type,slot,src,dst,pid,id,words,byzantine,charged,parents,detail]
     (parents are [;]-separated ids). *)

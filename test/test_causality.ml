@@ -22,7 +22,7 @@ let sound_targets =
     Fuzz.Campaign.zoo
 
 (* Run one scenario under the fuzzer's safety monitors with the trace on;
-   return the reparsed trace (so the mewc-trace/2 parse side is exercised
+   return the reparsed trace (so the mewc-trace/3 parse side is exercised
    on every run) and the run's global correct-word count. *)
 let traced_run (Fuzz.Campaign.Target { protocol; params; ablated; _ })
     (sc : Fuzz.Scenario.t) =

@@ -1,8 +1,9 @@
 (* CLI argument parsing for every mewc subcommand, exercised through the
    real binary, pinning the exit-code contract: 0 success, 1 misuse or
-   operational failure, 3 a finding (fuzz violation / perf regression), 124
-   parse errors — both cmdliner's own and ours (malformed or foreign-schema
-   JSON inputs).
+   operational failure, 2 a stall (safety held, some correct process never
+   decided), 3 a finding (fuzz violation / perf regression / unsafe chaos
+   cell), 124 parse errors — both cmdliner's own and ours (malformed or
+   foreign-schema JSON inputs).
 
    The binary is a declared dune dependency of this test, so it is always
    present at ../bin/mewc.exe relative to the test's working directory. *)
@@ -41,6 +42,7 @@ let help_cases =
     check_code "fuzz --help" 0 "fuzz --help";
     check_code "perf --help" 0 "perf --help";
     check_code "perf diff --help" 0 "perf diff --help";
+    check_code "chaos --help" 0 "chaos --help";
   ]
 
 let error_cases =
@@ -196,6 +198,41 @@ let test_perf_append_then_diff_codes () =
 let test_perf_smoke_gate () =
   Alcotest.(check int) "perf smoke" 0 (run "perf smoke")
 
+(* ---- chaos / fault flags ------------------------------------------------- *)
+
+(* Every cell runs from a seed derived from its identity, so these codes
+   are stable, not coin flips. *)
+let chaos_cases =
+  let planted =
+    let p, prof, l = Mewc_core.Degrade.planted_unsafe in
+    Printf.sprintf "%s:%s:%d" p prof l
+  in
+  [
+    (* the planted reliability violation: a finding, exit 3 *)
+    check_code "planted cell is unsafe" 3
+      (Printf.sprintf "chaos --cell %s" planted);
+    check_code "crash cell is clean" 0 "chaos --cell weak-ba:crash:2";
+    check_code "partition cell stalls" 2 "chaos --cell weak-ba:partition:2";
+    check_code "bad cell spec" 1 "chaos --cell weak-ba:bogus:1";
+    check_code "run with drop faults" 0 "run -p weak-ba -n 9 --drop 0.1 --fault-seed 7";
+    check_code "run under a full partition stalls" 2 "run -p weak-ba -n 9 --partition 0,1";
+    check_code "run rejects drop > 1" 1 "run -p weak-ba -n 9 --drop 1.5";
+    check_code "baselines reject fault flags" 1 "run -p dolev-strong -n 5 --drop 0.1";
+  ]
+
+let test_chaos_smoke_gate () =
+  let code, out = run_out "chaos --smoke" in
+  Alcotest.(check int) "smoke exit 0" 0 code;
+  List.iter
+    (fun needle ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) needle true (contains out needle))
+    [ "UNSAFE"; "smoke ok" ]
+
 let () =
   Alcotest.run "cli"
     [
@@ -233,4 +270,7 @@ let () =
           Alcotest.test_case "foreign schema" `Quick
             test_fuzz_rejects_foreign_schema;
         ] );
+      ( "chaos",
+        chaos_cases
+        @ [ Alcotest.test_case "smoke gate" `Quick test_chaos_smoke_gate ] );
     ]

@@ -33,6 +33,97 @@ let test_generator_budget () =
       Alcotest.(check bool) "canonical order" true (cs = sorted))
     (scenarios 100)
 
+let test_generator_fault_budget () =
+  let saw_fault = ref false in
+  List.iter
+    (fun (sc : Scenario.t) ->
+      let fs = sc.Scenario.faults in
+      if fs <> [] then saw_fault := true;
+      Alcotest.(check bool)
+        "combined corruption + fault budget" true
+        (List.length sc.Scenario.corruptions + List.length fs <= 4);
+      let victims = List.map (fun (f : Scenario.fault) -> f.victim) fs in
+      Alcotest.(check bool)
+        "distinct victims" true
+        (List.length (List.sort_uniq compare victims) = List.length victims);
+      let corrupted =
+        List.map (fun (c : Scenario.corruption) -> c.pid) sc.Scenario.corruptions
+      in
+      Alcotest.(check bool)
+        "victims disjoint from corrupted" true
+        (List.for_all (fun v -> not (List.mem v corrupted)) victims);
+      List.iter
+        (fun (f : Scenario.fault) ->
+          Alcotest.(check bool) "victim in range" true (f.victim >= 0 && f.victim < 9);
+          Alcotest.(check bool) "fault slot sane" true (f.fault_at >= 0);
+          match f.kind with
+          | Scenario.Crash_fault -> ()
+          | Scenario.Omission_fault { drop_mod; drop_rem } ->
+            Alcotest.(check bool)
+              "omission params sane" true
+              (drop_mod >= 1 && drop_rem >= 0 && drop_rem < drop_mod))
+        fs;
+      let sorted =
+        List.sort
+          (fun (a : Scenario.fault) (b : Scenario.fault) ->
+            compare (a.fault_at, a.victim) (b.fault_at, b.victim))
+          fs
+      in
+      Alcotest.(check bool) "faults canonically sorted" true (fs = sorted);
+      (* the scenario's faults compile to a plan the engine accepts *)
+      match Faults.validate ~n:9 (Compile.plan_of_scenario sc) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "compiled plan invalid: %s" e)
+    (scenarios 200);
+  Alcotest.(check bool) "generator actually draws faults" true !saw_fault
+
+let test_shrink_simplifies_faults () =
+  (* Every omission fault must offer its crash simplification among the
+     one-step shrink candidates, and candidates keep victims disjoint from
+     corrupted pids. *)
+  let with_omission =
+    List.filter
+      (fun (sc : Scenario.t) ->
+        List.exists
+          (fun (f : Scenario.fault) ->
+            match f.kind with Scenario.Omission_fault _ -> true | _ -> false)
+          sc.Scenario.faults)
+      (scenarios 200)
+  in
+  Alcotest.(check bool)
+    "generator draws omission faults" true
+    (with_omission <> []);
+  List.iter
+    (fun (sc : Scenario.t) ->
+      let cands = Scenario.candidates sc in
+      List.iter
+        (fun (f : Scenario.fault) ->
+          match f.kind with
+          | Scenario.Crash_fault -> ()
+          | Scenario.Omission_fault _ ->
+            Alcotest.(check bool)
+              "omission has a crash simplification" true
+              (List.exists
+                 (fun (c : Scenario.t) ->
+                   List.exists
+                     (fun (f' : Scenario.fault) ->
+                       f'.victim = f.victim && f'.kind = Scenario.Crash_fault)
+                     c.Scenario.faults)
+                 cands))
+        sc.Scenario.faults;
+      List.iter
+        (fun (c : Scenario.t) ->
+          let corrupted =
+            List.map (fun (x : Scenario.corruption) -> x.pid) c.Scenario.corruptions
+          in
+          Alcotest.(check bool)
+            "candidate keeps victims disjoint" true
+            (List.for_all
+               (fun (f : Scenario.fault) -> not (List.mem f.victim corrupted))
+               c.Scenario.faults))
+        cands)
+    with_omission
+
 let test_json_roundtrip () =
   List.iter
     (fun sc ->
@@ -145,8 +236,11 @@ let () =
       ( "scenario",
         [
           Alcotest.test_case "generator budget" `Quick test_generator_budget;
+          Alcotest.test_case "fault budget" `Quick test_generator_fault_budget;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "shrink metric" `Quick test_shrink_metric;
+          Alcotest.test_case "shrink simplifies faults" `Quick
+            test_shrink_simplifies_faults;
         ] );
       ( "campaign",
         [

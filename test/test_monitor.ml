@@ -93,24 +93,30 @@ let agreement_rejections () =
   let decide ~slot ~pid value = Trace.Decision { slot; pid; value; parents = [] } in
   let everyone v = List.map (fun pid -> decide ~slot:1 ~pid v) [ 0; 1; 2 ] in
   check_accepts "agreement: unanimous"
-    (Monitor.agreement ~cfg:c ())
+    (Monitor.agreement ())
     ~slots:2
     (Trace.Slot_start 0 :: everyone "v");
   check_rejects "agreement: split decision"
-    (Monitor.agreement ~cfg:c ())
+    (Monitor.agreement ())
     ~slots:2
     [ Trace.Slot_start 0; decide ~slot:0 ~pid:0 "a"; decide ~slot:1 ~pid:1 "b" ];
   check_rejects "agreement: re-decision flips"
-    (Monitor.agreement ~cfg:c ())
+    (Monitor.agreement ())
     ~slots:2
     [ Trace.Slot_start 0; decide ~slot:0 ~pid:0 "a"; decide ~slot:1 ~pid:0 "b" ];
-  check_rejects "agreement: correct process never decides"
-    (Monitor.agreement ~cfg:c ())
+  (* Agreement is pure safety: a partial decision set is fine by itself
+     (who must decide is {!Monitor.termination}'s business). *)
+  check_accepts "agreement: partial decisions are not its concern"
+    (Monitor.agreement ())
+    ~slots:2
+    [ Trace.Slot_start 0; decide ~slot:0 ~pid:0 "a" ];
+  check_rejects "termination: correct process never decides"
+    (Monitor.termination ~cfg:c)
     ~slots:2
     [ Trace.Slot_start 0; decide ~slot:0 ~pid:0 "a"; decide ~slot:0 ~pid:1 "a" ];
   (* ... unless it was corrupted ... *)
-  check_accepts "agreement: corrupted processes need not decide"
-    (Monitor.agreement ~cfg:c ())
+  check_accepts "termination: corrupted processes need not decide"
+    (Monitor.termination ~cfg:c)
     ~slots:2
     [
       Trace.Slot_start 0;
@@ -118,11 +124,16 @@ let agreement_rejections () =
       decide ~slot:0 ~pid:0 "a";
       decide ~slot:0 ~pid:1 "a";
     ];
-  (* ... or termination is not required. *)
-  check_accepts "agreement: termination waivable"
-    (Monitor.agreement ~require_termination:false ~cfg:c ())
+  (* ... or hit by an injected process fault. *)
+  check_accepts "termination: process-faulted pids are exempt"
+    (Monitor.termination ~cfg:c)
     ~slots:2
-    [ Trace.Slot_start 0; decide ~slot:0 ~pid:0 "a" ]
+    [
+      Trace.Slot_start 0;
+      Trace.Process_fault { slot = 0; pid = 2; event = Faults.Crashed };
+      decide ~slot:0 ~pid:0 "a";
+      decide ~slot:0 ~pid:1 "a";
+    ]
 
 (* ---- word bound ---------------------------------------------------------- *)
 
@@ -231,7 +242,7 @@ let qcheck_zoo_accepted =
       let monitors =
         [
           Monitor.corruption_budget ~cfg:c;
-          Monitor.agreement ~cfg:c ();
+          Monitor.agreement ();
           Monitor.metering ();
         ]
       in
@@ -284,8 +295,8 @@ let json_rejects_garbage () =
   in
   check "not json" "{nope";
   check "wrong schema" {|{"schema":"mewc-trace/99","events":[]}|};
-  check "missing events" {|{"schema":"mewc-trace/2"}|};
-  check "bad event tag" {|{"schema":"mewc-trace/2","events":[{"type":"warp"}]}|}
+  check "missing events" {|{"schema":"mewc-trace/3"}|};
+  check "bad event tag" {|{"schema":"mewc-trace/3","events":[{"type":"warp"}]}|}
 
 let csv_export () =
   (* Newline-free payloads so lines can be counted by splitting; payloads
