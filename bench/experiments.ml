@@ -604,6 +604,7 @@ let ablation_fallback () =
             Weak_over_ds.init ~cfg:c ~pki ~secret:secrets.(pid) ~pid ~input:"v"
               ~validate:(fun _ -> true) ~start_slot:0 ();
           step = (fun ~slot ~inbox st -> Weak_over_ds.step ~slot ~inbox st);
+          wake = None;
         }
       in
       let res =

@@ -8,6 +8,10 @@
      --jobs N       domains for the parallel perf pass (default: all cores)
      --smoke        CI gate: only the small perf grid, parallel vs
                     sequential, exit 1 if outputs differ (no files written)
+     --frontier-smoke  CI gate for the event-driven engine: sweep the
+                    frontier grid's n <= 101 points event-driven, then
+                    replay them under the legacy lock-step oracle and exit
+                    1 unless the rows are byte-identical
      --ledger FILE  append the perf sweep to the given mewc-ledger/1 file
      --rev REV      git revision to record in the ledger entry (the bench
                     never shells out; default "unknown")
@@ -157,6 +161,35 @@ let run_smoke ~jobs =
   end;
   print_endline "[SMOKE] ok: parallel sweep byte-identical to sequential"
 
+let run_frontier_smoke ~jobs =
+  (* The event-driven engine's CI gate. Rows are a pure function of the
+     point (each builds its own seed, PKI and RNG), so the legacy and
+     event-driven engines must render every row byte-identically — the
+     engine-diff test suite proves it per message, this gate re-proves it
+     end to end on every build over the frontier grid's small points. *)
+  let points, _capped = Sweep.frontier_grid `Event_driven in
+  let points = List.filter (fun (p : Sweep.point) -> p.Sweep.n <= 101) points in
+  let jobs = match jobs with Some j -> Some j | None -> Some 2 in
+  let report = Sweep.run_perf ?jobs ~scheduler:`Event_driven points in
+  print_report report;
+  if not report.Sweep.identical then begin
+    prerr_endline "[FRONTIER] FATAL: parallel sweep diverged from sequential";
+    exit 1
+  end;
+  let oracle = Sweep.run_all ~scheduler:`Legacy points in
+  let lines rows = List.map Sweep.row_to_line rows in
+  if not (List.equal String.equal (lines report.Sweep.rows) (lines oracle))
+  then begin
+    prerr_endline
+      "[FRONTIER] FATAL: event-driven rows diverged from the legacy oracle";
+    exit 1
+  end;
+  Printf.printf
+    "[FRONTIER] ok: %d event-driven points byte-identical to the legacy \
+     oracle\n\
+     %!"
+    (List.length points)
+
 let () =
   let argv = Array.to_list Sys.argv in
   let skip_timings = List.mem "--no-timings" argv in
@@ -180,7 +213,8 @@ let () =
   let ledger = string_flag "--ledger" in
   let rev = Option.value (string_flag "--rev") ~default:"unknown" in
   let date = Option.value (string_flag "--date") ~default:"unknown" in
-  if smoke then run_smoke ~jobs
+  if List.mem "--frontier-smoke" argv then run_frontier_smoke ~jobs
+  else if smoke then run_smoke ~jobs
   else begin
     run_tables ();
     write_observability ();

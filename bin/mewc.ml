@@ -50,6 +50,14 @@ let die_parse fmt =
       exit 124)
     fmt
 
+(* --scheduler is a plain string flag validated here rather than an
+   Arg.enum: an unknown value is a misuse (exit 1), like `fuzz --target
+   nonesuch`, whereas cmdliner's own enum failure would exit 124. *)
+let scheduler_of_flag s =
+  match Engine.scheduler_of_string s with
+  | Ok sch -> sch
+  | Error e -> die_misuse "%s" e
+
 type protocol = Bb | Weak_ba | Strong_ba | Fallback | Dolev_strong | Naive_bb
 
 let protocol_conv =
@@ -209,7 +217,8 @@ let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) 
 let decision_line p d = pr "  p%-3d decided %s\n" p d
 
 let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
-    delay_prob crash partition fault_seed =
+    delay_prob crash partition fault_seed scheduler =
+  let scheduler = scheduler_of_flag scheduler in
   let cfg = Config.optimal ~n in
   let t = cfg.Config.t in
   let f = min f t in
@@ -228,7 +237,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
       match protocol with
       | Bb ->
       let adv = bb_adversary ~cfg ~f ~input adversary in
-      let o = Instances.run_bb ~cfg ~seed ?profile ~faults ~input ~adversary:adv () in
+      let o = Instances.run_bb ~cfg ~seed ?profile ~scheduler ~faults ~input ~adversary:adv () in
       print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
@@ -244,7 +253,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Weak_ba ->
     let adv = wba_adversary ~cfg ~n ~t ~f adversary in
     let o =
-      Instances.run_weak_ba ~cfg ~seed ?profile ~faults
+      Instances.run_weak_ba ~cfg ~seed ?profile ~scheduler ~faults
         ~inputs:(Array.make n input) ~adversary:adv ()
     in
     print_outcome ~show:true ~trace
@@ -262,7 +271,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Strong_ba ->
     let adv = sba_adversary ~cfg ~n ~f adversary in
     let o =
-      Instances.run_strong_ba ~cfg ~seed ?profile ~faults
+      Instances.run_strong_ba ~cfg ~seed ?profile ~scheduler ~faults
         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
         ~adversary:adv ()
     in
@@ -280,7 +289,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Fallback ->
     let adv = epk_adversary ~cfg ~f ~input adversary in
     let o =
-      Instances.run_fallback ~cfg ~seed ?profile ~faults
+      Instances.run_fallback ~cfg ~seed ?profile ~scheduler ~faults
         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
         ~adversary:adv ()
     in
@@ -296,6 +305,9 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Dolev_strong ->
     if profile_on then
       die_misuse "--profile is only available for the paper's protocols";
+    if scheduler <> `Legacy then
+      die_misuse
+        "--scheduler event-driven is only available for the paper's protocols";
     if not (Faults.is_none faults) then
       die_misuse "fault injection is only available for the paper's protocols";
     let adv =
@@ -316,6 +328,9 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Naive_bb ->
     if profile_on then
       die_misuse "--profile is only available for the paper's protocols";
+    if scheduler <> `Legacy then
+      die_misuse
+        "--scheduler event-driven is only available for the paper's protocols";
     if not (Faults.is_none faults) then
       die_misuse "fault injection is only available for the paper's protocols";
     let adv =
@@ -451,20 +466,42 @@ let trace_cmd protocol n adversary f seed input format output cone dot =
 
 (* ---- `bench` --------------------------------------------------------------- *)
 
-let bench_cmd jobs smoke output =
-  let grid = if smoke then Sweep.smoke_grid else Sweep.standard_grid in
-  let report = Sweep.run_perf ?jobs grid in
+(* Grid selection shared by `bench` and the perf subcommands. The frontier
+   grid depends on the scheduler (the standalone-fallback cap moves), and
+   whatever the cap drops is carried into the report instead of silently
+   vanishing. *)
+let select_grid ~smoke ~frontier ~scheduler =
+  if smoke && frontier then die_misuse "--smoke and --frontier are exclusive"
+  else if frontier then begin
+    let points, capped = Sweep.frontier_grid scheduler in
+    (points, capped, "frontier")
+  end
+  else if smoke then (Sweep.smoke_grid, [], "smoke")
+  else (Sweep.standard_grid, [], "standard")
+
+let bench_cmd jobs smoke frontier scheduler output =
+  let scheduler = scheduler_of_flag scheduler in
+  let grid, capped, grid_name = select_grid ~smoke ~frontier ~scheduler in
+  let report = Sweep.run_perf ?jobs ~scheduler ~capped grid in
   pr
-    "mewc bench: %d points (%s grid), %d cores, jobs=%d\n\
+    "mewc bench: %d points (%s grid, %s engine), %d cores, jobs=%d\n\
     \  sequential    %.2fs\n\
     \  parallel      %.2fs\n\
     \  speedup       %.2fx\n\
     \  parallel output %s sequential output\n"
     (List.length report.Sweep.rows)
-    (if smoke then "smoke" else "standard")
+    grid_name
+    (Engine.scheduler_to_string scheduler)
     report.Sweep.cores report.Sweep.jobs report.Sweep.sequential_s
     report.Sweep.parallel_s report.Sweep.speedup
     (if report.Sweep.identical then "==" else "!= (BUG)");
+  (match report.Sweep.capped with
+  | [] -> ()
+  | capped ->
+    pr "  capped (standalone fallback beyond n=%d): %s\n"
+      (Sweep.fallback_cap scheduler)
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" Sweep.pp_point) capped)));
   (match output with
   | None -> ()
   | Some path ->
@@ -490,19 +527,17 @@ let entry_label (e : Ledger.entry) = Printf.sprintf "%s@%s" e.Ledger.rev e.Ledge
 
 (* One profiled sweep; every perf subcommand funnels through here so the
    parallel-equals-sequential gate also guards the ledger's inputs. *)
-let perf_sweep ~smoke ~jobs =
-  let grid, grid_name =
-    if smoke then (Sweep.smoke_grid, "smoke")
-    else (Sweep.standard_grid, "standard")
-  in
+let perf_sweep ~smoke ~frontier ~scheduler ~jobs =
+  let grid, capped, grid_name = select_grid ~smoke ~frontier ~scheduler in
   let profile = Profile.create () in
-  let report = Sweep.run_perf ?jobs ~profile grid in
+  let report = Sweep.run_perf ?jobs ~profile ~scheduler ~capped grid in
   if not report.Sweep.identical then
     die_misuse "perf: parallel sweep diverged from sequential (BUG)";
   (report, profile, grid_name)
 
-let perf_append ledger rev date smoke jobs =
-  let report, profile, grid = perf_sweep ~smoke ~jobs in
+let perf_append ledger rev date smoke frontier scheduler jobs =
+  let scheduler = scheduler_of_flag scheduler in
+  let report, profile, grid = perf_sweep ~smoke ~frontier ~scheduler ~jobs in
   let entry = Ledger.of_report ~rev ~date ~grid ~profile report in
   (match Ledger.append ledger entry with
   | Ok count ->
@@ -538,7 +573,7 @@ let perf_list ledger =
     Ascii_table.print table
   end
 
-let perf_diff ledger threshold json_out against smoke jobs sel_a sel_b =
+let perf_diff ledger threshold json_out against smoke scheduler jobs sel_a sel_b =
   let entries = load_ledger ledger in
   let a, b, label_a, label_b =
     if against then begin
@@ -551,7 +586,10 @@ let perf_diff ledger threshold json_out against smoke jobs sel_a sel_b =
         | e :: _ -> e
         | [] -> die_misuse "perf: %s has no %s-grid entry to diff against" ledger grid
       in
-      let report, profile, grid = perf_sweep ~smoke ~jobs in
+      let scheduler = scheduler_of_flag scheduler in
+      let report, profile, grid =
+        perf_sweep ~smoke ~frontier:false ~scheduler ~jobs
+      in
       let fresh =
         Ledger.of_report ~rev:"worktree" ~date:"uncommitted" ~grid ~profile report
       in
@@ -590,7 +628,9 @@ let perf_smoke ledger =
       Sys.remove p;
       (p, true)
   in
-  let report, profile, grid = perf_sweep ~smoke:true ~jobs:None in
+  let report, profile, grid =
+    perf_sweep ~smoke:true ~frontier:false ~scheduler:`Legacy ~jobs:None
+  in
   let entry = Ledger.of_report ~rev:"smoke" ~date:"smoke" ~grid ~profile report in
   (match Ledger.append path entry with
   | Ok _ -> ()
@@ -843,6 +883,16 @@ let input_arg =
     value & opt string "value"
     & info [ "i"; "input" ] ~docv:"VALUE" ~doc:"Input / broadcast value.")
 
+let scheduler_arg =
+  Arg.(
+    value & opt string "legacy"
+    & info [ "scheduler" ] ~docv:"SCHEDULER"
+        ~doc:
+          "Engine scheduler: $(b,legacy) (the default: every process steps \
+           every slot, the original lock-step loop) or $(b,event-driven) \
+           (only processes with pending deliveries or an armed timer step \
+           — byte-identical outputs, much faster at large n).")
+
 let run_term =
   let trace =
     Arg.(
@@ -905,7 +955,7 @@ let run_term =
   Term.(
     const run_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
     $ input_arg $ trace $ profile $ drop $ dup $ delay $ delay_prob $ crash
-    $ partition $ fault_seed)
+    $ partition $ fault_seed $ scheduler_arg)
 
 let trace_term =
   let format =
@@ -961,6 +1011,16 @@ let bench_term =
           ~doc:"Run the small CI grid (n ∈ {9, 13}) instead of the standard \
                 perf grid (n up to 401).")
   in
+  let frontier =
+    Arg.(
+      value & flag
+      & info [ "frontier" ]
+          ~doc:
+            "Run the words-vs-n frontier grid (n up to 2001; weak BA keeps \
+             its faulty points throughout). The standalone-fallback cap \
+             follows the scheduler and the dropped points are reported, \
+             not silently truncated.")
+  in
   let output =
     Arg.(
       value
@@ -968,7 +1028,7 @@ let bench_term =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the mewc-perf/1 JSON report to FILE.")
   in
-  Term.(const bench_cmd $ jobs $ smoke $ output)
+  Term.(const bench_cmd $ jobs $ smoke $ frontier $ scheduler_arg $ output)
 
 let fuzz_term =
   let target =
@@ -1097,6 +1157,14 @@ let perf_cmd =
       & info [ "smoke" ]
           ~doc:"Sweep the small CI grid instead of the standard perf grid.")
   in
+  let frontier_arg =
+    Arg.(
+      value & flag
+      & info [ "frontier" ]
+          ~doc:
+            "Sweep the words-vs-n frontier grid (n up to 2001) instead of \
+             the standard perf grid.")
+  in
   let append_term =
     let rev =
       Arg.(
@@ -1109,7 +1177,9 @@ let perf_cmd =
         value & opt string "unknown"
         & info [ "date" ] ~docv:"DATE" ~doc:"Date to record (ISO 8601).")
     in
-    Term.(const perf_append $ ledger_arg $ rev $ date $ smoke_arg $ jobs_arg)
+    Term.(
+      const perf_append $ ledger_arg $ rev $ date $ smoke_arg $ frontier_arg
+      $ scheduler_arg $ jobs_arg)
   in
   let diff_term =
     let threshold =
@@ -1150,7 +1220,7 @@ let perf_cmd =
     in
     Term.(
       const perf_diff $ ledger_arg $ threshold $ json_out $ against $ smoke_arg
-      $ jobs_arg $ sel_a $ sel_b)
+      $ scheduler_arg $ jobs_arg $ sel_a $ sel_b)
   in
   let smoke_term =
     let scratch_ledger =

@@ -130,6 +130,13 @@ module Make (V : Value.S) = struct
       Some (match best with Some (v, _) -> v | None -> st.input);
     st.decided_at <- Some slot
 
+  (* Off-boundary (and post-protocol) steps only buffer the inbox, so with
+     nothing delivered they are no-ops — the FALLBACK wake contract. *)
+  let wake ~slot st =
+    slot >= st.start_slot
+    && (slot - st.start_slot) mod st.round_len = 0
+    && (slot - st.start_slot) / st.round_len < rounds st.cfg
+
   let step ~slot ~inbox st =
     List.iter
       (fun env ->

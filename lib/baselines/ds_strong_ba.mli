@@ -48,4 +48,8 @@ module Make (V : Mewc_sim.Value.S) : sig
   val decision : state -> V.t option
   val decided_at : state -> int option
   val horizon : Mewc_sim.Config.t -> round_len:int -> int
+
+  val wake : slot:int -> state -> bool
+  (** The {!Mewc_core.Fallback_intf.FALLBACK} wake timer: [true] exactly on
+      round boundaries while rounds remain. *)
 end

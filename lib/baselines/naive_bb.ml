@@ -147,6 +147,7 @@ let run ~cfg ?(seed = 1L) ?(sender = 0) ~input ~adversary () =
           ~input:(if pid = sender then Some input else None)
           ~start_slot:0;
       step = (fun ~slot ~inbox st -> step ~slot ~inbox st);
+      wake = None;
     }
   in
   let adversary = adversary ~pki ~secrets in

@@ -90,15 +90,17 @@ let bb_valid ~pki ~cfg ~sender v =
 
 type vet_scratch = {
   mutable sender_signed_answer : bb_value option;  (* leader: best answer *)
-  mutable idk_shares : Pki.Sig.t Pid.Map.t;  (* leader *)
+  idk_shares : Certificate.Tally.t;  (* leader *)
   mutable help_req_seen : bool;
   mutable bcast_recv : bb_value option;
 }
 
-let fresh_scratch () =
+let fresh_scratch ~pki ~cfg j =
   {
     sender_signed_answer = None;
-    idk_shares = Pid.Map.empty;
+    idk_shares =
+      Certificate.Tally.create pki ~k:(Config.small_quorum cfg)
+        ~purpose:idk_purpose ~payload:(string_of_int j);
     help_req_seen = false;
     bcast_recv = None;
   }
@@ -150,7 +152,7 @@ let scratch_of st j =
   match Hashtbl.find_opt st.scratch j with
   | Some s -> s
   | None ->
-    let s = fresh_scratch () in
+    let s = fresh_scratch ~pki:st.pki ~cfg:st.cfg j in
     Hashtbl.add st.scratch j s;
     s
 
@@ -212,15 +214,9 @@ let ingest st ~rel env =
       && rel = vet_base j + 2
       && Pid.equal st.pid (leader j cfg)
     then begin
-      let msg =
-        Certificate.signed_message ~purpose:idk_purpose ~payload:(string_of_int j)
-      in
-      if Pki.verify st.pki share ~msg then begin
-        let sc = scratch_of st j in
-        let signer = Pki.Sig.signer share in
-        if not (Pid.Map.mem signer sc.idk_shares) then
-          sc.idk_shares <- Pid.Map.add signer share sc.idk_shares
-      end
+      ignore
+        (Certificate.Tally.add (scratch_of st j).idk_shares share
+          : Pki.Tally.verdict)
     end
   | Vet_bcast { phase = j; value } ->
     (* Line 28: return the leader's value iff BB_valid holds. *)
@@ -293,18 +289,11 @@ let emit st ~slot ~rel =
         let sc = scratch_of st j in
         match sc.sender_signed_answer with
         | Some v -> Process.broadcast ~n (Vet_bcast { phase = j; value = v })
-        | None ->
-          if Pid.Map.cardinal sc.idk_shares >= Config.small_quorum cfg then begin
-            let shares = List.map snd (Pid.Map.bindings sc.idk_shares) in
-            match
-              Certificate.make st.pki ~k:(Config.small_quorum cfg)
-                ~purpose:idk_purpose ~payload:(string_of_int j) shares
-            with
-            | Some qc ->
-              Process.broadcast ~n (Vet_bcast { phase = j; value = Idk_cert qc })
-            | None -> []
-          end
-          else []
+        | None -> (
+          match Certificate.Tally.certificate sc.idk_shares with
+          | Some qc ->
+            Process.broadcast ~n (Vet_bcast { phase = j; value = Idk_cert qc })
+          | None -> [])
       end
       else []
     | _ -> assert false
@@ -348,6 +337,26 @@ let emit st ~slot ~rel =
       st.wba <- Some w';
       List.map (fun (m, dst) -> (Wba m, dst)) sends
   end
+
+(* Inbox-free actions: the sender's dissemination at slot 0, a phase
+   leader's help request when it still lacks a vetted value (vetting offset
+   0), the unconditional weak-BA init at [wba_start], then the embedded
+   weak BA's own timer. Everything else in the vetting phases — including
+   the off-0 adoption of the previous phase's broadcast — reads scratch
+   state that is populated strictly by same-slot ingestion ([Vet_bcast] of
+   phase j-1 lands exactly at phase j's offset-0 slot), so a delivery
+   already wakes it. *)
+let wake ~slot st =
+  let cfg = st.cfg in
+  let rel = slot - st.start_slot in
+  if rel < 0 then false
+  else if rel = 0 then Pid.equal st.pid st.sender
+  else if rel < wba_start cfg then
+    (rel - 1) mod 3 = 0
+    && Pid.equal st.pid (leader (((rel - 1) / 3) + 1) cfg)
+    && st.vi = None
+  else if rel = wba_start cfg then true
+  else match st.wba with Some w -> W.wake ~slot w | None -> false
 
 let step ~slot ~inbox st =
   let rel = slot - st.start_slot in

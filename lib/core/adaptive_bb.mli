@@ -96,6 +96,10 @@ val step :
   state ->
   state * (msg * Mewc_prelude.Pid.t) list
 
+val wake : slot:int -> state -> bool
+(** The {!Mewc_sim.Process.t} wake timer (sender dissemination, leader help
+    requests, weak-BA init, then the weak BA's own timer). *)
+
 val decision : state -> decision option
 
 val decided_at : state -> int option

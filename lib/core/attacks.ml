@@ -87,6 +87,7 @@ let weak_machine ~cfg ~pki ~secrets ~input pid =
       W.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~input
         ~validate:(fun _ -> true) ~start_slot:0 ();
     step = (fun ~slot ~inbox st -> W.step ~slot ~inbox st);
+    wake = None;
   }
 
 let wba_exclusive_finalizer ~cfg ~leader ~lucky ~pki ~secrets =
@@ -449,6 +450,7 @@ let sba_withholding_leader ~cfg ~leader ~lucky ~pki ~secrets =
           S.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~leader ~input:true
             ~start_slot:0;
         step = (fun ~slot ~inbox st -> S.step ~slot ~inbox st);
+        wake = None;
       })
     ~mangle:(fun ~slot:_ ~pid:_ ~inbox:_ sends ->
       List.filter
@@ -469,6 +471,7 @@ let epk_lock_carryover_king ~cfg ~target ~pki ~secrets =
           E.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~input:"king-value"
             ~start_slot:0 ~round_len:1;
         step = (fun ~slot ~inbox st -> E.step ~slot ~inbox st);
+        wake = None;
       })
     ~mangle:(fun ~slot:_ ~pid:_ ~inbox:_ sends ->
       List.filter

@@ -51,6 +51,18 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
   let decided_at st = Option.bind st.ba Ba.decided_at
   let decided_fast st = match st.ba with Some ba -> Ba.decided_fast ba | None -> false
 
+  (* Inbox-free actions: the sender's dissemination at slot 0, the
+     unconditional embedded-BA init at [ba_start], then whatever the
+     embedded BA's own timer wants. A process whose [ba] never initialized
+     (it was down at [ba_start]) stays inert forever — under both
+     schedulers. *)
+  let wake ~slot st =
+    let rel = slot - st.start_slot in
+    (rel = 0 && Pid.equal st.pid st.sender)
+    || rel = ba_start
+    || rel > ba_start
+       && (match st.ba with Some ba -> Ba.wake ~slot ba | None -> false)
+
   let step ~slot ~inbox st =
     let rel = slot - st.start_slot in
     if rel < 0 then (st, [])

@@ -42,6 +42,10 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) : sig
     state ->
     state * (msg * Mewc_prelude.Pid.t) list
 
+  val wake : slot:int -> state -> bool
+  (** The {!Mewc_sim.Process.t} wake timer (sender dissemination, embedded
+      BA init, then the embedded BA's own timer). *)
+
   val decision : state -> bool option
   val decided_at : state -> int option
   val decided_fast : state -> bool

@@ -36,6 +36,13 @@ module type FALLBACK = sig
 
   val decision : state -> value option
 
+  val wake : slot:int -> state -> bool
+  (** The {!Mewc_sim.Process.t} wake-timer contract, lifted to the fallback:
+      when [wake ~slot st] is [false], [step ~slot ~inbox:[] st] must be a
+      no-op (state structurally unchanged, no sends). Host protocols
+      delegate to this while a fallback instance is live, so the
+      event-driven scheduler can skip its quiet slots. *)
+
   val horizon : Mewc_sim.Config.t -> round_len:int -> int
   (** Slots from the earliest correct start until every correct process has
       decided (accounting for one slot of start skew). *)

@@ -36,8 +36,8 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
     leader : Pid.t;
     input : bool;
     start_slot : int;
-    mutable input_shares : Pki.Sig.t Pid.Map.t array;  (* leader; [|for false; for true|] *)
-    mutable decide_shares : Pki.Sig.t Pid.Map.t array;  (* leader *)
+    input_shares : Certificate.Tally.t array;  (* leader; [|for false; for true|] *)
+    decide_shares : Certificate.Tally.t array;  (* leader *)
     mutable proposal : (bool * Certificate.t) option;
     mutable decide_recv : (bool * Certificate.t) option;
     mutable decision : bool option;
@@ -71,8 +71,14 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
       leader;
       input;
       start_slot;
-      input_shares = [| Pid.Map.empty; Pid.Map.empty |];
-      decide_shares = [| Pid.Map.empty; Pid.Map.empty |];
+      input_shares =
+        Array.init 2 (fun i ->
+            Certificate.Tally.create pki ~k:(Config.small_quorum cfg)
+              ~purpose:propose_purpose ~payload:(enc (i = 1)));
+      decide_shares =
+        Array.init 2 (fun i ->
+            Certificate.Tally.create pki ~k:cfg.Config.n ~purpose:decide_purpose
+              ~payload:(enc (i = 1)));
       proposal = None;
       decide_recv = None;
       decision = None;
@@ -101,17 +107,10 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
     let am_leader = Pid.equal st.pid st.leader in
     match env.Envelope.msg with
     | Input { value; share } ->
-      if rel = 1 && am_leader then begin
-        let msg =
-          Certificate.signed_message ~purpose:propose_purpose ~payload:(enc value)
-        in
-        if Pki.verify st.pki share ~msg then begin
-          let signer = Pki.Sig.signer share in
-          let m = st.input_shares.(idx value) in
-          if not (Pid.Map.mem signer m) then
-            st.input_shares.(idx value) <- Pid.Map.add signer share m
-        end
-      end
+      if rel = 1 && am_leader then
+        ignore
+          (Certificate.Tally.add st.input_shares.(idx value) share
+            : Pki.Tally.verdict)
     | Propose { value; qc } ->
       if
         rel = 2
@@ -121,17 +120,10 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
         && st.proposal = None
       then st.proposal <- Some (value, qc)
     | Decide_share { value; share } ->
-      if rel = 3 && am_leader then begin
-        let msg =
-          Certificate.signed_message ~purpose:decide_purpose ~payload:(enc value)
-        in
-        if Pki.verify st.pki share ~msg then begin
-          let signer = Pki.Sig.signer share in
-          let m = st.decide_shares.(idx value) in
-          if not (Pid.Map.mem signer m) then
-            st.decide_shares.(idx value) <- Pid.Map.add signer share m
-        end
-      end
+      if rel = 3 && am_leader then
+        ignore
+          (Certificate.Tally.add st.decide_shares.(idx value) share
+            : Pki.Tally.verdict)
     | Decide { value; qc } ->
       if
         rel = 4
@@ -182,13 +174,8 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
     | 1 ->
       if Pid.equal st.pid st.leader then begin
         let pick value =
-          let m = st.input_shares.(idx value) in
-          if Pid.Map.cardinal m >= Config.small_quorum cfg then
-            Certificate.make st.pki ~k:(Config.small_quorum cfg)
-              ~purpose:propose_purpose ~payload:(enc value)
-              (List.map snd (Pid.Map.bindings m))
-            |> Option.map (fun qc -> (value, qc))
-          else None
+          Certificate.Tally.certificate st.input_shares.(idx value)
+          |> Option.map (fun qc -> (value, qc))
         in
         match (pick false, pick true) with
         | Some (v, qc), _ | None, Some (v, qc) ->
@@ -208,13 +195,8 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
     | 3 ->
       if Pid.equal st.pid st.leader then begin
         let pick value =
-          let m = st.decide_shares.(idx value) in
-          if Pid.Map.cardinal m >= n then
-            Certificate.make st.pki ~k:n ~purpose:decide_purpose
-              ~payload:(enc value)
-              (List.map snd (Pid.Map.bindings m))
-            |> Option.map (fun qc -> (value, qc))
-          else None
+          Certificate.Tally.certificate st.decide_shares.(idx value)
+          |> Option.map (fun qc -> (value, qc))
         in
         match (pick false, pick true) with
         | Some (v, qc), _ | None, Some (v, qc) ->
@@ -253,6 +235,17 @@ module Make (F : Fallback_intf.FALLBACK with type value = bool) = struct
       | _ -> ());
       out := step_fallback st ~slot @ !out;
       !out
+
+  (* Inbox-free actions: everyone's Input send at slot 0 and the adopt-or-
+     schedule-fallback branch at slot 4; afterwards the scheduled fallback
+     start and the live fallback's round boundaries. Slots 1–3 emit only
+     from state populated by same-slot ingestion, and [fb_rebroadcast] is
+     set and consumed within one step, so deliveries cover them. *)
+  let wake ~slot st =
+    let rel = slot - st.start_slot in
+    rel = 0 || rel = 4
+    || st.fb_sched = Some slot
+    || (match st.fb_state with Some fb -> F.wake ~slot fb | None -> false)
 
   let step ~slot ~inbox st =
     let rel = slot - st.start_slot in

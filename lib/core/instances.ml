@@ -158,6 +158,7 @@ module Fallback_protocol = struct
         Epk_str.init ~cfg ~pki ~secret ~pid ~input:params.inputs.(pid)
           ~start_slot:(params.start_slot pid) ~round_len:params.round_len;
       step = (fun ~slot ~inbox st -> Epk_str.step ~slot ~inbox st);
+      wake = Some (fun ~slot st -> Epk_str.wake ~slot st);
     }
 
   let decision = Epk_str.decision
@@ -219,6 +220,7 @@ module Weak_ba_protocol = struct
           ~pid ~input:params.inputs.(pid) ~validate:params.validate
           ~start_slot:0 ();
       step = (fun ~slot ~inbox st -> Weak_str.step ~slot ~inbox st);
+      wake = Some (fun ~slot st -> Weak_str.wake ~slot st);
     }
 
   let decision = Weak_str.decision
@@ -377,6 +379,7 @@ module Bb_protocol = struct
           ~input:(if pid = params.sender then Some params.input else None)
           ~start_slot:0;
       step = (fun ~slot ~inbox st -> Adaptive_bb.step ~slot ~inbox st);
+      wake = Some (fun ~slot st -> Adaptive_bb.wake ~slot st);
     }
 
   let decision = Adaptive_bb.decision
@@ -431,6 +434,7 @@ module Binary_bb_protocol = struct
           ~input:(if pid = params.sender then Some params.input else None)
           ~start_slot:0;
       step = (fun ~slot ~inbox st -> Binary_bb_bool.step ~slot ~inbox st);
+      wake = Some (fun ~slot st -> Binary_bb_bool.wake ~slot st);
     }
 
   let decision = Binary_bb_bool.decision
@@ -488,6 +492,7 @@ module Strong_ba_protocol = struct
         Strong_bool.init ~cfg ~pki ~secret ~pid ~leader:params.leader
           ~input:params.inputs.(pid) ~start_slot:0;
       step = (fun ~slot ~inbox st -> Strong_bool.step ~slot ~inbox st);
+      wake = Some (fun ~slot st -> Strong_bool.wake ~slot st);
     }
 
   let decision = Strong_bool.decision
@@ -517,7 +522,7 @@ end
 
 let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
     ?shuffle_seed ?(record_trace = false) ?monitors ?profile
-    ?(faults = Faults.none) ~params ~adversary () =
+    ?(faults = Faults.none) ?(scheduler = `Legacy) ~params ~adversary () =
   P.validate_params ~cfg ~params;
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
@@ -554,6 +559,7 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
               decided = Some P.decided_str;
               profile;
               faults;
+              scheduler;
             }
           ~words:P.words ~horizon ~protocol ~adversary ())
   in
@@ -604,41 +610,41 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
 (* ---- legacy entry points (thin wrappers over [run]) -------------------- *)
 
 let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
+    ?faults ?scheduler ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
   run
     (module Fallback_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
     ~params:{ Fallback_protocol.inputs; round_len; start_slot }
     ~adversary ()
 
 let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
+    ?faults ?scheduler ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
   run
     (module Weak_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
     ~params:{ Weak_ba_protocol.inputs; validate; quorum_override }
     ~adversary ()
 
 let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?(sender = 0) ~input ~adversary () =
+    ?faults ?scheduler ?(sender = 0) ~input ~adversary () =
   run
     (module Bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
     ~params:{ Bb_protocol.sender; input }
     ~adversary ()
 
 let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?(sender = 0) ~input ~adversary () =
+    ?faults ?scheduler ?(sender = 0) ~input ~adversary () =
   run
     (module Binary_bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
     ~params:{ Binary_bb_protocol.sender; input }
     ~adversary ()
 
 let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?(leader = 0) ~inputs ~adversary () =
+    ?faults ?scheduler ?(leader = 0) ~inputs ~adversary () =
   run
     (module Strong_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
     ~params:{ Strong_ba_protocol.leader; inputs }
     ~adversary ()

@@ -184,6 +184,7 @@ val run :
   ?monitors:'m Mewc_sim.Monitor.t list ->
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
   params:'p ->
   adversary:('s, 'm) Mewc_sim.Adversary.factory ->
   unit ->
@@ -217,6 +218,7 @@ val run_fallback :
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
   ?round_len:int ->
   ?start_slot:(Mewc_prelude.Pid.t -> int) ->
   inputs:string array ->
@@ -232,6 +234,7 @@ val run_weak_ba :
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
   ?validate:(string -> bool) ->
   ?quorum_override:int ->
   inputs:string array ->
@@ -247,6 +250,7 @@ val run_bb :
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
   ?sender:Mewc_prelude.Pid.t ->
   input:string ->
   adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
@@ -261,6 +265,7 @@ val run_binary_bb :
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
   ?sender:Mewc_prelude.Pid.t ->
   input:bool ->
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
@@ -275,6 +280,7 @@ val run_strong_ba :
   ?record_trace:bool ->
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
   ?leader:Mewc_prelude.Pid.t ->
   inputs:bool array ->
   adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->

@@ -120,6 +120,7 @@ let run ~cfg ?(seed = 1L) ~length ~propose ~adversary () =
       Process.init =
         init ~cfg ~pki ~secret:secrets.(pid) ~pid ~length ~propose:(propose pid);
       step = (fun ~slot ~inbox st -> step ~slot ~inbox st);
+      wake = None;
     }
   in
   let adversary = adversary ~pki ~secrets in

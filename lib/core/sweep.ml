@@ -29,30 +29,46 @@ let f_of_spec ~t = function
   | "t" -> t
   | s -> invalid_arg ("Sweep: unknown f spec " ^ s)
 
-let grid ~ns ~full_f_at =
-  List.concat_map
-    (fun n ->
-      List.concat_map
-        (fun protocol ->
-          let specs =
-            (* Beyond [full_f_at], only weak BA keeps its faulty points:
-               they drive the quadratic fallback — the crypto-cache hot
-               spot — while the other protocols' failure-free points
-               already show the O(n) scaling. This keeps a sequential
-               standard-grid pass in the tens of seconds. *)
-            if n <= full_f_at || String.equal protocol "weak-ba" then f_specs
-            else [ "0" ]
-          in
-          (* The standalone A_fallback is Θ(n²) words over Θ(t) rounds —
-             ~n³ work — so its largest point alone would dwarf the rest of
-             the grid; cap it at n = 201. *)
-          if String.equal protocol "fallback" && n > 201 then []
-          else List.map (fun f_spec -> { protocol; n; f_spec }) specs)
-        protocols)
-    ns
+(* The standalone A_fallback is Θ(n²) words over Θ(t) rounds — ~n³ work —
+   so its largest points would dwarf the rest of the grid. Under the legacy
+   lock-step engine the wall is n = 201; the event-driven scheduler steps
+   only woken processes, which buys one more doubling before the n³ message
+   volume itself dominates. *)
+let fallback_cap = function `Legacy -> 201 | `Event_driven -> 401
 
-let standard_grid = grid ~ns:[ 21; 101; 201; 401 ] ~full_f_at:21
-let smoke_grid = grid ~ns:[ 9; 13 ] ~full_f_at:13
+(* Returns (points, capped): the grid plus the points the fallback cap
+   dropped, so reports can say what was not measured instead of silently
+   truncating. *)
+let grid ~cap ~ns ~full_f_at =
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun protocol ->
+            let specs =
+              (* Beyond [full_f_at], only weak BA keeps its faulty points:
+                 they drive the quadratic fallback — the crypto-cache hot
+                 spot — while the other protocols' failure-free points
+                 already show the O(n) scaling. This keeps a sequential
+                 standard-grid pass in the tens of seconds. *)
+              if n <= full_f_at || String.equal protocol "weak-ba" then f_specs
+              else [ "0" ]
+            in
+            let dropped = String.equal protocol "fallback" && n > cap in
+            List.map (fun f_spec -> ({ protocol; n; f_spec }, dropped)) specs)
+          protocols)
+      ns
+  in
+  ( List.filter_map (fun (p, dropped) -> if dropped then None else Some p) cells,
+    List.filter_map (fun (p, dropped) -> if dropped then Some p else None) cells
+  )
+
+let standard_grid = fst (grid ~cap:201 ~ns:[ 21; 101; 201; 401 ] ~full_f_at:21)
+let smoke_grid = fst (grid ~cap:201 ~ns:[ 9; 13 ] ~full_f_at:13)
+let frontier_ns = [ 21; 101; 201; 401; 1001; 2001 ]
+
+let frontier_grid scheduler =
+  grid ~cap:(fallback_cap scheduler) ~ns:frontier_ns ~full_f_at:21
 
 (* Every point runs from its own seed, derived from nothing but the point:
    reruns — sequential, parallel, or out of order — replay bit for bit. *)
@@ -63,7 +79,7 @@ let seed_of { protocol; n; f_spec } =
 let crash_first f ~pki:_ ~secrets:_ =
   Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ()
 
-let run_point ?profile point =
+let run_point ?profile ?scheduler point =
   let cfg = Config.optimal ~n:point.n in
   let t = cfg.Config.t in
   let f = f_of_spec ~t point.f_spec in
@@ -87,14 +103,14 @@ let run_point ?profile point =
     of_outcome
       (Instances.run
          (module Instances.Bb_protocol)
-         ~cfg ~seed ?profile
+         ~cfg ~seed ?profile ?scheduler
          ~params:{ Instances.Bb_protocol.sender = 0; input = "payload" }
          ~adversary:(crash_first f) ())
   | "weak-ba" ->
     of_outcome
       (Instances.run
          (module Instances.Weak_ba_protocol)
-         ~cfg ~seed ?profile
+         ~cfg ~seed ?profile ?scheduler
          ~params:
            {
              Instances.Weak_ba_protocol.inputs = Array.make point.n "v";
@@ -106,7 +122,7 @@ let run_point ?profile point =
     of_outcome
       (Instances.run
          (module Instances.Strong_ba_protocol)
-         ~cfg ~seed ?profile
+         ~cfg ~seed ?profile ?scheduler
          ~params:
            {
              Instances.Strong_ba_protocol.leader = 0;
@@ -117,7 +133,7 @@ let run_point ?profile point =
     of_outcome
       (Instances.run
          (module Instances.Fallback_protocol)
-         ~cfg ~seed ?profile
+         ~cfg ~seed ?profile ?scheduler
          ~params:
            {
              Instances.Fallback_protocol.inputs =
@@ -128,13 +144,13 @@ let run_point ?profile point =
          ~adversary:(crash_first f) ())
   | p -> invalid_arg ("Sweep.run_point: unknown protocol " ^ p)
 
-let run_all ?(jobs = 1) ?profile points =
+let run_all ?(jobs = 1) ?profile ?scheduler points =
   (* A Profile.t is a plain mutable record — not domain-safe — so profiled
      passes must stay in the calling domain. *)
   if jobs > 1 && Option.is_some profile then
     invalid_arg "Sweep.run_all: profiling requires jobs = 1";
-  if jobs <= 1 then List.map (run_point ?profile) points
-  else Pool.map_list ~jobs (fun p -> run_point p) points
+  if jobs <= 1 then List.map (run_point ?profile ?scheduler) points
+  else Pool.map_list ~jobs (fun p -> run_point ?scheduler p) points
 
 let row_to_line r =
   Printf.sprintf
@@ -209,9 +225,11 @@ type report = {
   cores : int;
   speedup : float;
   identical : bool;
+  scheduler : Mewc_sim.Engine.scheduler;
+  capped : point list;
 }
 
-let run_perf ?jobs ?profile points =
+let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = []) points =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let timed f =
     let t0 = Unix.gettimeofday () in
@@ -220,8 +238,10 @@ let run_perf ?jobs ?profile points =
   in
   (* Only the sequential pass is profiled: spans would race across domains,
      and the parallel pass exists to time raw throughput anyway. *)
-  let seq_rows, sequential_s = timed (fun () -> run_all ~jobs:1 ?profile points) in
-  let par_rows, parallel_s = timed (fun () -> run_all ~jobs points) in
+  let seq_rows, sequential_s =
+    timed (fun () -> run_all ~jobs:1 ?profile ~scheduler points)
+  in
+  let par_rows, parallel_s = timed (fun () -> run_all ~jobs ~scheduler points) in
   let identical =
     List.equal String.equal (List.map row_to_line seq_rows)
       (List.map row_to_line par_rows)
@@ -234,6 +254,8 @@ let run_perf ?jobs ?profile points =
     cores = Pool.default_jobs ();
     speedup = (if parallel_s > 0.0 then sequential_s /. parallel_s else 1.0);
     identical;
+    scheduler;
+    capped;
   }
 
 (* Aggregate cache traffic per protocol: the per-protocol hit rate is the
@@ -271,6 +293,20 @@ let report_to_json r =
       ("parallel_wall_s", Jsonx.Float r.parallel_s);
       ("speedup", Jsonx.Float r.speedup);
       ("parallel_identical_to_sequential", Jsonx.Bool r.identical);
+      ("scheduler", Jsonx.Str (Mewc_sim.Engine.scheduler_to_string r.scheduler));
+      ( "capped_points",
+        (* What the fallback cap dropped — reported, never silently
+           truncated. *)
+        Jsonx.Arr
+          (List.map
+             (fun p ->
+               Jsonx.Obj
+                 [
+                   ("protocol", Jsonx.Str p.protocol);
+                   ("n", Jsonx.Int p.n);
+                   ("f_spec", Jsonx.Str p.f_spec);
+                 ])
+             r.capped) );
       ("crypto_cache_by_protocol", Jsonx.Obj (per_protocol_crypto r.rows));
       ("rows", Jsonx.Arr (List.map row_to_json r.rows));
     ]

@@ -48,13 +48,39 @@ val smoke_grid : point list
     big enough to cross the fallback threshold, small enough to gate every
     build. *)
 
-val run_point : ?profile:Mewc_sim.Profile.t -> point -> row
+val fallback_cap : Mewc_sim.Engine.scheduler -> int
+(** The largest n at which the standalone A_fallback is kept on a grid:
+    201 under the legacy lock-step engine, 401 under the event-driven
+    scheduler. Dropped points are returned by {!frontier_grid} (and
+    reported as [capped_points] in the mewc-perf/1 JSON) rather than
+    silently truncated. *)
+
+val frontier_ns : int list
+(** n ∈ \{21, 101, 201, 401, 1001, 2001\} — the words-vs-n frontier. *)
+
+val frontier_grid : Mewc_sim.Engine.scheduler -> point list * point list
+(** [(points, capped)] over {!frontier_ns}: the runnable frontier under the
+    given scheduler plus the standalone-fallback points its cap dropped.
+    Weak BA keeps all four f-specs at every n — at n = 2001 its f = t point
+    is the paper's adaptive showcase — while the other protocols run
+    failure-free beyond n = 21, as on {!standard_grid}. *)
+
+val run_point :
+  ?profile:Mewc_sim.Profile.t -> ?scheduler:Mewc_sim.Engine.scheduler -> point -> row
 (** Run one point (seed fixed by the point; crash-first adversary). With
     [profile], the run's engine phases, crypto hot paths and serialization
     are charged to the given profiler (see {!Instances.run}); rows are
-    unaffected — timing never leaks into the deterministic facts. *)
+    unaffected — timing never leaks into the deterministic facts. The
+    [scheduler] (default [`Legacy]) changes wall-clock only: rows are
+    byte-identical across schedulers (the engine-diff suite's invariant),
+    so sweeping event-driven against a legacy baseline is sound. *)
 
-val run_all : ?jobs:int -> ?profile:Mewc_sim.Profile.t -> point list -> row list
+val run_all :
+  ?jobs:int ->
+  ?profile:Mewc_sim.Profile.t ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
+  point list ->
+  row list
 (** All points, order-preserving. [jobs] > 1 fans the points across that
     many domains with {!Mewc_prelude.Pool}'s deterministic chunking;
     default 1 (sequential, no domains spawned). Raises [Invalid_argument]
@@ -79,16 +105,29 @@ type report = {
   cores : int;  (** [Pool.default_jobs ()] on this machine *)
   speedup : float;  (** sequential_s /. parallel_s *)
   identical : bool;  (** parallel rows ≡ sequential rows, byte for byte *)
+  scheduler : Mewc_sim.Engine.scheduler;  (** which engine ran the grid *)
+  capped : point list;
+      (** points the fallback cap dropped from the requested grid; [[]]
+          unless the caller passed them through *)
 }
 
-val run_perf : ?jobs:int -> ?profile:Mewc_sim.Profile.t -> point list -> report
+val run_perf :
+  ?jobs:int ->
+  ?profile:Mewc_sim.Profile.t ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?capped:point list ->
+  point list ->
+  report
 (** Runs the grid twice — sequentially, then with [jobs] domains (default
     {!Mewc_prelude.Pool.default_jobs}) — times both passes, and compares
     the row renderings byte for byte. [profile] instruments the
     {e sequential} pass only (profilers are not domain-safe); the parallel
-    pass always runs bare, so the speedup numbers stay honest. *)
+    pass always runs bare, so the speedup numbers stay honest. [capped]
+    (default empty) is carried verbatim into the report for the JSON's
+    [capped_points] member. *)
 
 val report_to_json : report -> Mewc_prelude.Jsonx.t
 (** Schema ["mewc-perf/1"]: machine facts (cores, jobs), both wall-clock
-    times, the speedup, the identity verdict, per-protocol crypto-cache
-    hit rates, and every row. *)
+    times, the speedup, the identity verdict, the scheduler, the points the
+    fallback cap excluded ([capped_points]), per-protocol crypto-cache hit
+    rates, and every row. *)

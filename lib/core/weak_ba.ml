@@ -69,8 +69,8 @@ struct
     mutable proposal : (V.t * bool) option;
         (* first leader-signed proposal this phase; bool = validate(v) *)
     mutable commit_answers : (int * V.t * Certificate.t) list;  (* leader *)
-    mutable votes : (V.t * Pid.Set.t * Pki.Sig.t list) list;  (* leader *)
-    mutable decide_shares : (V.t * Pid.Set.t * Pki.Sig.t list) list;  (* leader *)
+    mutable votes : (V.t * Certificate.Tally.t) list;  (* leader *)
+    mutable decide_shares : (V.t * Certificate.Tally.t) list;  (* leader *)
     mutable commit_recv : (V.t * int * Certificate.t) option;
         (* commit broadcast accepted this phase *)
   }
@@ -101,7 +101,7 @@ struct
     mutable commit_level : int;
     mutable initiated : bool;
     mutable sent_help : bool;
-    mutable help_sigs : Pki.Sig.t Pid.Map.t;
+    help_sigs : Certificate.Tally.t;
     mutable help_answers : (msg * Pid.t) list;  (* queued during ingestion *)
     mutable bu_decision : V.t;
     mutable bu_proof : (int * V.t * Certificate.t) option;
@@ -146,7 +146,9 @@ struct
       commit_level = 0;
       initiated = false;
       sent_help = false;
-      help_sigs = Pid.Map.empty;
+      help_sigs =
+        Certificate.Tally.create pki ~k:(Config.small_quorum cfg)
+          ~purpose:helpreq_purpose ~payload:"";
       help_answers = [];
       bu_decision = input;
       bu_proof = None;
@@ -221,24 +223,19 @@ struct
         && rel = base j + 2
         && Pid.equal st.pid (leader j cfg)
       then begin
-        let msg =
-          Certificate.signed_message ~purpose:commit_purpose
-            ~payload:(phased_payload j value)
+        let sc = scratch_of st j in
+        let tl =
+          match List.find_opt (fun (v, _) -> V.equal v value) sc.votes with
+          | Some (_, tl) -> tl
+          | None ->
+            let tl =
+              Certificate.Tally.create st.pki ~k:(quorum st)
+                ~purpose:commit_purpose ~payload:(phased_payload j value)
+            in
+            sc.votes <- (value, tl) :: sc.votes;
+            tl
         in
-        if Pki.verify st.pki share ~msg then begin
-          let sc = scratch_of st j in
-          let tbl = ref sc.votes in
-          let signer = Pki.Sig.signer share in
-          let key_eq (v, _, _) = V.equal v value in
-          (match List.find_opt key_eq !tbl with
-          | Some (v, signers, shares) ->
-            if not (Pid.Set.mem signer signers) then
-              tbl :=
-                (v, Pid.Set.add signer signers, share :: shares)
-                :: List.filter (fun e -> not (key_eq e)) !tbl
-          | None -> tbl := (value, Pid.Set.singleton signer, [ share ]) :: !tbl);
-          sc.votes <- !tbl
-        end
+        ignore (Certificate.Tally.add tl share : Pki.Tally.verdict)
       end
     | Commit_answer { phase = j; value; level; qc } ->
       if
@@ -272,24 +269,19 @@ struct
         && rel = base j + 4
         && Pid.equal st.pid (leader j cfg)
       then begin
-        let msg =
-          Certificate.signed_message ~purpose:finalize_purpose
-            ~payload:(phased_payload j value)
+        let sc = scratch_of st j in
+        let tl =
+          match List.find_opt (fun (v, _) -> V.equal v value) sc.decide_shares with
+          | Some (_, tl) -> tl
+          | None ->
+            let tl =
+              Certificate.Tally.create st.pki ~k:(quorum st)
+                ~purpose:finalize_purpose ~payload:(phased_payload j value)
+            in
+            sc.decide_shares <- (value, tl) :: sc.decide_shares;
+            tl
         in
-        if Pki.verify st.pki share ~msg then begin
-          let sc = scratch_of st j in
-          let tbl = ref sc.decide_shares in
-          let signer = Pki.Sig.signer share in
-          let key_eq (v, _, _) = V.equal v value in
-          (match List.find_opt key_eq !tbl with
-          | Some (v, signers, shares) ->
-            if not (Pid.Set.mem signer signers) then
-              tbl :=
-                (v, Pid.Set.add signer signers, share :: shares)
-                :: List.filter (fun e -> not (key_eq e)) !tbl
-          | None -> tbl := (value, Pid.Set.singleton signer, [ share ]) :: !tbl);
-          sc.decide_shares <- !tbl
-        end
+        ignore (Certificate.Tally.add tl share : Pki.Tally.verdict)
       end
     | Finalized { phase = j; value; qc } ->
       (* A valid finalize certificate is unique system-wide (Lemma 15), so
@@ -299,19 +291,16 @@ struct
       then decide_from_finalize st ~phase:j ~value ~qc
     | Help_req { sg } ->
       if rel = help_base cfg + 1 then begin
-        let msg =
-          Certificate.signed_message ~purpose:helpreq_purpose ~payload:""
-        in
-        if Pki.verify st.pki sg ~msg then begin
-          let signer = Pki.Sig.signer sg in
-          if not (Pid.Map.mem signer st.help_sigs) then
-            st.help_sigs <- Pid.Map.add signer sg st.help_sigs;
+        match Certificate.Tally.add st.help_sigs sg with
+        | Pki.Tally.Invalid -> ()
+        | Pki.Tally.Added | Pki.Tally.Duplicate -> (
+          (* Every valid request gets an answer, repeats included — only
+             the tally's signer count deduplicates. *)
           match (st.decision, st.decide_proof) with
           | Some (Value _), Some (j, v, qc) ->
             st.help_answers <-
               (Help { phase = j; value = v; qc }, src) :: st.help_answers
-          | _ -> ()
-        end
+          | _ -> ())
       end
     | Help { phase = j; value; qc } ->
       if
@@ -395,17 +384,12 @@ struct
           Process.broadcast ~n (Commit_bcast { phase = j; value = v; level; qc })
         | [] -> (
           let ready =
-            List.filter
-              (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
-              sc.votes
-            |> List.sort (fun (a, _, _) (b, _, _) -> V.compare a b)
+            List.filter (fun (_, tl) -> Certificate.Tally.complete tl) sc.votes
+            |> List.sort (fun (a, _) (b, _) -> V.compare a b)
           in
           match ready with
-          | (v, _, shares) :: _ -> (
-            match
-              Certificate.make st.pki ~k:(quorum st) ~purpose:commit_purpose
-                ~payload:(phased_payload j v) shares
-            with
+          | (v, tl) :: _ -> (
+            match Certificate.Tally.certificate tl with
             | Some qc ->
               Process.broadcast ~n
                 (Commit_bcast { phase = j; value = v; level = j; qc })
@@ -429,16 +413,13 @@ struct
       if am_leader then begin
         let ready =
           List.filter
-            (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
+            (fun (_, tl) -> Certificate.Tally.complete tl)
             sc.decide_shares
-          |> List.sort (fun (a, _, _) (b, _, _) -> V.compare a b)
+          |> List.sort (fun (a, _) (b, _) -> V.compare a b)
         in
         match ready with
-        | (v, _, shares) :: _ -> (
-          match
-            Certificate.make st.pki ~k:(quorum st) ~purpose:finalize_purpose
-              ~payload:(phased_payload j v) shares
-          with
+        | (v, tl) :: _ -> (
+          match Certificate.Tally.certificate tl with
           | Some qc ->
             Process.broadcast ~n (Finalized { phase = j; value = v; qc })
           | None -> [])
@@ -462,6 +443,32 @@ struct
       | _ -> ());
       List.map (fun (m, dst) -> (Fb m, dst)) sends
 
+  (* The event-driven wake timer. Below [help_base] the only inbox-free
+     action is the phase leader's proposal at offset 0 (offsets 1–4 emit
+     from scratch state populated strictly by same-slot ingestion, so a
+     delivery already wakes them). At and past [help_base]: the help
+     request (offset 0, undecided only), the backup-decision latch
+     (offset 2), the scheduled fallback start, and the live fallback's own
+     round boundaries. [fb_rebroadcast] and the help-answer queue are
+     set-and-consumed within a single step (their ingestion guards pin them
+     to the very slot that flushes them), so they never need a timer. *)
+  let wake ~slot st =
+    let cfg = st.cfg in
+    let rel = slot - st.start_slot in
+    if rel < 0 then false
+    else begin
+      let hb = help_base cfg in
+      if rel < hb then
+        rel mod 5 = 0
+        && Pid.equal st.pid (leader ((rel / 5) + 1) cfg)
+        && st.decision = None
+      else
+        (rel = hb && st.decision = None)
+        || rel = hb + 2
+        || st.fb_sched = Some slot
+        || (match st.fb_state with Some fb -> F.wake ~slot fb | None -> false)
+    end
+
   let step ~slot ~inbox st =
     let cfg = st.cfg in
     let rel = slot - st.start_slot in
@@ -484,15 +491,9 @@ struct
           if rel = hb + 1 then begin
             out := st.help_answers @ !out;
             st.help_answers <- [];
-            if
-              Pid.Map.cardinal st.help_sigs >= Config.small_quorum cfg
-              && st.fb_sched = None
+            if Certificate.Tally.complete st.help_sigs && st.fb_sched = None
             then begin
-              let shares = List.map snd (Pid.Map.bindings st.help_sigs) in
-              match
-                Certificate.make st.pki ~k:(Config.small_quorum cfg)
-                  ~purpose:helpreq_purpose ~payload:"" shares
-              with
+              match Certificate.Tally.certificate st.help_sigs with
               | Some qc ->
                 st.fb_sched <- Some (slot + 2);
                 out :=

@@ -127,6 +127,11 @@ module Make (V : Mewc_sim.Value.S) (F : Fallback_intf.FALLBACK with type value =
     state ->
     state * (msg * Mewc_prelude.Pid.t) list
 
+  val wake : slot:int -> state -> bool
+  (** The {!Mewc_sim.Process.t} wake timer: [true] exactly on the slots
+      where an empty-inbox step could still act (phase-leader proposals,
+      the help window, the scheduled or live fallback). *)
+
   val decision : state -> outcome option
   (** [None] until the process decides; decided values never change. *)
 

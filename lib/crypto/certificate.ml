@@ -18,6 +18,28 @@ let make pki ~k ~purpose ~payload shares =
   | None -> None
   | Some tsig -> Some { purpose; payload; tsig }
 
+module Tally = struct
+  type cert = t
+
+  type t = {
+    purpose : string;
+    payload : string;
+    tally : Pki.Tally.t;
+  }
+
+  let create pki ~k ~purpose ~payload =
+    { purpose; payload; tally = Pki.tally pki ~k ~msg:(signed_message ~purpose ~payload) }
+
+  let add tl share = Pki.Tally.add tl.tally share
+  let count tl = Pki.Tally.count tl.tally
+  let mem tl p = Pki.Tally.mem tl.tally p
+  let complete tl = Pki.Tally.complete tl.tally
+
+  let certificate tl : cert option =
+    Pki.Tally.certificate tl.tally
+    |> Option.map (fun tsig -> { purpose = tl.purpose; payload = tl.payload; tsig })
+end
+
 let verify pki c ~k =
   Pki.verify_tsig pki c.tsig ~k
     ~msg:(signed_message ~purpose:c.purpose ~payload:c.payload)

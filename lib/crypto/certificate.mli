@@ -24,6 +24,25 @@ val make :
 (** Batch [k] distinct valid shares into a certificate; [None] if the shares
     do not reach the threshold. *)
 
+(** A certificate-in-progress: {!Pki.Tally} specialized to a purpose/payload
+    pair. Shares are verified once, on delivery, and only signers are
+    retained — the incremental replacement for collecting shares and
+    re-verifying them all inside {!make}. *)
+module Tally : sig
+  type cert := t
+  type t
+
+  val create : Pki.t -> k:int -> purpose:string -> payload:string -> t
+  val add : t -> Pki.Sig.t -> Pki.Tally.verdict
+  val count : t -> int
+  val mem : t -> Mewc_prelude.Pid.t -> bool
+  val complete : t -> bool
+
+  val certificate : t -> cert option
+  (** [Some] iff {!complete}; byte-identical to the {!make} of the same
+      valid shares. *)
+end
+
 val verify : Pki.t -> t -> k:int -> bool
 (** [verify pki c ~k] checks the certificate carries at least [k] valid
     shares on its own purpose/payload. *)

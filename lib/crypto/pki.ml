@@ -126,7 +126,18 @@ let verify t (s : Sig.t) ~msg =
   && Sha256.equal s.Sig.tag (share_tag t s.Sig.signer msg)
 
 module Tsig = struct
-  type t = { signers : Pid.Set.t; tag : Sha256.t }
+  (* [ok_for] caches a (pki, msg) pair this tag has already been fully
+     checked against. MAC keys never rotate, so a verdict cannot go stale;
+     the pki witness (compared physically) keeps the shortcut from leaking
+     across distinct trusted setups. The cell rides the value itself, so a
+     broadcast certificate is re-verified once per run, not once per
+     receiver — and unlike the bounded memo tables it survives epoch
+     clears for free. *)
+  type nonrec t = {
+    signers : Pid.Set.t;
+    tag : Sha256.t;
+    mutable ok_for : (t * string) option;
+  }
 
   let cardinality ts = Pid.Set.cardinal ts.signers
   let equal a b = Pid.Set.equal a.signers b.signers && Sha256.equal a.tag b.tag
@@ -172,14 +183,72 @@ let combine t ~k ~msg shares =
     let signers =
       Pid.Set.elements valid |> List.filteri (fun i _ -> i < k) |> Pid.Set.of_list
     in
-    Some { Tsig.signers; tag = aggregate_tag t signers ~msg }
+    Some { Tsig.signers; tag = aggregate_tag t signers ~msg; ok_for = None }
   end
 
 let verify_tsig t (ts : Tsig.t) ~k ~msg =
   t.verifies <- t.verifies + 1;
   Pid.Set.cardinal ts.Tsig.signers >= k
-  && Pid.Set.for_all (Pid.is_valid ~n:t.n) ts.Tsig.signers
-  && Sha256.equal ts.Tsig.tag (aggregate_tag t ts.Tsig.signers ~msg)
+  && (* The cardinality check stays outside the shortcut: the same tag can
+        legitimately pass at one [k] and fail at a larger one. *)
+  match ts.Tsig.ok_for with
+  | Some (pki, m) when pki == t && String.equal m msg -> true
+  | _ ->
+    Pid.Set.for_all (Pid.is_valid ~n:t.n) ts.Tsig.signers
+    && Sha256.equal ts.Tsig.tag (aggregate_tag t ts.Tsig.signers ~msg)
+    && begin
+         ts.Tsig.ok_for <- Some (t, msg);
+         true
+       end
+
+(* Incremental quorum accounting: verify each share once, on delivery, and
+   keep a running signer set — instead of stockpiling shares and re-verifying
+   the whole batch inside {!combine} when the quorum finally lands. *)
+module Tally = struct
+  type verdict = Added | Duplicate | Invalid
+
+  type nonrec t = {
+    pki : t;
+    msg : string;
+    k : int;
+    mutable signers : Pid.Set.t;
+  }
+
+  let add tl (s : Sig.t) =
+    (* Verify before deduplicating: callers distinguish a valid repeat (a
+       correct process re-sending) from garbage, e.g. weak BA answers every
+       valid help request, duplicates included. *)
+    if not (verify tl.pki s ~msg:tl.msg) then Invalid
+    else begin
+      let p = Sig.signer s in
+      if Pid.Set.mem p tl.signers then Duplicate
+      else begin
+        tl.signers <- Pid.Set.add p tl.signers;
+        Added
+      end
+    end
+
+  let count tl = Pid.Set.cardinal tl.signers
+  let mem tl p = Pid.Set.mem p tl.signers
+  let complete tl = count tl >= tl.k
+
+  let certificate tl =
+    if not (complete tl) then None
+    else begin
+      let t = tl.pki in
+      t.combines <- t.combines + 1;
+      (* Keep exactly the k lowest signer ids — byte-identical to what
+         {!combine} would return for the same valid-signer set. *)
+      let signers =
+        Pid.Set.elements tl.signers
+        |> List.filteri (fun i _ -> i < tl.k)
+        |> Pid.Set.of_list
+      in
+      Some { Tsig.signers; tag = aggregate_tag t signers ~msg:tl.msg; ok_for = None }
+    end
+end
+
+let tally t ~k ~msg = { Tally.pki = t; msg; k; signers = Pid.Set.empty }
 
 let signatures_created t = t.signs
 let verifications_performed t = t.verifies

@@ -83,7 +83,46 @@ val combine : t -> k:int -> msg:string -> Sig.t list -> Tsig.t option
 
 val verify_tsig : t -> Tsig.t -> k:int -> msg:string -> bool
 (** Checks that the threshold signature is a valid batch of at least [k]
-    shares on [msg]. *)
+    shares on [msg]. A passing verdict is cached on the value itself (keys
+    never rotate, so it cannot go stale), so verifying a broadcast
+    certificate costs the hash work once per run rather than once per
+    receiver; the cardinality-vs-[k] check always runs. *)
+
+(** {1 Incremental quorum accounting}
+
+    A tally tracks one certificate-in-progress: each share is verified once,
+    when it is delivered, and only its signer is retained. This replaces the
+    stockpile-then-{!combine} pattern, whose cost per certificate was
+    re-verifying the whole share set — the dominant term at large [n]. *)
+
+module Tally : sig
+  type verdict =
+    | Added  (** valid share from a new signer — the count advanced *)
+    | Duplicate  (** valid share from an already-counted signer *)
+    | Invalid  (** verification failed; the tally is unchanged *)
+
+  type t
+
+  val add : t -> Sig.t -> verdict
+  (** Verify the share against the tally's message, then deduplicate by
+      signer. Verification comes first so callers can tell a valid repeat
+      from garbage. *)
+
+  val count : t -> int
+  (** Distinct valid signers accumulated so far. *)
+
+  val mem : t -> Mewc_prelude.Pid.t -> bool
+  val complete : t -> bool
+  (** [count tl >= k]. *)
+
+  val certificate : t -> Tsig.t option
+  (** [Some] iff {!complete}; the result is byte-identical to what
+      {!combine} would return for the same valid shares (the [k] lowest
+      signer ids are kept). Counted as a combine. *)
+end
+
+val tally : t -> k:int -> msg:string -> Tally.t
+(** A fresh empty tally for a [k]-of-[n] certificate on [msg]. *)
 
 (** {1 Operation counters} *)
 

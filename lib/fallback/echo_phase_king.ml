@@ -82,9 +82,9 @@ module Make (V : Value.S) = struct
     mutable king_locks : (int * V.t * Certificate.t) list;
     mutable king_input_qcs : (V.t * Certificate.t) list;
     mutable proposals : proposal list;
-    mutable votes : (V.t * Pid.Set.t * Pki.Sig.t list) list;
+    mutable votes : (V.t * Certificate.Tally.t) list;
     mutable commit_cert : (V.t * Certificate.t) option;
-    mutable acks : (V.t * Pid.Set.t * Pki.Sig.t list) list;
+    mutable acks : (V.t * Certificate.Tally.t) list;
   }
 
   let fresh_scratch () =
@@ -267,15 +267,29 @@ module Make (V : Value.S) = struct
         add_proposal st j { p with p_just_valid = validate_just st p }
     end
 
-  let tally table value signer share =
-    let key_eq (v, _, _) = V.equal v value in
+  (* Incremental per-value tally with the original move-to-front order: a
+     share that advances a count moves its value to the head; duplicates and
+     invalid shares leave the list untouched (and never create an entry). *)
+  let tally st j ~purpose table value share =
+    let key_eq (v, _) = V.equal v value in
     match List.find_opt key_eq !table with
-    | Some (v, signers, shares) ->
-      if not (Pid.Set.mem signer signers) then
-        table :=
-          (v, Pid.Set.add signer signers, share :: shares)
-          :: List.filter (fun e -> not (key_eq e)) !table
-    | None -> table := (value, Pid.Set.singleton signer, [ share ]) :: !table
+    | Some ((_, tl) as entry) ->
+      let verdict = Certificate.Tally.add tl share in
+      (match verdict with
+      | Pki.Tally.Added ->
+        table := entry :: List.filter (fun e -> not (key_eq e)) !table
+      | Pki.Tally.Duplicate | Pki.Tally.Invalid -> ());
+      verdict
+    | None ->
+      let tl =
+        Certificate.Tally.create st.pki ~k:(quorum st) ~purpose
+          ~payload:(phased_payload j value)
+      in
+      let verdict = Certificate.Tally.add tl share in
+      (match verdict with
+      | Pki.Tally.Added -> table := (value, tl) :: !table
+      | Pki.Tally.Duplicate | Pki.Tally.Invalid -> ());
+      verdict
 
   let ingest_round st r entries =
     let am_i_king j = Pid.equal st.pid (king j st.cfg) in
@@ -304,14 +318,12 @@ module Make (V : Value.S) = struct
         | Echo p -> if r = base p.p_phase + 2 then ingest_proposal st p.p_phase p
         | Vote { phase = j; value; share } ->
           if r = base j + 3 && am_i_king j then begin
-            let payload = phased_payload j value in
-            let msg = Certificate.signed_message ~purpose:commit_purpose ~payload in
-            if Pki.verify st.pki share ~msg then begin
-              let sc = scratch_of st j in
-              let tbl = ref sc.votes in
-              tally tbl value (Pki.Sig.signer share) share;
-              sc.votes <- !tbl
-            end
+            let sc = scratch_of st j in
+            let tbl = ref sc.votes in
+            ignore
+              (tally st j ~purpose:commit_purpose tbl value share
+                : Pki.Tally.verdict);
+            sc.votes <- !tbl
           end
         | Commit { phase = j; value; qc } ->
           if r = base j + 4 && j <= phases st.cfg && verify_commit_qc st ~level:j ~value qc
@@ -327,27 +339,23 @@ module Make (V : Value.S) = struct
                single correct acker is enough to re-lock all correct
                processes (the linchpin of cross-phase safety). *)
             relock st ~level:j ~value ~qc;
-            let payload = phased_payload j value in
-            let msg = Certificate.signed_message ~purpose:ack_purpose ~payload in
-            if Pki.verify st.pki share ~msg then begin
-              let sc = scratch_of st j in
-              let tbl = ref sc.acks in
-              tally tbl value (Pki.Sig.signer share) share;
-              sc.acks <- !tbl;
+            let sc = scratch_of st j in
+            let tbl = ref sc.acks in
+            let verdict = tally st j ~purpose:ack_purpose tbl value share in
+            sc.acks <- !tbl;
+            match verdict with
+            | Pki.Tally.Invalid -> ()
+            | Pki.Tally.Added | Pki.Tally.Duplicate -> (
               match
                 List.find_opt
-                  (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
+                  (fun (_, tl) -> Certificate.Tally.complete tl)
                   sc.acks
               with
-              | Some (v, _, shares) -> (
-                match
-                  Certificate.make st.pki ~k:(quorum st) ~purpose:ack_purpose
-                    ~payload:(phased_payload j v) shares
-                with
+              | Some (v, tl) -> (
+                match Certificate.Tally.certificate tl with
                 | Some dqc -> decide st ~phase:j ~value:v ~qc:dqc
                 | None -> ())
-              | None -> ()
-            end
+              | None -> ())
           end
         | Decided { phase = j; value; qc } ->
           if
@@ -472,17 +480,12 @@ module Make (V : Value.S) = struct
             if Pid.equal st.pid (king j st.cfg) then begin
               let sc = scratch_of st j in
               let ready =
-                List.filter
-                  (fun (_, signers, _) -> Pid.Set.cardinal signers >= quorum st)
-                  sc.votes
-                |> List.sort (fun (a, _, _) (b, _, _) -> V.compare a b)
+                List.filter (fun (_, tl) -> Certificate.Tally.complete tl) sc.votes
+                |> List.sort (fun (a, _) (b, _) -> V.compare a b)
               in
               match ready with
-              | (v, _, shares) :: _ -> (
-                match
-                  Certificate.make st.pki ~k:(quorum st) ~purpose:commit_purpose
-                    ~payload:(phased_payload j v) shares
-                with
+              | (v, tl) :: _ -> (
+                match Certificate.Tally.certificate tl with
                 | Some qc -> bc (Commit { phase = j; value = v; qc })
                 | None -> [])
               | [] -> []
@@ -531,4 +534,12 @@ module Make (V : Value.S) = struct
         (st, emit st r)
       end
     end
+
+  (* Everything between round boundaries is pure inbox buffering, so an
+     empty-inbox step there is a no-op; past the last round, even boundary
+     steps are no-ops. *)
+  let wake ~slot st =
+    slot >= st.start_slot
+    && (slot - st.start_slot) mod st.round_len = 0
+    && (slot - st.start_slot) / st.round_len < rounds st.cfg
 end

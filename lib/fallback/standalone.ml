@@ -16,8 +16,8 @@ module Make (V : Value.S) = struct
 
   let decision_of_state = P.decision
 
-  let run ~cfg ?(seed = 1L) ?(round_len = 1) ?(record_trace = false) ~inputs
-      ~adversary () =
+  let run ~cfg ?(seed = 1L) ?(round_len = 1) ?(record_trace = false)
+      ?(scheduler = `Legacy) ~inputs ~adversary () =
     let n = cfg.Config.n in
     if Array.length inputs <> n then
       invalid_arg "Standalone.run: need one input per process";
@@ -28,13 +28,14 @@ module Make (V : Value.S) = struct
           P.init ~cfg ~pki ~secret:secrets.(pid) ~pid ~input:inputs.(pid)
             ~start_slot:0 ~round_len;
         step = (fun ~slot ~inbox st -> P.step ~slot ~inbox st);
+        wake = Some (fun ~slot st -> P.wake ~slot st);
       }
     in
     let adversary = adversary ~pki ~secrets in
     let horizon = P.horizon cfg ~round_len in
     let res =
       Engine.run ~cfg
-        ~options:{ Engine.default_options with record_trace }
+        ~options:{ Engine.default_options with record_trace; scheduler }
         ~words:P.words ~horizon ~protocol ~adversary ()
     in
     {

@@ -10,6 +10,19 @@ type ('s, 'm) outcome = {
   slots : int;
 }
 
+type scheduler = [ `Legacy | `Event_driven ]
+
+let scheduler_to_string = function
+  | `Legacy -> "legacy"
+  | `Event_driven -> "event-driven"
+
+let scheduler_of_string = function
+  | "legacy" -> Ok `Legacy
+  | "event-driven" -> Ok `Event_driven
+  | s ->
+    Error
+      (Printf.sprintf "unknown scheduler %S (expected legacy or event-driven)" s)
+
 type ('s, 'm) options = {
   record_trace : bool;
   shuffle_seed : int64 option;
@@ -17,6 +30,7 @@ type ('s, 'm) options = {
   decided : ('s -> string option) option;
   profile : Profile.t option;
   faults : Faults.plan;
+  scheduler : scheduler;
 }
 
 let default_options =
@@ -27,11 +41,19 @@ let default_options =
     decided = None;
     profile = None;
     faults = Faults.none;
+    scheduler = `Legacy;
   }
 
-let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
-    () =
-  let { record_trace; shuffle_seed; monitors; decided; profile; faults } =
+let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
+  let {
+    record_trace;
+    shuffle_seed;
+    monitors;
+    decided;
+    profile;
+    faults;
+    scheduler = _;
+  } =
     options
   in
   (* Sections are per slot, not per message, so an unprofiled run pays one
@@ -276,3 +298,322 @@ let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     trace;
     slots = horizon;
   }
+
+(* The event-driven scheduler. Observationally equivalent to [run_legacy] —
+   same seed, same options, same fault plan ⇒ byte-identical traces, meter
+   series, decisions, and final states — but a slot's cost scales with the
+   processes that actually have something to do (a delivery, or an armed
+   [Process.wake] timer) instead of with [n]. The three load-bearing
+   identities:
+
+   - {e Delivery order and shuffle draws.} Only processes with pooled
+     messages are visited, in ascending pid order. The legacy dense pass
+     visits everyone in ascending pid order too, but shuffling an empty
+     inbox draws nothing from the RNG, so skipping empty pools replays the
+     exact shuffle stream. Pools are flat [Vec]s appended in post order;
+     reading them newest-first reproduces the legacy cons lists.
+
+   - {e Step order and event order.} Active processes step in ascending pid
+     order (one dense scan with a cheap activity test), so send ids, meter
+     charges, and trace events interleave exactly as under legacy. Skipped
+     steps are no-ops by the [Process.wake] contract, so their absence is
+     invisible to states and traces.
+
+   - {e Provenance.} [inbox_ids] is maintained as a persistent array that
+     is [[]] for every process without deliveries this slot — exactly what
+     the legacy dense rebuild yields — so [parents] of sends (including
+     byzantine sends and timer-driven sends) match byte for byte. *)
+let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
+  let {
+    record_trace;
+    shuffle_seed;
+    monitors;
+    decided;
+    profile;
+    faults;
+    scheduler = _;
+  } =
+    options
+  in
+  let timed category name f =
+    match profile with
+    | None -> f ()
+    | Some p -> Profile.span p ~category name f
+  in
+  let n = cfg.Config.n in
+  let shuffle_rng = Option.map Rng.create shuffle_seed in
+  let faults_rt =
+    if Faults.is_none faults then None else Some (Faults.start ~n faults)
+  in
+  let faulty_seen = Array.make n false in
+  let faulty_order = ref [] in
+  let machines = Array.init n protocol in
+  let states = Array.map (fun m -> m.Process.init) machines in
+  let corrupted = Array.make n false in
+  let corruption_order = ref [] in
+  let corruption_count = ref 0 in
+  let meter = Meter.create () in
+  let trace = Trace.create ~enabled:record_trace in
+  let observing = record_trace || monitors <> [] in
+  let emit ev =
+    Trace.record trace ev;
+    List.iter (fun m -> m.Monitor.on_event ev) monitors
+  in
+  let prev_decided = Array.make n None in
+  let next_id = ref 0 in
+  (* Flat per-process pools, appended in post order (oldest first) and
+     reused slot after slot; [Vec.to_rev_list] recovers the legacy
+     newest-first cons list. *)
+  let pools = Array.init n (fun _ -> Vec.create ()) in
+  (* The processes whose pool is nonempty — the only ones the next delivery
+     pass must visit. Collected unsorted with a flag for O(1) dedup, sorted
+     ascending at delivery time. *)
+  let dirty_flag = Array.make n false in
+  let dirty = Vec.create () in
+  let mark_dirty p =
+    if not dirty_flag.(p) then begin
+      dirty_flag.(p) <- true;
+      Vec.push dirty p
+    end
+  in
+  (* Persistent inbox arrays: entries are [[]] except for this slot's
+     delivered processes, and are reset at slot end. [post] reads
+     [inbox_ids.(src)] for every sender — including timer-woken and
+     byzantine ones, whose provenance must be empty exactly as under the
+     legacy dense rebuild. *)
+  let inboxes = Array.make n [] in
+  let inbox_ids = Array.make n [] in
+  let delayed = Hashtbl.create 8 in
+  let flush_delayed slot =
+    match Hashtbl.find_opt delayed slot with
+    | None -> ()
+    | Some entries ->
+      Hashtbl.remove delayed slot;
+      (* Oldest-first appends at the pool's end: reading newest-first then
+         yields flushed messages (newest first) ahead of the slot's punctual
+         ones — the legacy cons order. *)
+      List.iter
+        (fun (dst, entry) ->
+          Vec.push pools.(dst) entry;
+          mark_dirty dst)
+        (List.rev entries)
+  in
+  let is_down p =
+    match faults_rt with None -> false | Some rt -> Faults.is_down rt p
+  in
+  let order messages =
+    match shuffle_rng with
+    | None -> List.rev messages
+    | Some rng -> Rng.shuffle rng messages
+  in
+  let post ~slot ~src (msg, dst) =
+    if not (Pid.is_valid ~n dst) then
+      invalid_arg
+        (Printf.sprintf "Engine.run: p%d sent a message to unknown process %d"
+           src dst);
+    let envelope = { Envelope.src; dst; sent_at = slot; msg } in
+    let byzantine = corrupted.(src) in
+    let word_count = words msg in
+    let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
+    let id = !next_id in
+    incr next_id;
+    if observing then
+      emit
+        (Trace.Send
+           {
+             id;
+             envelope;
+             byzantine_sender = byzantine;
+             words = word_count;
+             charged;
+             parents = inbox_ids.(src);
+           });
+    match faults_rt with
+    | None ->
+      Vec.push pools.(dst) (id, envelope);
+      mark_dirty dst
+    | Some rt -> (
+      match Faults.fate rt ~slot ~src ~dst with
+      | None ->
+        Vec.push pools.(dst) (id, envelope);
+        mark_dirty dst
+      | Some fault ->
+        if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
+        (match fault with
+        | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
+        | Faults.Delayed k ->
+          let at = slot + 1 + k in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt delayed at) in
+          Hashtbl.replace delayed at ((dst, (id, envelope)) :: prev)
+        | Faults.Duplicated ->
+          Vec.push pools.(dst) (id, envelope);
+          Vec.push pools.(dst) (id, envelope);
+          mark_dirty dst))
+  in
+  let stepped = Vec.create () in
+  for slot = 0 to horizon - 1 do
+    Meter.begin_slot meter ~slot;
+    if observing then emit (Trace.Slot_start slot);
+    (match faults_rt with
+    | None -> ()
+    | Some rt ->
+      List.iter
+        (fun (pid, event) ->
+          if not faulty_seen.(pid) then begin
+            faulty_seen.(pid) <- true;
+            faulty_order := pid :: !faulty_order
+          end;
+          if observing then emit (Trace.Process_fault { slot; pid; event }))
+        (Faults.transitions rt ~slot);
+      flush_delayed slot);
+    let delivered =
+      timed Profile.Engine "engine.deliver" (fun () ->
+          let ds = Vec.sorted_ints dirty in
+          Vec.clear dirty;
+          Array.iter (fun p -> dirty_flag.(p) <- false) ds;
+          Array.iter
+            (fun p ->
+              (* Shuffle draws happen for every nonempty pool — even a down
+                 process's, whose inbox legacy blanks only after ordering
+                 it. *)
+              let pairs = order (Vec.to_rev_list pools.(p)) in
+              Vec.clear pools.(p);
+              if not (is_down p) then begin
+                inbox_ids.(p) <- List.map fst pairs;
+                inboxes.(p) <- List.map snd pairs
+              end)
+            ds;
+          ds)
+    in
+    let view outgoing =
+      {
+        Adversary.slot;
+        cfg;
+        states = lazy (Array.copy states);
+        corrupted = lazy (Array.copy corrupted);
+        inboxes = lazy (Array.copy inboxes);
+        correct_outgoing = outgoing;
+      }
+    in
+    (* 1. Adaptive corruption, before correct processes act this slot. *)
+    let new_corruptions =
+      timed Profile.Adversary "adversary.corrupt" (fun () ->
+          adversary.Adversary.corrupt (view []))
+    in
+    List.iter
+      (fun p ->
+        if not (Pid.is_valid ~n p) then
+          invalid_arg (Printf.sprintf "Engine.run: cannot corrupt unknown process %d" p);
+        if not corrupted.(p) then begin
+          if !corruption_count >= cfg.Config.t then
+            invalid_arg
+              (Printf.sprintf
+                 "Engine.run: adversary %s exceeded the corruption budget t=%d"
+                 adversary.Adversary.name cfg.Config.t);
+          corrupted.(p) <- true;
+          corruption_order := p :: !corruption_order;
+          incr corruption_count;
+          if observing then
+            emit (Trace.Corruption { slot; pid = p; f = !corruption_count })
+        end)
+      new_corruptions;
+    (* 2. Active correct processes step: a delivery or an armed wake timer.
+       The dense scan keeps the legacy ascending-pid step order; the skipped
+       processes' steps are no-ops by the [Process.wake] contract. *)
+    let correct_sends = ref [] in
+    Vec.clear stepped;
+    timed Profile.Machine "machine.step" (fun () ->
+        for p = 0 to n - 1 do
+          if (not corrupted.(p)) && not (is_down p) then begin
+            let active =
+              inboxes.(p) <> []
+              ||
+              match machines.(p).Process.wake with
+              | None -> true
+              | Some wake -> wake ~slot states.(p)
+            in
+            if active then begin
+              let state', sends =
+                machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
+              in
+              states.(p) <- state';
+              correct_sends := (p, sends) :: !correct_sends;
+              Vec.push stepped p
+            end
+          end
+        done);
+    (* 2b. Decision transitions. Slot 0 scans everyone (an init state may
+       already be decided); afterwards only stepped processes can have
+       transitioned, so the scan follows the stepped set — in the same
+       ascending pid order as the legacy dense scan. *)
+    (match decided with
+    | Some decided when observing ->
+      let scan p =
+        if not corrupted.(p) then begin
+          match (prev_decided.(p), decided states.(p)) with
+          | None, (Some value as d) ->
+            prev_decided.(p) <- d;
+            emit
+              (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
+          | Some v0, (Some value as d) when not (String.equal v0 value) ->
+            prev_decided.(p) <- d;
+            emit
+              (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
+          | _ -> ()
+        end
+      in
+      if slot = 0 then
+        for p = 0 to n - 1 do
+          scan p
+        done
+      else Vec.iter scan stepped
+    | _ -> ());
+    let correct_outgoing =
+      List.concat_map
+        (fun (src, sends) ->
+          List.map
+            (fun (msg, dst) -> { Envelope.src; dst; sent_at = slot; msg })
+            sends)
+        (List.rev !correct_sends)
+    in
+    (* 3. Byzantine processes step, seeing this slot's correct sends. *)
+    let byz_view = view correct_outgoing in
+    let byz_sends = ref [] in
+    timed Profile.Adversary "adversary.byz_step" (fun () ->
+        for p = 0 to n - 1 do
+          if corrupted.(p) then
+            byz_sends :=
+              (p, adversary.Adversary.byz_step ~pid:p byz_view) :: !byz_sends
+        done);
+    (* 4. Post everything. *)
+    timed Profile.Engine "engine.post" (fun () ->
+        List.iter
+          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (List.rev !correct_sends);
+        List.iter
+          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (List.rev !byz_sends));
+    (* Restore the all-empty inbox invariant for the next slot. *)
+    Array.iter
+      (fun p ->
+        inboxes.(p) <- [];
+        inbox_ids.(p) <- [])
+      delivered
+  done;
+  List.iter (fun m -> m.Monitor.on_finish ~slots:horizon) monitors;
+  {
+    states;
+    corrupted = List.rev !corruption_order;
+    f = !corruption_count;
+    faulty = List.rev !faulty_order;
+    meter;
+    trace;
+    slots = horizon;
+  }
+
+let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
+    () =
+  match options.scheduler with
+  | `Legacy -> run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary ()
+  | `Event_driven ->
+    run_event ~cfg ~options ~words ~horizon ~protocol ~adversary ()

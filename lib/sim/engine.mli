@@ -39,6 +39,27 @@ type ('s, 'm) outcome = {
   slots : int;
 }
 
+type scheduler = [ `Legacy | `Event_driven ]
+(** Which hot loop executes the run.
+
+    - [`Legacy] — the original dense loop: every process steps every slot,
+      every inbox is rebuilt every slot. O(n) work per slot even when the
+      protocol is quiescent. Kept verbatim as the oracle.
+    - [`Event_driven] — per-process pending-delivery pools; a slot only
+      visits processes that received something or whose {!Process.wake}
+      timer is armed.
+
+    The two are {e observationally equivalent}: same seed, same options,
+    same fault plan ⇒ byte-identical [mewc-trace/3] traces, decisions,
+    meter series, word counts, monitor verdicts, and final states. The
+    differential suite ([test_engine_diff]) enforces this across protocols,
+    fuzz scenarios, and chaos fault plans. *)
+
+val scheduler_to_string : scheduler -> string
+(** ["legacy"] / ["event-driven"]. *)
+
+val scheduler_of_string : string -> (scheduler, string) result
+
 type ('s, 'm) options = {
   record_trace : bool;  (** materialize the run's {!Trace.t} *)
   shuffle_seed : int64 option;
@@ -63,6 +84,8 @@ type ('s, 'm) options = {
           charged whether or not their delivery is then tampered with.
           Raises [Invalid_argument] from {!run} if the plan fails
           {!Faults.validate}. *)
+  scheduler : scheduler;
+      (** which hot loop runs the slots; [`Legacy] by default. *)
 }
 (** Observability knobs, gathered in one record so that adding a knob does
     not grow every caller's argument list. Start from {!default_options} and
@@ -70,7 +93,7 @@ type ('s, 'm) options = {
 
 val default_options : ('s, 'm) options
 (** No trace, in-order delivery, no monitors, no decision projection, no
-    faults. *)
+    faults, legacy scheduler. *)
 
 val run :
   cfg:Config.t ->

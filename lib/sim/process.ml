@@ -2,6 +2,7 @@ type ('s, 'm) t = {
   init : 's;
   step :
     slot:int -> inbox:'m Envelope.t list -> 's -> 's * ('m * Mewc_prelude.Pid.t) list;
+  wake : (slot:int -> 's -> bool) option;
 }
 
 let broadcast ~n msg = List.map (fun p -> (msg, p)) (Mewc_prelude.Pid.all ~n)
@@ -11,4 +12,9 @@ let broadcast_others ~n ~self msg =
     (fun p -> if p = self then None else Some (msg, p))
     (Mewc_prelude.Pid.all ~n)
 
-let silent init = { init; step = (fun ~slot:_ ~inbox:_ s -> (s, [])) }
+let silent init =
+  {
+    init;
+    step = (fun ~slot:_ ~inbox:_ s -> (s, []));
+    wake = Some (fun ~slot:_ _ -> false);
+  }

@@ -16,6 +16,21 @@ type ('s, 'm) t = {
           to send, as [(payload, destination)] pairs. The inbox holds
           everything delivered at the start of [slot] (i.e. sent during
           [slot - 1]), in arrival order. *)
+  wake : (slot:int -> 's -> bool) option;
+      (** The machine's timer: does it need to step at [slot] even with an
+          empty inbox? The event-driven scheduler skips a process exactly
+          when it has no deliveries and [wake] answers [false]; the contract
+          is that such a step would be a no-op — [step ~slot ~inbox:[] s]
+          sends nothing and leaves the state observationally unchanged (a
+          skipped step must never alter any future send, decision, or state
+          projection; internally inert bookkeeping such as materializing an
+          empty scratch table is tolerated). Answering
+          [true] too often is always safe (the process merely steps, as the
+          legacy scheduler makes it do every slot); answering [false] when
+          the step would have acted breaks scheduler equivalence. [None]
+          means "always step" — the conservative default that makes any
+          machine event-scheduler-correct. The legacy scheduler ignores this
+          field entirely. *)
 }
 
 val broadcast : n:int -> 'm -> ('m * Mewc_prelude.Pid.t) list
@@ -27,4 +42,6 @@ val broadcast_others : n:int -> self:Mewc_prelude.Pid.t -> 'm -> ('m * Mewc_prel
 (** Same, excluding the sender. *)
 
 val silent : 's -> ('s, 'm) t
-(** A machine that never sends anything (used for crashed processes). *)
+(** A machine that never sends anything (used for crashed processes). Its
+    [wake] is constantly [false]: the event-driven scheduler never steps
+    it. *)

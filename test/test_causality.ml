@@ -197,6 +197,7 @@ let flood_protocol ~n ~dup pid =
   ignore pid;
   {
     Process.init = { heard = 0; done_ = false };
+    wake = None;
     step =
       (fun ~slot ~inbox st ->
         let st =

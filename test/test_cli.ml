@@ -107,6 +107,57 @@ let test_fuzz_rejects_foreign_schema () =
       Alcotest.(check int) "foreign schema rejected" 124
         (run (Printf.sprintf "fuzz --replay %s" (Filename.quote tmp))))
 
+(* ---- --scheduler --------------------------------------------------------- *)
+
+let scheduler_cases =
+  [
+    check_code "run accepts legacy" 0 "run -p weak-ba -n 9 --scheduler legacy";
+    check_code "run accepts event-driven" 0
+      "run -p weak-ba -n 9 --scheduler event-driven";
+    (* the flag is validated in the command body, so an unknown value is a
+       misuse (1), not a cmdliner parse error (124) *)
+    check_code "run rejects unknown scheduler" 1
+      "run -p weak-ba -n 9 --scheduler nonesuch";
+    check_code "bench rejects unknown scheduler" 1
+      "bench --smoke --scheduler nonesuch";
+    check_code "bench accepts event-driven" 0
+      "bench --smoke --scheduler event-driven";
+    check_code "baselines reject event-driven" 1
+      "run -p dolev-strong -n 5 --scheduler event-driven";
+    check_code "bench --smoke --frontier is misuse" 1 "bench --smoke --frontier";
+  ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_scheduler_default_documented () =
+  (* --help must say what you get when the flag is absent. *)
+  List.iter
+    (fun cmd ->
+      let code, out = run_out (cmd ^ " --help") in
+      Alcotest.(check int) (cmd ^ " --help exits 0") 0 code;
+      Alcotest.(check bool) (cmd ^ " --help names --scheduler") true
+        (contains out "--scheduler");
+      Alcotest.(check bool) (cmd ^ " --help documents the default") true
+        (contains out "absent=legacy" || contains out "default"))
+    [ "run"; "bench" ]
+
+let test_scheduler_same_decisions () =
+  let strip_timing out =
+    (* `run` prints no wall-clock, so whole-output equality is fair game *)
+    out
+  in
+  let code_l, out_l = run_out "run -p weak-ba -n 9 -a crash -f 2 --scheduler legacy" in
+  let code_e, out_e =
+    run_out "run -p weak-ba -n 9 -a crash -f 2 --scheduler event-driven"
+  in
+  Alcotest.(check int) "legacy exit" 0 code_l;
+  Alcotest.(check int) "event exit" 0 code_e;
+  Alcotest.(check string) "identical output" (strip_timing out_l)
+    (strip_timing out_e)
+
 (* ---- trace cone / unsupported combinations ------------------------------ *)
 
 let trace_cases =
@@ -238,6 +289,14 @@ let () =
     [
       ("help", help_cases);
       ("parse errors", error_cases);
+      ( "scheduler flag",
+        scheduler_cases
+        @ [
+            Alcotest.test_case "--help documents the default" `Quick
+              test_scheduler_default_documented;
+            Alcotest.test_case "legacy and event-driven print identically"
+              `Quick test_scheduler_same_decisions;
+          ] );
       ( "trace surfaces",
         trace_cases
         @ [

@@ -270,6 +270,123 @@ let qcheck_sign_verify =
       let sg = Pki.sign pki secrets.(1) msg in
       Pki.verify pki sg ~msg)
 
+(* ---- incremental tallies -------------------------------------------------
+   Pki.Tally is the event-driven engine's incremental quorum counter: shares
+   tick in one delivery at a time instead of being re-verified as a batch.
+   The contract is that incrementality is invisible — after any delivery
+   prefix the tally agrees with a from-scratch recount, duplicates and junk
+   never move the count, and the certificate it emits is the very Tsig
+   `combine` would have built from the same shares. *)
+
+let qcheck_tally_prefix_equals_recount =
+  Test_util.qcheck_case
+    ~name:"tally after any delivery prefix == from-scratch recount"
+    QCheck2.Gen.(
+      pair (int_range 1 7) (list_size (int_range 0 30) (int_range 0 9)))
+    (fun (k, deliveries) ->
+      let pki, secrets = Pki.setup ~seed:11L ~n:10 () in
+      let tl = Pki.tally pki ~k ~msg:"m" in
+      let seen = ref [] in
+      List.for_all
+        (fun i ->
+          let sg =
+            (* index 9 stands in for a junk delivery: a genuine signature,
+               but over a different message. *)
+            if i = 9 then Pki.sign pki secrets.(0) "other"
+            else Pki.sign pki secrets.(i) "m"
+          in
+          (match Pki.Tally.add tl sg with
+          | Pki.Tally.Added -> seen := i :: !seen
+          | Pki.Tally.Duplicate | Pki.Tally.Invalid -> ());
+          let distinct = List.sort_uniq Int.compare !seen in
+          Pki.Tally.count tl = List.length distinct
+          && Pki.Tally.complete tl = (List.length distinct >= k)
+          &&
+          match Pki.Tally.certificate tl with
+          | None -> List.length distinct < k
+          | Some ts -> (
+            let sh = List.map (fun j -> Pki.sign pki secrets.(j) "m") distinct in
+            match Pki.combine pki ~k ~msg:"m" sh with
+            | None -> false
+            | Some ts' ->
+              Pki.Tsig.equal ts ts' && Pki.verify_tsig pki ts ~k ~msg:"m"))
+        deliveries)
+
+let qcheck_tally_duplicates_idempotent =
+  Test_util.qcheck_case
+    ~name:"duplicate and invalid deliveries never move a tally"
+    QCheck2.Gen.(list_size (int_range 1 15) (int_range 0 6))
+    (fun signers ->
+      let pki, secrets = Pki.setup ~seed:13L ~n:7 () in
+      let tl = Pki.tally pki ~k:3 ~msg:"m" in
+      List.for_all
+        (fun i ->
+          let sg = Pki.sign pki secrets.(i) "m" in
+          let first = Pki.Tally.add tl sg in
+          let count = Pki.Tally.count tl in
+          let again = Pki.Tally.add tl sg in
+          let bad = Pki.Tally.add tl (Pki.sign pki secrets.(i) "junk") in
+          (first = Pki.Tally.Added || first = Pki.Tally.Duplicate)
+          && again = Pki.Tally.Duplicate
+          && bad = Pki.Tally.Invalid
+          && Pki.Tally.count tl = count
+          && Pki.Tally.mem tl i)
+        signers)
+
+let qcheck_tally_epoch_clear_freshness =
+  (* A capacity-2 memo table epoch-clears constantly under stray traffic;
+     the tally's verdict stream and final certificate must not notice. *)
+  Test_util.qcheck_case
+    ~name:"capacity-2 epoch clears don't change tally verdicts"
+    QCheck2.Gen.(
+      list_size (int_range 0 25)
+        (pair (int_range 0 4) (string_size (int_range 0 3))))
+    (fun deliveries ->
+      let run cache_capacity =
+        let pki, secrets = Pki.setup ~seed:17L ?cache_capacity ~n:5 () in
+        let tl = Pki.tally pki ~k:2 ~msg:"m" in
+        let verdicts =
+          List.map
+            (fun (i, extra) ->
+              (* stray verification traffic evicts memo entries when the
+                 capacity is tiny *)
+              ignore (Pki.verify pki (Pki.sign pki secrets.(i) extra) ~msg:extra : bool);
+              let msg = if String.length extra mod 2 = 0 then "m" else extra in
+              Pki.Tally.add tl (Pki.sign pki secrets.(i) msg))
+            deliveries
+        in
+        (verdicts, Pki.Tally.certificate tl)
+      in
+      let va, ca = run (Some 2) in
+      let vb, cb = run None in
+      va = vb
+      &&
+      match (ca, cb) with
+      | None, None -> true
+      | Some a, Some b -> Pki.Tsig.equal a b
+      | _ -> false)
+
+let certificate_tally_matches_make () =
+  let pki, secrets = setup 7 in
+  let share i = Certificate.share pki secrets.(i) ~purpose:"test" ~payload:"42" in
+  let tl = Certificate.Tally.create pki ~k:3 ~purpose:"test" ~payload:"42" in
+  List.iter
+    (fun i -> ignore (Certificate.Tally.add tl (share i) : Pki.Tally.verdict))
+    [ 5; 0; 2 ];
+  Alcotest.(check int) "count" 3 (Certificate.Tally.count tl);
+  Alcotest.(check bool) "complete" true (Certificate.Tally.complete tl);
+  match
+    ( Certificate.Tally.certificate tl,
+      Certificate.make pki ~k:3 ~purpose:"test" ~payload:"42"
+        (List.map share [ 5; 0; 2 ]) )
+  with
+  | Some a, Some b ->
+    Alcotest.(check bool) "verify_as" true
+      (Certificate.verify_as pki a ~k:3 ~purpose:"test");
+    Alcotest.(check string) "payload" (Certificate.payload b) (Certificate.payload a);
+    Alcotest.(check int) "words" (Certificate.words b) (Certificate.words a)
+  | _ -> Alcotest.fail "tally or make failed"
+
 let qcheck_threshold_subsets =
   Test_util.qcheck_case ~name:"any k distinct valid shares combine"
     QCheck2.Gen.(list_size (int_range 1 10) int)
@@ -333,6 +450,14 @@ let () =
             threshold_invalid_shares_filtered;
           Alcotest.test_case "deterministic" `Quick threshold_deterministic;
           qcheck_threshold_subsets;
+        ] );
+      ( "tallies",
+        [
+          qcheck_tally_prefix_equals_recount;
+          qcheck_tally_duplicates_idempotent;
+          qcheck_tally_epoch_clear_freshness;
+          Alcotest.test_case "certificate tally == make" `Quick
+            certificate_tally_matches_make;
         ] );
       ( "certificates",
         [

@@ -28,6 +28,7 @@ let run ~n ~victims inputs =
         W.init ~cfg:c ~pki ~secret:secrets.(pid) ~pid ~input:(List.nth inputs pid)
           ~validate:(fun _ -> true) ~start_slot:0 ();
       step = (fun ~slot ~inbox st -> W.step ~slot ~inbox st);
+      wake = None;
     }
   in
   let res =
@@ -108,6 +109,7 @@ let standalone_unanimity () =
         D.init ~cfg:c ~pki ~secret:secrets.(pid) ~pid ~input:"u"
           ~start_slot:(pid mod 2) ~round_len:2;
       step = (fun ~slot ~inbox st -> D.step ~slot ~inbox st);
+      wake = None;
     }
   in
   let res =

@@ -1,0 +1,146 @@
+(* The differential gate behind the event-driven engine: for the same seed,
+   options and fault plan, the `Event_driven scheduler must be
+   observationally equivalent to the `Legacy lock-step loop — byte-identical
+   mewc-trace/3 traces, identical decisions, word/message counts and monitor
+   verdicts. Three batteries: the protocol zoo over a sweep-style grid, the
+   fuzzer's adversary scenarios, and the chaos fault-plan profiles. *)
+
+open Mewc_prelude
+open Mewc_sim
+open Mewc_core
+open Mewc_fuzz
+
+let cfg9 = Config.optimal ~n:9
+let cfg13 = Config.optimal ~n:13
+
+(* One run, reduced to a byte string. The trace carries every send/delivery/
+   decision (payloads rendered), so byte equality of fingerprints is the
+   paper-trail version of observational equivalence. *)
+let outcome_fingerprint (o : _ Instances.agreement_outcome) =
+  let b = Buffer.create 4096 in
+  let ids ps = String.concat "," (List.map string_of_int ps) in
+  Printf.ksprintf (Buffer.add_string b)
+    "f=%d words=%d messages=%d byz_words=%d signatures=%d slots=%d latency=%d \
+     fallback_runs=%d nonsilent=%d help=%d\n"
+    o.Instances.f o.Instances.words o.Instances.messages o.Instances.byz_words
+    o.Instances.signatures o.Instances.slots o.Instances.latency
+    o.Instances.fallback_runs o.Instances.nonsilent_phases
+    o.Instances.help_requests;
+  Printf.ksprintf (Buffer.add_string b) "corrupted=%s faulty=%s status=%s\n"
+    (ids o.Instances.corrupted) (ids o.Instances.faulty)
+    (match o.Instances.status with
+    | Instances.Decided -> "decided"
+    | Instances.Undecided ps -> "undecided:" ^ ids ps);
+  Array.iter
+    (fun d -> Buffer.add_char b (match d with Some _ -> '1' | None -> '0'))
+    o.Instances.decisions;
+  Buffer.add_char b '\n';
+  (match o.Instances.trace_json with
+  | Some j -> Buffer.add_string b (Jsonx.to_string j)
+  | None -> Buffer.add_string b "<no trace>");
+  Buffer.contents b
+
+(* A run either completes or a monitor fires; both outcomes must agree
+   across schedulers. *)
+let observe f =
+  match f () with
+  | o -> outcome_fingerprint o
+  | exception Monitor.Violation { monitor; slot; reason } ->
+    Printf.sprintf "violation monitor=%s slot=%d reason=%s" monitor slot reason
+
+let check_equiv name run =
+  let legacy = observe (fun () -> run `Legacy) in
+  let event = observe (fun () -> run `Event_driven) in
+  Alcotest.(check string) name legacy event
+
+(* ---- battery 1: the protocol zoo over a sweep-style grid --------------- *)
+
+let diff_grid_target (Campaign.Target { name; protocol; params; ablated = _ }) =
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun shuffle_seed ->
+              let adversary =
+                Adversary.const
+                  (Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ())
+              in
+              let label =
+                Printf.sprintf "%s n=%d f=%d shuffle=%s" name cfg.Config.n f
+                  (match shuffle_seed with
+                  | Some s -> Int64.to_string s
+                  | None -> "-")
+              in
+              check_equiv label (fun scheduler ->
+                  Instances.run protocol ~cfg ~seed:1L ?shuffle_seed
+                    ~record_trace:true ~scheduler ~params:(params cfg)
+                    ~adversary ()))
+            [ None; Some 42L ])
+        [ 0; 1; cfg.Config.t ])
+    [ cfg9; cfg13 ]
+
+let grid_cases () =
+  List.iter
+    (fun target ->
+      if not (Campaign.target_ablated target) then diff_grid_target target)
+    Campaign.zoo
+
+(* ---- battery 2: the fuzzer's adversary zoo ----------------------------- *)
+
+let diff_scenarios (Campaign.Target { name; protocol; params; ablated }) =
+  let cfg = cfg9 in
+  let rng = Rng.create 0xD1FFL in
+  for i = 0 to 5 do
+    let scenario = Scenario.generate ~cfg ~rng in
+    let label = Format.asprintf "%s scenario %d (%a)" name i Scenario.pp scenario in
+    check_equiv label (fun scheduler ->
+        let params = params cfg in
+        Instances.run protocol ~cfg ~seed:scenario.Scenario.seed
+          ?shuffle_seed:scenario.Scenario.shuffle ~record_trace:true ~scheduler
+          ~monitors:(Campaign.safety_monitors ~cfg ~ablated)
+          ~faults:(Compile.plan_of_scenario scenario)
+          ~params
+          ~adversary:(Compile.adversary protocol ~cfg ~params scenario)
+          ())
+  done
+
+let fuzz_cases () = List.iter diff_scenarios Campaign.zoo
+
+(* ---- battery 3: chaos-profile fault plans ------------------------------ *)
+
+let chaos_cases () =
+  List.iter
+    (fun target ->
+      if not (Campaign.target_ablated target) then begin
+        let (Campaign.Target { name; protocol; params; ablated = _ }) = target in
+        List.iter
+          (fun profile ->
+            List.iter
+              (fun level ->
+                let cfg = Degrade.cfg in
+                let plan = Degrade.plan_of ~profile ~level in
+                let label = Printf.sprintf "%s chaos %s@%d" name profile level in
+                check_equiv label (fun scheduler ->
+                    Instances.run protocol ~cfg
+                      ~seed:(Degrade.seed_of ~protocol:name ~profile ~level)
+                      ~record_trace:true ~scheduler ~faults:plan
+                      ~params:(params cfg)
+                      ~adversary:
+                        (Adversary.const (Adversary.crash ~victims:[] ()))
+                      ()))
+              [ 1; Degrade.levels - 1 ])
+          Degrade.profiles
+      end)
+    Campaign.zoo
+
+let () =
+  Alcotest.run "engine-diff"
+    [
+      ( "scheduler equivalence",
+        [
+          Alcotest.test_case "protocol zoo x sweep grid" `Quick grid_cases;
+          Alcotest.test_case "fuzzer adversary scenarios" `Quick fuzz_cases;
+          Alcotest.test_case "chaos fault plans" `Quick chaos_cases;
+        ] );
+    ]

@@ -179,6 +179,7 @@ let trace_shows_quiescence () =
         E.init ~cfg:c ~pki ~secret:secrets.(pid) ~pid ~input:"v" ~start_slot:0
           ~round_len:1;
       step = (fun ~slot ~inbox st -> E.step ~slot ~inbox st);
+      wake = None;
     }
   in
   let res =

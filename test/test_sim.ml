@@ -42,6 +42,7 @@ type ping_state = { got : int list }
 let ping_protocol pid =
   {
     Process.init = { got = [] };
+    wake = None;
     step =
       (fun ~slot ~inbox st ->
         let st =
@@ -68,6 +69,7 @@ let self_sends_free () =
   let protocol pid =
     {
       Process.init = 0;
+      wake = None;
       step =
         (fun ~slot ~inbox st ->
           let st = st + List.length inbox in
@@ -107,6 +109,7 @@ let rushing_adversary_sees_current_slot () =
   let protocol pid =
     {
       Process.init = ();
+      wake = None;
       step =
         (fun ~slot ~inbox:_ st ->
           if slot = 1 && pid = 0 then (st, [ ("secret", 2) ]) else (st, []));
@@ -136,6 +139,7 @@ let corrupted_stop_stepping () =
   let protocol pid =
     {
       Process.init = ();
+      wake = None;
       step =
         (fun ~slot:_ ~inbox:_ st ->
           steps.(pid) <- steps.(pid) + 1;
@@ -157,6 +161,7 @@ let byzantine_words_separate () =
     {
       Process.init = ();
       step = (fun ~slot ~inbox:_ st -> if slot = 0 then (st, [ ("m", 1) ]) else (st, []));
+      wake = None;
     }
   in
   let adversary =
@@ -179,6 +184,7 @@ let trace_records () =
     {
       Process.init = ();
       step = (fun ~slot ~inbox:_ st -> if slot = 0 then (st, [ ("m", 1) ]) else (st, []));
+      wake = None;
     }
   in
   let res =
@@ -205,6 +211,7 @@ let invalid_destination () =
     {
       Process.init = ();
       step = (fun ~slot ~inbox:_ st -> if slot = 0 then (st, [ ("m", 99) ]) else (st, []));
+      wake = None;
     }
   in
   Alcotest.check_raises "invalid dst"
@@ -324,6 +331,7 @@ let shuffle_deterministic () =
   let protocol pid =
     {
       Process.init = [];
+      wake = None;
       step =
         (fun ~slot ~inbox st ->
           let st = st @ List.map (fun e -> e.Envelope.src) inbox in
