@@ -1,6 +1,7 @@
 (* `dune exec bench/main.exe` regenerates every table and figure of the
    paper (see DESIGN.md §3 for the experiment index), runs the perf sweep
-   (sequential vs domain-parallel, BENCH_perf.json, schema mewc-perf/1) and
+   (sequential vs domain-parallel vs intra-run sharded, BENCH_perf.json,
+   schema mewc-perf/2) and
    then Bechamel wall-clock benchmarks — one Test.make per Table-1 row.
 
    Flags:
@@ -114,11 +115,18 @@ let write_observability () =
 
 let print_report (r : Sweep.report) =
   Printf.printf
-    "[PERF-SWEEP] %d points, %d cores, jobs=%d: sequential %.2fs, parallel \
-     %.2fs, speedup %.2fx, parallel %s sequential\n%!"
-    (List.length r.Sweep.rows) r.Sweep.cores r.Sweep.jobs r.Sweep.sequential_s
-    r.Sweep.parallel_s r.Sweep.speedup
-    (if r.Sweep.identical then "==" else "!=")
+    "[PERF-SWEEP] %d points, %d cores (%s), jobs=%d: sequential %.2fs, \
+     parallel %.2fs, speedup %.2fx, parallel %s sequential\n%!"
+    (List.length r.Sweep.rows) r.Sweep.cores r.Sweep.parallelism r.Sweep.jobs
+    r.Sweep.sequential_s r.Sweep.parallel_s r.Sweep.speedup
+    (if r.Sweep.identical then "==" else "!=");
+  List.iter
+    (fun (shards, wall) ->
+      Printf.printf "[PERF-SWEEP]   shards=%-2d %.2fs\n%!" shards wall)
+    r.Sweep.shard_wall_s;
+  if r.Sweep.shard_wall_s <> [] then
+    Printf.printf "[PERF-SWEEP]   sharded %s sequential\n%!"
+      (if r.Sweep.shards_identical then "==" else "!=")
 
 let run_perf ~jobs ~ledger ~rev ~date =
   let profile = Profile.create () in
@@ -130,9 +138,13 @@ let run_perf ~jobs ~ledger ~rev ~date =
   output_string oc (Mewc_prelude.Jsonx.to_string (Sweep.report_to_json report));
   output_char oc '\n';
   close_out oc;
-  Printf.printf "[PERF-SWEEP] wrote %s (schema mewc-perf/1)\n%!" path;
+  Printf.printf "[PERF-SWEEP] wrote %s (schema mewc-perf/2)\n%!" path;
   if not report.Sweep.identical then begin
     prerr_endline "[PERF-SWEEP] FATAL: parallel sweep diverged from sequential";
+    exit 1
+  end;
+  if not report.Sweep.shards_identical then begin
+    prerr_endline "[PERF-SWEEP] FATAL: sharded sweep diverged from sequential";
     exit 1
   end;
   match ledger with
@@ -152,14 +164,19 @@ let run_smoke ~jobs =
      to run on every build. A divergence between the parallel and
      sequential pass — or any monitor violation inside a run — fails it. *)
   let jobs = match jobs with Some j -> Some j | None -> Some 2 in
-  let report = Sweep.run_perf ?jobs Sweep.smoke_grid in
+  let report = Sweep.run_perf ?jobs ~shard_counts:[ 1; 2 ] Sweep.smoke_grid in
   print_report report;
   List.iter (fun r -> print_endline ("  " ^ Sweep.row_to_line r)) report.Sweep.rows;
   if not report.Sweep.identical then begin
     prerr_endline "[SMOKE] FATAL: parallel sweep diverged from sequential";
     exit 1
   end;
-  print_endline "[SMOKE] ok: parallel sweep byte-identical to sequential"
+  if not report.Sweep.shards_identical then begin
+    prerr_endline "[SMOKE] FATAL: sharded sweep diverged from sequential";
+    exit 1
+  end;
+  print_endline
+    "[SMOKE] ok: parallel and sharded sweeps byte-identical to sequential"
 
 let run_frontier_smoke ~jobs =
   (* The event-driven engine's CI gate. Rows are a pure function of the
@@ -170,10 +187,16 @@ let run_frontier_smoke ~jobs =
   let points, _capped = Sweep.frontier_grid `Event_driven in
   let points = List.filter (fun (p : Sweep.point) -> p.Sweep.n <= 101) points in
   let jobs = match jobs with Some j -> Some j | None -> Some 2 in
-  let report = Sweep.run_perf ?jobs ~scheduler:`Event_driven points in
+  let report =
+    Sweep.run_perf ?jobs ~scheduler:`Event_driven ~shard_counts:[ 1; 2 ] points
+  in
   print_report report;
   if not report.Sweep.identical then begin
     prerr_endline "[FRONTIER] FATAL: parallel sweep diverged from sequential";
+    exit 1
+  end;
+  if not report.Sweep.shards_identical then begin
+    prerr_endline "[FRONTIER] FATAL: sharded sweep diverged from sequential";
     exit 1
   end;
   let oracle = Sweep.run_all ~scheduler:`Legacy points in

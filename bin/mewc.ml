@@ -217,8 +217,11 @@ let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) 
 let decision_line p d = pr "  p%-3d decided %s\n" p d
 
 let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
-    delay_prob crash partition fault_seed scheduler =
+    delay_prob crash partition fault_seed scheduler shards =
   let scheduler = scheduler_of_flag scheduler in
+  if shards < 1 then die_misuse "--shards %d: need at least one shard" shards;
+  if profile_on && shards > 1 then
+    die_misuse "--profile requires --shards 1 (the profiler is not domain-safe)";
   let cfg = Config.optimal ~n in
   let t = cfg.Config.t in
   let f = min f t in
@@ -237,7 +240,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
       match protocol with
       | Bb ->
       let adv = bb_adversary ~cfg ~f ~input adversary in
-      let o = Instances.run_bb ~cfg ~seed ?profile ~scheduler ~faults ~input ~adversary:adv () in
+      let o = Instances.run_bb ~cfg ~seed ?profile ~scheduler ~shards ~faults ~input ~adversary:adv () in
       print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
@@ -253,7 +256,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Weak_ba ->
     let adv = wba_adversary ~cfg ~n ~t ~f adversary in
     let o =
-      Instances.run_weak_ba ~cfg ~seed ?profile ~scheduler ~faults
+      Instances.run_weak_ba ~cfg ~seed ?profile ~scheduler ~shards ~faults
         ~inputs:(Array.make n input) ~adversary:adv ()
     in
     print_outcome ~show:true ~trace
@@ -271,7 +274,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Strong_ba ->
     let adv = sba_adversary ~cfg ~n ~f adversary in
     let o =
-      Instances.run_strong_ba ~cfg ~seed ?profile ~scheduler ~faults
+      Instances.run_strong_ba ~cfg ~seed ?profile ~scheduler ~shards ~faults
         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
         ~adversary:adv ()
     in
@@ -289,7 +292,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Fallback ->
     let adv = epk_adversary ~cfg ~f ~input adversary in
     let o =
-      Instances.run_fallback ~cfg ~seed ?profile ~scheduler ~faults
+      Instances.run_fallback ~cfg ~seed ?profile ~scheduler ~shards ~faults
         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
         ~adversary:adv ()
     in
@@ -308,6 +311,8 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
     if scheduler <> `Legacy then
       die_misuse
         "--scheduler event-driven is only available for the paper's protocols";
+    if shards > 1 then
+      die_misuse "--shards is only available for the paper's protocols";
     if not (Faults.is_none faults) then
       die_misuse "fault injection is only available for the paper's protocols";
     let adv =
@@ -331,6 +336,8 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
     if scheduler <> `Legacy then
       die_misuse
         "--scheduler event-driven is only available for the paper's protocols";
+    if shards > 1 then
+      die_misuse "--shards is only available for the paper's protocols";
     if not (Faults.is_none faults) then
       die_misuse "fault injection is only available for the paper's protocols";
     let adv =
@@ -479,12 +486,23 @@ let select_grid ~smoke ~frontier ~scheduler =
   else if smoke then (Sweep.smoke_grid, [], "smoke")
   else (Sweep.standard_grid, [], "standard")
 
-let bench_cmd jobs smoke frontier scheduler output =
+(* --shards N sweeps the powers of two up to N (plus N itself when it is
+   not one): one intra-run sharded pass per count, each gated byte-for-byte
+   against the sequential rows. *)
+let shard_counts_upto n =
+  let rec doubling acc s = if s > n then acc else doubling (s :: acc) (2 * s) in
+  let counts = doubling [] 1 in
+  List.rev (if List.mem n counts then counts else n :: counts)
+
+let bench_cmd jobs smoke frontier scheduler shards output =
   let scheduler = scheduler_of_flag scheduler in
+  if shards < 1 then die_misuse "--shards %d: need at least one shard" shards;
   let grid, capped, grid_name = select_grid ~smoke ~frontier ~scheduler in
-  let report = Sweep.run_perf ?jobs ~scheduler ~capped grid in
+  let shard_counts = shard_counts_upto shards in
+  let report = Sweep.run_perf ?jobs ~scheduler ~capped ~shard_counts grid in
   pr
     "mewc bench: %d points (%s grid, %s engine), %d cores, jobs=%d\n\
+    \  parallelism   %s\n\
     \  sequential    %.2fs\n\
     \  parallel      %.2fs\n\
     \  speedup       %.2fx\n\
@@ -492,9 +510,15 @@ let bench_cmd jobs smoke frontier scheduler output =
     (List.length report.Sweep.rows)
     grid_name
     (Engine.scheduler_to_string scheduler)
-    report.Sweep.cores report.Sweep.jobs report.Sweep.sequential_s
+    report.Sweep.cores report.Sweep.jobs report.Sweep.parallelism
+    report.Sweep.sequential_s
     report.Sweep.parallel_s report.Sweep.speedup
     (if report.Sweep.identical then "==" else "!= (BUG)");
+  List.iter
+    (fun (shards, wall) -> pr "  shards=%-2d     %.2fs\n" shards wall)
+    report.Sweep.shard_wall_s;
+  pr "  sharded output %s sequential output\n"
+    (if report.Sweep.shards_identical then "==" else "!= (BUG)");
   (match report.Sweep.capped with
   | [] -> ()
   | capped ->
@@ -509,8 +533,8 @@ let bench_cmd jobs smoke frontier scheduler output =
     output_string oc (Jsonx.to_string (Sweep.report_to_json report));
     output_char oc '\n';
     close_out oc;
-    pr "wrote %s (schema mewc-perf/1)\n" path);
-  if not report.Sweep.identical then exit 1
+    pr "wrote %s (schema mewc-perf/2)\n" path);
+  if not (report.Sweep.identical && report.Sweep.shards_identical) then exit 1
 
 (* ---- `perf`: the regression ledger -------------------------------------- *)
 
@@ -530,9 +554,14 @@ let entry_label (e : Ledger.entry) = Printf.sprintf "%s@%s" e.Ledger.rev e.Ledge
 let perf_sweep ~smoke ~frontier ~scheduler ~jobs =
   let grid, capped, grid_name = select_grid ~smoke ~frontier ~scheduler in
   let profile = Profile.create () in
-  let report = Sweep.run_perf ?jobs ~profile ~scheduler ~capped grid in
+  (* The smoke grid keeps its shard passes cheap; the real grids record the
+     full doubling curve the ledger exists to track. *)
+  let shard_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let report = Sweep.run_perf ?jobs ~profile ~scheduler ~capped ~shard_counts grid in
   if not report.Sweep.identical then
     die_misuse "perf: parallel sweep diverged from sequential (BUG)";
+  if not report.Sweep.shards_identical then
+    die_misuse "perf: sharded sweep diverged from sequential (BUG)";
   (report, profile, grid_name)
 
 let perf_append ledger rev date smoke frontier scheduler jobs =
@@ -554,7 +583,8 @@ let perf_list ledger =
   else begin
     let table =
       Ascii_table.create ~title:ledger
-        ~headers:[ "#"; "rev"; "date"; "grid"; "rows"; "seq s"; "par s"; "speedup" ]
+        ~headers:
+          [ "#"; "rev"; "date"; "grid"; "rows"; "seq s"; "par s"; "speedup"; "parallelism" ]
     in
     List.iteri
       (fun i (e : Ledger.entry) ->
@@ -568,6 +598,7 @@ let perf_list ledger =
             Printf.sprintf "%.2f" e.Ledger.sequential_s;
             Printf.sprintf "%.2f" e.Ledger.parallel_s;
             Printf.sprintf "%.2f" e.Ledger.speedup;
+            e.Ledger.parallelism;
           ])
       entries;
     Ascii_table.print table
@@ -655,6 +686,58 @@ let perf_smoke ledger =
   pr "mewc perf: smoke ok — %d rows appended, round-tripped byte-identically, \
       self-diff is zero\n"
     (List.length report.Sweep.rows)
+
+(* ---- frontier CSV: measured words vs the literature's curves ------------- *)
+
+(* One CSV row per ledger-entry row, with the related-work reference curves
+   computed alongside the measurement so the words-vs-n frontier plots
+   straight out of the file:
+   - paper_bound_n_f1: the source paper's adaptive O(n(f+1)) upper shape;
+   - civit_adaptive_n_tf: Civit et al.'s adaptive word complexity O(n + t*f)
+     (Strong Byzantine Agreement with Adaptive Word Complexity);
+   - king_saia_nsqrtn_log2n: King-Saia's O~(sqrt n) bits per processor,
+     totalled as n*sqrt(n)*log2(n) words.
+   Shapes, not constants: each column is the bound's leading term with
+   constant 1, for slope comparison on log-log axes. *)
+let frontier_csv_of_rows rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "protocol,n,t,f_spec,f,words,messages,signatures,paper_bound_n_f1,\
+     civit_adaptive_n_tf,king_saia_nsqrtn_log2n\n";
+  List.iter
+    (fun (r : Sweep.row) ->
+      let n = float_of_int r.Sweep.point.Sweep.n in
+      let king_saia = n *. sqrt n *. (log n /. log 2.0) in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%.1f\n"
+           r.Sweep.point.Sweep.protocol r.Sweep.point.Sweep.n r.Sweep.t
+           r.Sweep.point.Sweep.f_spec r.Sweep.f r.Sweep.words r.Sweep.messages
+           r.Sweep.signatures
+           (r.Sweep.point.Sweep.n * (r.Sweep.f + 1))
+           (r.Sweep.point.Sweep.n + (r.Sweep.t * r.Sweep.f))
+           king_saia))
+    rows;
+  Buffer.contents b
+
+let perf_frontier_csv ledger selector output =
+  let entries = load_ledger ledger in
+  let entry =
+    match Ledger.find entries selector with
+    | Ok e -> e
+    | Error e -> die_misuse "perf: %s" e
+  in
+  let csv = frontier_csv_of_rows entry.Ledger.rows in
+  match output with
+  | None -> print_string csv
+  | Some path -> (
+    match open_out path with
+    | exception Sys_error e -> die_misuse "cannot write %s: %s" path e
+    | oc ->
+      output_string oc csv;
+      close_out oc;
+      pr "wrote %s (%d rows from ledger entry %s)\n" path
+        (List.length entry.Ledger.rows)
+        (entry_label entry))
 
 (* ---- fuzz --------------------------------------------------------------- *)
 
@@ -810,7 +893,7 @@ let chaos_cmd jobs smoke cell output =
   match cell with
   | Some spec ->
     let protocol, profile, level = parse_cell spec in
-    let c = Degrade.run_cell ~protocol ~profile ~level in
+    let c = Degrade.run_cell ~protocol ~profile ~level () in
     pr "mewc chaos: %s/%s/L%d seed=%Ld -> %s\n" protocol profile level
       c.Degrade.seed
       (Format.asprintf "%a" Monitor.pp_classification c.Degrade.verdict);
@@ -893,6 +976,16 @@ let scheduler_arg =
            (only processes with pending deliveries or an armed timer step \
            — byte-identical outputs, much faster at large n).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard each run's step phase across $(docv) domains (default 1 = \
+           fully sequential). Observationally invisible: any shard count \
+           yields byte-identical traces, decisions and meters; only \
+           wall-clock changes. Incompatible with $(b,--profile).")
+
 let run_term =
   let trace =
     Arg.(
@@ -955,7 +1048,7 @@ let run_term =
   Term.(
     const run_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
     $ input_arg $ trace $ profile $ drop $ dup $ delay $ delay_prob $ crash
-    $ partition $ fault_seed $ scheduler_arg)
+    $ partition $ fault_seed $ scheduler_arg $ shards_arg)
 
 let trace_term =
   let format =
@@ -1026,9 +1119,20 @@ let bench_term =
       value
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE"
-          ~doc:"Write the mewc-perf/1 JSON report to FILE.")
+          ~doc:"Write the mewc-perf/2 JSON report to FILE.")
   in
-  Term.(const bench_cmd $ jobs $ smoke $ frontier $ scheduler_arg $ output)
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Top of the intra-run shard curve: one timed pass per power of \
+             two up to $(docv) (plus $(docv) itself), each checked \
+             byte-identical to the sequential rows. $(b,--shards 1) skips \
+             the curve beyond the baseline pass.")
+  in
+  Term.(
+    const bench_cmd $ jobs $ smoke $ frontier $ scheduler_arg $ shards $ output)
 
 let fuzz_term =
   let target =
@@ -1222,6 +1326,25 @@ let perf_cmd =
       const perf_diff $ ledger_arg $ threshold $ json_out $ against $ smoke_arg
       $ scheduler_arg $ jobs_arg $ sel_a $ sel_b)
   in
+  let frontier_csv_term =
+    let selector =
+      Arg.(
+        value
+        & pos 0 string "-1"
+        & info [] ~docv:"ENTRY"
+            ~doc:
+              "Ledger entry to dump: index (negative counts from the end; \
+               default $(b,-1), the latest) or unique rev prefix.")
+    in
+    let output =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "o"; "output" ] ~docv:"FILE"
+            ~doc:"Write the CSV to FILE instead of stdout.")
+    in
+    Term.(const perf_frontier_csv $ ledger_arg $ selector $ output)
+  in
   let smoke_term =
     let scratch_ledger =
       Arg.(
@@ -1261,6 +1384,14 @@ let perf_cmd =
               and require a byte-identical round-trip and a zero-delta \
               self-diff.")
         smoke_term;
+      Cmd.v
+        (Cmd.info "frontier-csv"
+           ~doc:
+             "Dump one ledger entry's words-vs-n rows as CSV, with the \
+              literature's reference curves — the paper's O(n(f+1)) bound, \
+              Civit et al.'s adaptive O(n + tf), King-Saia's \
+              O~(sqrt n)-bits-per-processor total — as computed columns.")
+        frontier_csv_term;
     ]
 
 let cmd =
@@ -1284,10 +1415,12 @@ let cmd =
       Cmd.v
         (Cmd.info "bench"
            ~doc:
-             "Run the (protocol, n, f) perf sweep sequentially and \
-              domain-parallel, report wall-clock, speedup and crypto-cache \
-              hit rates (mewc-perf/1), and verify the parallel output is \
-              byte-identical to the sequential one.")
+             "Run the (protocol, n, f) perf sweep sequentially, \
+              domain-parallel across points, and intra-run sharded at each \
+              shard count up to --shards; report wall-clocks, speedup and \
+              crypto-cache hit rates (mewc-perf/2), and verify every \
+              parallel and sharded output is byte-identical to the \
+              sequential one.")
         bench_term;
       Cmd.v
         (Cmd.info "fuzz"

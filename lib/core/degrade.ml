@@ -139,14 +139,14 @@ let classified run =
   in
   (verdict, f, faulty, undecided, words, slots)
 
-let run_cell ~protocol ~profile ~level =
+let run_cell ?shards ~protocol ~profile ~level () =
   let plan = plan_of ~profile ~level in
   let seed = seed_of ~protocol ~profile ~level in
   let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) (params : p) =
     classified (fun () ->
         Instances.run
           (module P)
-          ~cfg ~seed ~record_trace:true
+          ~cfg ~seed ~record_trace:true ?shards
           ~monitors:(safety_monitors ())
           ~faults:plan ~params ~adversary:(honest ()) ())
   in
@@ -217,10 +217,10 @@ let grid =
 
 let run_all ?(jobs = 1) () =
   if jobs <= 1 then
-    List.map (fun (protocol, profile, level) -> run_cell ~protocol ~profile ~level) grid
+    List.map (fun (protocol, profile, level) -> run_cell ~protocol ~profile ~level ()) grid
   else
     Pool.map_list ~jobs
-      (fun (protocol, profile, level) -> run_cell ~protocol ~profile ~level)
+      (fun (protocol, profile, level) -> run_cell ~protocol ~profile ~level ())
       grid
 
 (* ---- reporting ---------------------------------------------------------- *)
@@ -387,7 +387,7 @@ let smoke ?jobs () =
      planted cell lives outside the grid (ablated protocol, bespoke fault
      profile), so it is run here and appended to the returned matrix. *)
   let p, pr, l = planted_unsafe in
-  let planted_cell = run_cell ~protocol:p ~profile:pr ~level:l in
+  let planted_cell = run_cell ~protocol:p ~profile:pr ~level:l () in
   let* () =
     match planted_cell.verdict with
     | Monitor.Unsafe _ -> Ok ()

@@ -67,9 +67,12 @@ type cell = {
 
 val seed_of : protocol:string -> profile:string -> level:int -> int64
 
-val run_cell : protocol:string -> profile:string -> level:int -> cell
-(** One grid cell, reproducible from its arguments alone. Raises
-    [Invalid_argument] on an unknown protocol/profile/level. *)
+val run_cell :
+  ?shards:int -> protocol:string -> profile:string -> level:int -> unit -> cell
+(** One grid cell, reproducible from its arguments alone; the cell is
+    invariant under [shards] (default 1, see
+    {!Mewc_sim.Engine.options.shards}). Raises [Invalid_argument] on an
+    unknown protocol/profile/level. *)
 
 val grid : (string * string * int) list
 (** All (protocol, profile, level) cells, row-major in the orders above. *)

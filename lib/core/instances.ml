@@ -522,7 +522,8 @@ end
 
 let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
     ?shuffle_seed ?(record_trace = false) ?monitors ?profile
-    ?(faults = Faults.none) ?(scheduler = `Legacy) ~params ~adversary () =
+    ?(faults = Faults.none) ?(scheduler = `Legacy) ?(shards = 1) ~params
+    ~adversary () =
   P.validate_params ~cfg ~params;
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
@@ -560,6 +561,7 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
               profile;
               faults;
               scheduler;
+              shards;
             }
           ~words:P.words ~horizon ~protocol ~adversary ())
   in
@@ -610,41 +612,43 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
 (* ---- legacy entry points (thin wrappers over [run]) -------------------- *)
 
 let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?(round_len = 1) ?(start_slot = fun _ -> 0) ~inputs ~adversary () =
+    ?faults ?scheduler ?shards ?(round_len = 1) ?(start_slot = fun _ -> 0)
+    ~inputs ~adversary () =
   run
     (module Fallback_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
     ~params:{ Fallback_protocol.inputs; round_len; start_slot }
     ~adversary ()
 
 let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?(validate = fun _ -> true) ?quorum_override ~inputs ~adversary () =
+    ?faults ?scheduler ?shards ?(validate = fun _ -> true) ?quorum_override
+    ~inputs ~adversary () =
   run
     (module Weak_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
     ~params:{ Weak_ba_protocol.inputs; validate; quorum_override }
     ~adversary ()
 
 let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?(sender = 0) ~input ~adversary () =
+    ?faults ?scheduler ?shards ?(sender = 0) ~input ~adversary () =
   run
     (module Bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
     ~params:{ Bb_protocol.sender; input }
     ~adversary ()
 
 let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?(sender = 0) ~input ~adversary () =
+    ?faults ?scheduler ?shards ?(sender = 0) ~input ~adversary () =
   run
     (module Binary_bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
     ~params:{ Binary_bb_protocol.sender; input }
     ~adversary ()
 
 let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?(leader = 0) ~inputs ~adversary () =
+    ?faults ?scheduler ?shards ?(leader = 0) ~inputs ~adversary () =
   run
     (module Strong_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler
+    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
     ~params:{ Strong_ba_protocol.leader; inputs }
     ~adversary ()

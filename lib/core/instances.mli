@@ -185,6 +185,7 @@ val run :
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   params:'p ->
   adversary:('s, 'm) Mewc_sim.Adversary.factory ->
   unit ->
@@ -202,7 +203,13 @@ val run :
     (corruption budget, agreement, metering), since neither the liveness
     envelopes nor the word bounds — calibrated against the realized f on a
     reliable network — are promised off the reliable model. Read stalls
-    off [status] instead. *)
+    off [status] instead.
+
+    [shards] (default 1) is threaded to {!Mewc_sim.Engine.options.shards}:
+    the run's step phase is sharded across that many domains, with
+    byte-identical observable results — only [crypto] (the cache hit/miss
+    split) may legitimately differ across shard counts, which is why it is
+    excluded from equivalence fingerprints. *)
 
 (** {2 Legacy entry points}
 
@@ -219,6 +226,7 @@ val run_fallback :
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   ?round_len:int ->
   ?start_slot:(Mewc_prelude.Pid.t -> int) ->
   inputs:string array ->
@@ -235,6 +243,7 @@ val run_weak_ba :
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   ?validate:(string -> bool) ->
   ?quorum_override:int ->
   inputs:string array ->
@@ -251,6 +260,7 @@ val run_bb :
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   ?sender:Mewc_prelude.Pid.t ->
   input:string ->
   adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
@@ -266,6 +276,7 @@ val run_binary_bb :
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   ?sender:Mewc_prelude.Pid.t ->
   input:bool ->
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
@@ -281,6 +292,7 @@ val run_strong_ba :
   ?profile:Mewc_sim.Profile.t ->
   ?faults:Mewc_sim.Faults.plan ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   ?leader:Mewc_prelude.Pid.t ->
   inputs:bool array ->
   adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->

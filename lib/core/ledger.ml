@@ -11,6 +11,8 @@ type entry = {
   sequential_s : float;
   parallel_s : float;
   speedup : float;
+  shards : (int * float) list;
+  parallelism : string;
   rollup : (string * float) list;
   rows : Sweep.row list;
 }
@@ -25,6 +27,8 @@ let of_report ~rev ~date ~grid ?profile (r : Sweep.report) =
     sequential_s = r.Sweep.sequential_s;
     parallel_s = r.Sweep.parallel_s;
     speedup = r.Sweep.speedup;
+    shards = r.Sweep.shard_wall_s;
+    parallelism = r.Sweep.parallelism;
     rollup =
       (match profile with
       | None -> []
@@ -46,6 +50,14 @@ let entry_to_json e =
       ("sequential_wall_s", Jsonx.Float e.sequential_s);
       ("parallel_wall_s", Jsonx.Float e.parallel_s);
       ("speedup", Jsonx.Float e.speedup);
+      ( "shards",
+        Jsonx.Arr
+          (List.map
+             (fun (shards, wall) ->
+               Jsonx.Obj
+                 [ ("shards", Jsonx.Int shards); ("wall_s", Jsonx.Float wall) ])
+             e.shards) );
+      ("parallelism", Jsonx.Str e.parallelism);
       ( "rollup",
         Jsonx.Obj (List.map (fun (c, s) -> (c, Jsonx.Float s)) e.rollup) );
       ("rows", Jsonx.Arr (List.map Sweep.row_to_json e.rows));
@@ -72,6 +84,30 @@ let entry_of_json j =
   let* sequential_s = field "sequential_wall_s" get_float in
   let* parallel_s = field "parallel_wall_s" get_float in
   let* speedup = field "speedup" get_float in
+  (* Both shard-era fields are optional so pre-shard ledger files (same
+     mewc-ledger/1 schema) keep parsing. *)
+  let* shards =
+    match Jsonx.member "shards" j with
+    | None -> Ok []
+    | Some (Jsonx.Arr cells) ->
+      List.fold_left
+        (fun acc cell ->
+          let* acc = acc in
+          match
+            ( Option.bind (Jsonx.member "shards" cell) Jsonx.get_int,
+              Option.bind (Jsonx.member "wall_s" cell) get_float )
+          with
+          | Some s, Some w -> Ok ((s, w) :: acc)
+          | _ -> Error "Ledger.entry_of_json: bad shards cell")
+        (Ok []) cells
+      |> Result.map List.rev
+    | Some _ -> Error "Ledger.entry_of_json: shards is not an array"
+  in
+  let parallelism =
+    Option.value
+      (Option.bind (Jsonx.member "parallelism" j) Jsonx.get_str)
+      ~default:"unknown"
+  in
   let* rollup =
     match Jsonx.member "rollup" j with
     | Some (Jsonx.Obj fields) ->
@@ -98,7 +134,21 @@ let entry_of_json j =
         (Ok []) rs
       |> Result.map List.rev
   in
-  Ok { rev; date; grid; jobs; cores; sequential_s; parallel_s; speedup; rollup; rows }
+  Ok
+    {
+      rev;
+      date;
+      grid;
+      jobs;
+      cores;
+      sequential_s;
+      parallel_s;
+      speedup;
+      shards;
+      parallelism;
+      rollup;
+      rows;
+    }
 
 let to_json entries =
   Jsonx.Schema.tag schema [ ("entries", Jsonx.Arr (List.map entry_to_json entries)) ]

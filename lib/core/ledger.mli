@@ -27,6 +27,14 @@ type entry = {
   sequential_s : float;
   parallel_s : float;
   speedup : float;
+  shards : (int * float) list;
+      (** per-shard-count wall clocks of the intra-run sharding passes
+          ({!Sweep.report.shard_wall_s}); [[]] in pre-shard entries, which
+          keep parsing unchanged *)
+  parallelism : string;
+      (** the report's parallelism note — ["degraded (1 core)"] flags
+          speedup quotients recorded on single-core hardware as noise;
+          ["unknown"] in pre-shard entries *)
   rollup : (string * float) list;
       (** profiler category -> self seconds; [[]] when the run was not
           profiled *)

@@ -79,7 +79,7 @@ let seed_of { protocol; n; f_spec } =
 let crash_first f ~pki:_ ~secrets:_ =
   Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ()
 
-let run_point ?profile ?scheduler point =
+let run_point ?profile ?scheduler ?shards point =
   let cfg = Config.optimal ~n:point.n in
   let t = cfg.Config.t in
   let f = f_of_spec ~t point.f_spec in
@@ -103,14 +103,14 @@ let run_point ?profile ?scheduler point =
     of_outcome
       (Instances.run
          (module Instances.Bb_protocol)
-         ~cfg ~seed ?profile ?scheduler
+         ~cfg ~seed ?profile ?scheduler ?shards
          ~params:{ Instances.Bb_protocol.sender = 0; input = "payload" }
          ~adversary:(crash_first f) ())
   | "weak-ba" ->
     of_outcome
       (Instances.run
          (module Instances.Weak_ba_protocol)
-         ~cfg ~seed ?profile ?scheduler
+         ~cfg ~seed ?profile ?scheduler ?shards
          ~params:
            {
              Instances.Weak_ba_protocol.inputs = Array.make point.n "v";
@@ -122,7 +122,7 @@ let run_point ?profile ?scheduler point =
     of_outcome
       (Instances.run
          (module Instances.Strong_ba_protocol)
-         ~cfg ~seed ?profile ?scheduler
+         ~cfg ~seed ?profile ?scheduler ?shards
          ~params:
            {
              Instances.Strong_ba_protocol.leader = 0;
@@ -133,7 +133,7 @@ let run_point ?profile ?scheduler point =
     of_outcome
       (Instances.run
          (module Instances.Fallback_protocol)
-         ~cfg ~seed ?profile ?scheduler
+         ~cfg ~seed ?profile ?scheduler ?shards
          ~params:
            {
              Instances.Fallback_protocol.inputs =
@@ -144,13 +144,13 @@ let run_point ?profile ?scheduler point =
          ~adversary:(crash_first f) ())
   | p -> invalid_arg ("Sweep.run_point: unknown protocol " ^ p)
 
-let run_all ?(jobs = 1) ?profile ?scheduler points =
+let run_all ?(jobs = 1) ?profile ?scheduler ?shards points =
   (* A Profile.t is a plain mutable record — not domain-safe — so profiled
      passes must stay in the calling domain. *)
   if jobs > 1 && Option.is_some profile then
     invalid_arg "Sweep.run_all: profiling requires jobs = 1";
-  if jobs <= 1 then List.map (run_point ?profile ?scheduler) points
-  else Pool.map_list ~jobs (fun p -> run_point ?scheduler p) points
+  if jobs <= 1 then List.map (run_point ?profile ?scheduler ?shards) points
+  else Pool.map_list ~jobs (fun p -> run_point ?scheduler ?shards p) points
 
 let row_to_line r =
   Printf.sprintf
@@ -160,6 +160,17 @@ let row_to_line r =
     r.signatures r.latency r.slots r.fallback_runs r.crypto.Mewc_crypto.Pki.verify_hits
     r.crypto.Mewc_crypto.Pki.verify_misses r.crypto.Mewc_crypto.Pki.agg_hits
     r.crypto.Mewc_crypto.Pki.agg_misses
+
+(* [row_to_line] minus the crypto-cache counters. Sharded runs keep one
+   memo table per domain, so the hit/miss *split* legitimately varies with
+   the shard count while every protocol-observable field — signature counts
+   included — must not; shard-identity gates compare this line. *)
+let row_core_line r =
+  Printf.sprintf
+    "%s n=%d t=%d f_spec=%s f=%d words=%d messages=%d signatures=%d latency=%d \
+     slots=%d fallback_runs=%d"
+    r.point.protocol r.point.n r.t r.point.f_spec r.f r.words r.messages
+    r.signatures r.latency r.slots r.fallback_runs
 
 let row_to_json r =
   Jsonx.Obj
@@ -227,9 +238,17 @@ type report = {
   identical : bool;
   scheduler : Mewc_sim.Engine.scheduler;
   capped : point list;
+  shard_wall_s : (int * float) list;
+  shards_identical : bool;
+  parallelism : string;
 }
 
-let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = []) points =
+let parallelism_note ~cores =
+  if cores = 1 then "degraded (1 core)"
+  else Printf.sprintf "ok (%d cores)" cores
+
+let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = [])
+    ?(shard_counts = [ 1; 2; 4; 8 ]) points =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let timed f =
     let t0 = Unix.gettimeofday () in
@@ -246,16 +265,35 @@ let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = []) points =
     List.equal String.equal (List.map row_to_line seq_rows)
       (List.map row_to_line par_rows)
   in
+  (* The intra-run shard passes: one sequential-across-points pass per
+     shard count, each timed, each checked byte-identical to the
+     sequential baseline on the core row line (crypto-cache splits are
+     per-domain and excluded by design). *)
+  let seq_core = List.map row_core_line seq_rows in
+  let shard_results =
+    List.map
+      (fun shards ->
+        let rows, wall =
+          timed (fun () -> run_all ~jobs:1 ~scheduler ~shards points)
+        in
+        let same = List.equal String.equal seq_core (List.map row_core_line rows) in
+        ((shards, wall), same))
+      shard_counts
+  in
+  let cores = Pool.default_jobs () in
   {
     rows = seq_rows;
     sequential_s;
     parallel_s;
     jobs;
-    cores = Pool.default_jobs ();
+    cores;
     speedup = (if parallel_s > 0.0 then sequential_s /. parallel_s else 1.0);
     identical;
     scheduler;
     capped;
+    shard_wall_s = List.map fst shard_results;
+    shards_identical = List.for_all snd shard_results;
+    parallelism = parallelism_note ~cores;
   }
 
 (* Aggregate cache traffic per protocol: the per-protocol hit rate is the
@@ -281,18 +319,29 @@ let per_protocol_crypto rows =
     protocols
 
 let report_to_json r =
-  Jsonx.Schema.tag "mewc-perf/1"
+  Jsonx.Schema.tag "mewc-perf/2"
     [
       ( "experiment",
         Jsonx.Str
-          "sweep wall-clock: sequential vs domain-parallel, with crypto-cache \
-           hit rates" );
+          "sweep wall-clock: sequential vs domain-parallel across points and \
+           across intra-run shard counts, with crypto-cache hit rates" );
       ("cores", Jsonx.Int r.cores);
       ("jobs", Jsonx.Int r.jobs);
+      (* The honest story up front: a 1-core host cannot speed anything up,
+         whatever the speedup quotient's noise says. *)
+      ("parallelism", Jsonx.Str r.parallelism);
       ("sequential_wall_s", Jsonx.Float r.sequential_s);
       ("parallel_wall_s", Jsonx.Float r.parallel_s);
       ("speedup", Jsonx.Float r.speedup);
       ("parallel_identical_to_sequential", Jsonx.Bool r.identical);
+      ( "shards",
+        Jsonx.Arr
+          (List.map
+             (fun (shards, wall) ->
+               Jsonx.Obj
+                 [ ("shards", Jsonx.Int shards); ("wall_s", Jsonx.Float wall) ])
+             r.shard_wall_s) );
+      ("shards_identical_to_sequential", Jsonx.Bool r.shards_identical);
       ("scheduler", Jsonx.Str (Mewc_sim.Engine.scheduler_to_string r.scheduler));
       ( "capped_points",
         (* What the fallback cap dropped — reported, never silently

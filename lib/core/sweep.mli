@@ -52,7 +52,7 @@ val fallback_cap : Mewc_sim.Engine.scheduler -> int
 (** The largest n at which the standalone A_fallback is kept on a grid:
     201 under the legacy lock-step engine, 401 under the event-driven
     scheduler. Dropped points are returned by {!frontier_grid} (and
-    reported as [capped_points] in the mewc-perf/1 JSON) rather than
+    reported as [capped_points] in the mewc-perf/2 JSON) rather than
     silently truncated. *)
 
 val frontier_ns : int list
@@ -66,19 +66,27 @@ val frontier_grid : Mewc_sim.Engine.scheduler -> point list * point list
     failure-free beyond n = 21, as on {!standard_grid}. *)
 
 val run_point :
-  ?profile:Mewc_sim.Profile.t -> ?scheduler:Mewc_sim.Engine.scheduler -> point -> row
+  ?profile:Mewc_sim.Profile.t ->
+  ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
+  point ->
+  row
 (** Run one point (seed fixed by the point; crash-first adversary). With
     [profile], the run's engine phases, crypto hot paths and serialization
     are charged to the given profiler (see {!Instances.run}); rows are
     unaffected — timing never leaks into the deterministic facts. The
     [scheduler] (default [`Legacy]) changes wall-clock only: rows are
     byte-identical across schedulers (the engine-diff suite's invariant),
-    so sweeping event-driven against a legacy baseline is sound. *)
+    so sweeping event-driven against a legacy baseline is sound. [shards]
+    (default 1) shards the run itself across domains
+    ({!Mewc_sim.Engine.options.shards}); every row field except the
+    crypto-cache split is invariant under it. *)
 
 val run_all :
   ?jobs:int ->
   ?profile:Mewc_sim.Profile.t ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
+  ?shards:int ->
   point list ->
   row list
 (** All points, order-preserving. [jobs] > 1 fans the points across that
@@ -91,6 +99,12 @@ val row_to_json : row -> Mewc_prelude.Jsonx.t
 val row_to_line : row -> string
 (** Canonical one-line rendering; the parallel-equals-sequential checks
     compare these byte for byte. *)
+
+val row_core_line : row -> string
+(** {!row_to_line} minus the crypto-cache counters. Shard-identity gates
+    compare this line: sharded runs keep one memo table per domain, so the
+    cache hit/miss {e split} legitimately varies with the shard count
+    while every protocol-observable field must not. *)
 
 val row_of_json : Mewc_prelude.Jsonx.t -> (row, string) result
 (** Inverse of {!row_to_json} (the derived hit-rate fields are ignored).
@@ -109,6 +123,15 @@ type report = {
   capped : point list;
       (** points the fallback cap dropped from the requested grid; [[]]
           unless the caller passed them through *)
+  shard_wall_s : (int * float) list;
+      (** wall clock of one sequential-across-points pass per shard count
+          (the intra-run sharding curve); shard count 1 is the baseline *)
+  shards_identical : bool;
+      (** every shard pass's {!row_core_line}s ≡ the sequential pass's *)
+  parallelism : string;
+      (** ["degraded (1 core)"] when the host offers a single core —
+          speedup quotients are then noise, not measurements — otherwise
+          ["ok (N cores)"] *)
 }
 
 val run_perf :
@@ -116,18 +139,23 @@ val run_perf :
   ?profile:Mewc_sim.Profile.t ->
   ?scheduler:Mewc_sim.Engine.scheduler ->
   ?capped:point list ->
+  ?shard_counts:int list ->
   point list ->
   report
-(** Runs the grid twice — sequentially, then with [jobs] domains (default
-    {!Mewc_prelude.Pool.default_jobs}) — times both passes, and compares
-    the row renderings byte for byte. [profile] instruments the
-    {e sequential} pass only (profilers are not domain-safe); the parallel
-    pass always runs bare, so the speedup numbers stay honest. [capped]
-    (default empty) is carried verbatim into the report for the JSON's
-    [capped_points] member. *)
+(** Runs the grid sequentially, then with [jobs] domains across points
+    (default {!Mewc_prelude.Pool.default_jobs}), then once per entry of
+    [shard_counts] (default [[1; 2; 4; 8]]) with the {e run itself}
+    sharded across that many domains ([jobs = 1] for those passes, so the
+    two parallelism axes never confound). Every pass is timed; the
+    across-points pass must match the sequential rows byte for byte
+    ({!row_to_line}), the shard passes on {!row_core_line}. [profile]
+    instruments the {e sequential} pass only (profilers are not
+    domain-safe). [capped] (default empty) is carried verbatim into the
+    report for the JSON's [capped_points] member. *)
 
 val report_to_json : report -> Mewc_prelude.Jsonx.t
-(** Schema ["mewc-perf/1"]: machine facts (cores, jobs), both wall-clock
-    times, the speedup, the identity verdict, the scheduler, the points the
+(** Schema ["mewc-perf/2"]: machine facts (cores, jobs), the
+    [parallelism] note, both wall-clock times, the speedup, per-shard-count
+    wall clocks and their identity verdict, the scheduler, the points the
     fallback cap excluded ([capped_points]), per-protocol crypto-cache hit
     rates, and every row. *)

@@ -2,33 +2,80 @@ open Mewc_prelude
 
 (* Bounded memo table. MAC keys are fixed at setup and never rotate, so a
    cached tag can never go stale — the only invalidation is the capacity
-   epoch-clear, which is a pure perf event, never a correctness one. *)
+   epoch-clear, which is a pure perf event, never a correctness one.
+
+   Domain safety: the sharded engine calls [share_tag]/[aggregate_tag] from
+   several domains at once, so each domain gets its own private hash table
+   per memo (no locks on the hot path, no torn reads). A value computed in
+   one domain is simply recomputed in another — correct by the same
+   argument as the epoch-clear. Hit/miss counters are atomics: their totals
+   are exact, but their *split* legitimately varies with the shard count
+   (per-domain cache locality), which is why shard-identity comparisons
+   exclude cache stats. *)
 module Memo = struct
+  type tables = (string, Sha256.t) Hashtbl.t
+
+  let ids = Atomic.make 0
+
+  (* One DLS slot for the whole library: a per-domain map from memo
+     identity to that domain's private table. DLS keys are never reclaimed
+     by the runtime, so per-memo keys would leak one slot per simulation
+     run; a single shared slot with a swept map is bounded instead. *)
+  let domain_tables : (int, tables) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+  (* Tables of long-dead memos are swept wholesale once a domain has seen
+     this many distinct memos — a rare, correctness-neutral event. *)
+  let max_live_tables = 64
+
   type t = {
-    tbl : (string, Sha256.t) Hashtbl.t;
+    id : int;
     capacity : int;
-    mutable hits : int;
-    mutable misses : int;
+    hits : int Atomic.t;
+    misses : int Atomic.t;
   }
 
-  let create ~capacity = { tbl = Hashtbl.create 256; capacity; hits = 0; misses = 0 }
+  let create ~capacity =
+    {
+      id = Atomic.fetch_and_add ids 1;
+      capacity;
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+
+  let table m =
+    let per_domain = Domain.DLS.get domain_tables in
+    match Hashtbl.find_opt per_domain m.id with
+    | Some tbl -> tbl
+    | None ->
+      if Hashtbl.length per_domain >= max_live_tables then
+        Hashtbl.reset per_domain;
+      let tbl = Hashtbl.create 256 in
+      Hashtbl.add per_domain m.id tbl;
+      tbl
 
   let find_or_add m key compute =
-    match Hashtbl.find_opt m.tbl key with
+    let tbl = table m in
+    match Hashtbl.find_opt tbl key with
     | Some v ->
-      m.hits <- m.hits + 1;
+      Atomic.incr m.hits;
       v
     | None ->
-      m.misses <- m.misses + 1;
+      Atomic.incr m.misses;
       let v = compute () in
-      if Hashtbl.length m.tbl >= m.capacity then Hashtbl.reset m.tbl;
-      Hashtbl.add m.tbl key v;
+      if Hashtbl.length tbl >= m.capacity then Hashtbl.reset tbl;
+      Hashtbl.add tbl key v;
       v
 
   let reset m =
-    Hashtbl.reset m.tbl;
-    m.hits <- 0;
-    m.misses <- 0
+    (* Clears only the calling domain's table. Other domains' tables cannot
+       go stale (keys never rotate), so leaving them is a perf artifact,
+       not a correctness one. *)
+    (match Hashtbl.find_opt (Domain.DLS.get domain_tables) m.id with
+    | Some tbl -> Hashtbl.reset tbl
+    | None -> ());
+    Atomic.set m.hits 0;
+    Atomic.set m.misses 0
 end
 
 let default_cache_capacity = 1 lsl 14
@@ -45,9 +92,13 @@ type t = {
   hmac_keys : Sha256.key array;  (* same keys, HMAC midstates precomputed *)
   tag_memo : Memo.t;  (* (signer, msg) -> expected share tag *)
   agg_memo : Memo.t;  (* (signer set, msg) -> aggregate tag *)
-  mutable signs : int;
-  mutable verifies : int;
-  mutable combines : int;
+  (* Atomic so concurrent shards count exactly. The totals are a pure
+     function of which operations ran — identical across shard counts —
+     because every shard performs the same calls the sequential engine
+     would have. *)
+  signs : int Atomic.t;
+  verifies : int Atomic.t;
+  combines : int Atomic.t;
   mutable timer : timer option;
 }
 
@@ -71,9 +122,9 @@ let setup ?(seed = 0x5EEDL) ?(cache_capacity = default_cache_capacity) ~n () =
       hmac_keys;
       tag_memo = Memo.create ~capacity:cache_capacity;
       agg_memo = Memo.create ~capacity:cache_capacity;
-      signs = 0;
-      verifies = 0;
-      combines = 0;
+      signs = Atomic.make 0;
+      verifies = Atomic.make 0;
+      combines = Atomic.make 0;
       timer = None;
     }
   in
@@ -103,7 +154,7 @@ module Sig = struct
 end
 
 let sign t (secret : Secret.t) msg =
-  t.signs <- t.signs + 1;
+  Atomic.incr t.signs;
   {
     Sig.signer = secret.Secret.owner;
     tag = timed t "crypto.sign" (fun () -> Sha256.hmac_with secret.Secret.hmac_key msg);
@@ -121,7 +172,7 @@ let share_tag t p msg =
       timed t "crypto.share_tag" (fun () -> Sha256.hmac_with t.hmac_keys.(p) msg))
 
 let verify t (s : Sig.t) ~msg =
-  t.verifies <- t.verifies + 1;
+  Atomic.incr t.verifies;
   Pid.is_valid ~n:t.n s.Sig.signer
   && Sha256.equal s.Sig.tag (share_tag t s.Sig.signer msg)
 
@@ -132,7 +183,10 @@ module Tsig = struct
      across distinct trusted setups. The cell rides the value itself, so a
      broadcast certificate is re-verified once per run, not once per
      receiver — and unlike the bounded memo tables it survives epoch
-     clears for free. *)
+     clears for free. Under the sharded engine concurrent writes to the
+     cell race benignly: a pointer store cannot tear, every written value
+     is a valid verdict for the same immutable tag, and a lost update only
+     costs a re-verification. *)
   type nonrec t = {
     signers : Pid.Set.t;
     tag : Sha256.t;
@@ -172,7 +226,7 @@ let aggregate_tag t signers ~msg =
           Sha256.digest (Buffer.contents buf)))
 
 let combine t ~k ~msg shares =
-  t.combines <- t.combines + 1;
+  Atomic.incr t.combines;
   let valid =
     List.filter (fun s -> verify t s ~msg) shares
     |> List.map Sig.signer |> Pid.Set.of_list
@@ -187,7 +241,7 @@ let combine t ~k ~msg shares =
   end
 
 let verify_tsig t (ts : Tsig.t) ~k ~msg =
-  t.verifies <- t.verifies + 1;
+  Atomic.incr t.verifies;
   Pid.Set.cardinal ts.Tsig.signers >= k
   && (* The cardinality check stays outside the shortcut: the same tag can
         legitimately pass at one [k] and fail at a larger one. *)
@@ -236,7 +290,7 @@ module Tally = struct
     if not (complete tl) then None
     else begin
       let t = tl.pki in
-      t.combines <- t.combines + 1;
+      Atomic.incr t.combines;
       (* Keep exactly the k lowest signer ids — byte-identical to what
          {!combine} would return for the same valid-signer set. *)
       let signers =
@@ -250,9 +304,9 @@ end
 
 let tally t ~k ~msg = { Tally.pki = t; msg; k; signers = Pid.Set.empty }
 
-let signatures_created t = t.signs
-let verifications_performed t = t.verifies
-let combines_performed t = t.combines
+let signatures_created t = Atomic.get t.signs
+let verifications_performed t = Atomic.get t.verifies
+let combines_performed t = Atomic.get t.combines
 
 type cache_stats = {
   verify_hits : int;
@@ -263,10 +317,10 @@ type cache_stats = {
 
 let cache_stats t =
   {
-    verify_hits = t.tag_memo.Memo.hits;
-    verify_misses = t.tag_memo.Memo.misses;
-    agg_hits = t.agg_memo.Memo.hits;
-    agg_misses = t.agg_memo.Memo.misses;
+    verify_hits = Atomic.get t.tag_memo.Memo.hits;
+    verify_misses = Atomic.get t.tag_memo.Memo.misses;
+    agg_hits = Atomic.get t.agg_memo.Memo.hits;
+    agg_misses = Atomic.get t.agg_memo.Memo.misses;
   }
 
 let no_cache_stats = { verify_hits = 0; verify_misses = 0; agg_hits = 0; agg_misses = 0 }
@@ -301,8 +355,8 @@ let cache_stats_to_json (s : cache_stats) =
     ]
 
 let reset_counters t =
-  t.signs <- 0;
-  t.verifies <- 0;
-  t.combines <- 0;
+  Atomic.set t.signs 0;
+  Atomic.set t.verifies 0;
+  Atomic.set t.combines 0;
   Memo.reset t.tag_memo;
   Memo.reset t.agg_memo

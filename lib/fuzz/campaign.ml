@@ -81,13 +81,13 @@ let safety_monitors ~cfg ~ablated =
   [ Monitor.corruption_budget ~cfg; Monitor.agreement (); Monitor.metering () ]
   @ (if ablated then [] else [ Monitor.termination ~cfg ])
 
-let violation_of (Target { protocol; params; ablated; _ }) ~cfg
+let violation_of ?shards (Target { protocol; params; ablated; _ }) ~cfg
     (sc : Scenario.t) =
   let params = params cfg in
   let adversary = Compile.adversary protocol ~cfg ~params sc in
   match
     Instances.run protocol ~cfg ~seed:sc.Scenario.seed
-      ?shuffle_seed:sc.Scenario.shuffle
+      ?shuffle_seed:sc.Scenario.shuffle ?shards
       ~monitors:(safety_monitors ~cfg ~ablated)
       ~faults:(Compile.plan_of_scenario sc) ~params ~adversary ()
   with

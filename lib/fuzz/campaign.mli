@@ -45,8 +45,12 @@ val safety_monitors : cfg:Config.t -> ablated:bool -> 'm Monitor.t list
 
 (** {2 Campaigns and shrinking} *)
 
-val violation_of : target -> cfg:Config.t -> Scenario.t -> Monitor.violation option
-(** Run one scenario to the horizon under the safety suite. *)
+val violation_of :
+  ?shards:int -> target -> cfg:Config.t -> Scenario.t -> Monitor.violation option
+(** Run one scenario to the horizon under the safety suite. [shards]
+    (default 1) shards the run across domains
+    ({!Mewc_sim.Engine.options.shards}); the verdict is invariant under
+    it. *)
 
 type finding = {
   index : int;  (** scenario index within the campaign, for reproduction *)

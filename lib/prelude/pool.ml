@@ -1,33 +1,176 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run ?jobs tasks =
+(* A persistent, barrier-synchronized worker set. Spawning a domain costs
+   hundreds of microseconds — fine once per sweep, fatal once per simulation
+   slot — so the set spawns its helper domains once and feeds them rounds of
+   work through a generation-counted barrier: publish a lane body, bump the
+   generation, wake everyone, run lane 0 in the calling domain, then wait
+   for the helpers' done-count. All hand-offs go through [mutex], whose
+   acquire/release pairs give the happens-before edges that publish task
+   results back to the caller. *)
+
+type workers = {
+  lanes : int;  (* helper domains + the caller's lane 0 *)
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable generation : int;
+  mutable job : (int -> unit) option;  (* never raises: lanes trap exns *)
+  mutable live : int;  (* lanes participating in the current round *)
+  mutable pending : int;  (* helpers still running the current round *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t array;
+}
+
+(* Set on every helper domain — and on the calling domain while it drives
+   lane 0 — so nested [run] calls from inside a task fall back to
+   sequential execution instead of deadlocking on a busy set. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Runs [body w] with the in-task flag raised; lane bodies never raise
+   (they trap exceptions per task), but restore defensively anyway. *)
+let as_task body w =
+  let saved = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set in_worker saved)
+    (fun () -> body w)
+
+let worker_loop ws lane =
+  Domain.DLS.set in_worker true;
+  let gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock ws.mutex;
+    while (not ws.stop) && ws.generation = !gen do
+      Condition.wait ws.work_ready ws.mutex
+    done;
+    if ws.stop then begin
+      running := false;
+      Mutex.unlock ws.mutex
+    end
+    else begin
+      gen := ws.generation;
+      let job = ws.job and live = ws.live in
+      Mutex.unlock ws.mutex;
+      if lane < live then (match job with Some body -> body lane | None -> ());
+      Mutex.lock ws.mutex;
+      ws.pending <- ws.pending - 1;
+      if ws.pending = 0 then Condition.broadcast ws.work_done;
+      Mutex.unlock ws.mutex
+    end
+  done
+
+let spawn_set lanes =
+  let ws =
+    {
+      lanes;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      generation = 0;
+      job = None;
+      live = 0;
+      pending = 0;
+      stop = false;
+      domains = [||];
+    }
+  in
+  ws.domains <-
+    Array.init (lanes - 1) (fun w -> Domain.spawn (fun () -> worker_loop ws (w + 1)));
+  ws
+
+let shutdown ws =
+  if Array.length ws.domains > 0 then begin
+    Mutex.lock ws.mutex;
+    ws.stop <- true;
+    Condition.broadcast ws.work_ready;
+    Mutex.unlock ws.mutex;
+    Array.iter Domain.join ws.domains;
+    ws.domains <- [||]
+  end
+
+let size ws = ws.lanes
+
+(* One barrier round, striding tasks over [lanes <= ws.lanes] lanes. Lane
+   bodies trap exceptions into [errors]; the lowest-indexed one re-raises
+   after the barrier so the surfaced error is independent of timing. *)
+let exec_strided ws ~lanes tasks =
   let n = Array.length tasks in
-  let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  let jobs = max 1 (min jobs n) in
   if n = 0 then [||]
-  else if jobs = 1 then Array.map (fun task -> task ()) tasks
   else begin
+    let lanes = max 1 (min lanes (min ws.lanes n)) in
     let results = Array.make n None in
     let errors = Array.make n None in
-    (* Static striding: worker [w] owns tasks w, w+jobs, w+2*jobs, ... No
-       queue, no stealing — the task-to-worker map is a pure function of
-       (n, jobs), so reruns schedule identically. *)
-    let worker w () =
+    let lane_body w =
+      (* Static striding: lane [w] owns tasks w, w+lanes, w+2*lanes, ... No
+         queue, no stealing — the task-to-lane map is a pure function of
+         (n, lanes), so reruns schedule identically. *)
       let i = ref w in
       while !i < n do
         (match tasks.(!i) () with
         | v -> results.(!i) <- Some v
         | exception e -> errors.(!i) <- Some e);
-        i := !i + jobs
+        i := !i + lanes
       done
     in
-    let spawned = Array.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
-    worker 0 ();
-    Array.iter Domain.join spawned;
-    (* Joins publish the workers' writes; any failure re-raises at the
-       lowest task index so the surfaced error does not depend on timing. *)
+    if lanes = 1 then as_task lane_body 0
+    else begin
+      Mutex.lock ws.mutex;
+      ws.job <- Some lane_body;
+      ws.live <- lanes;
+      ws.pending <- ws.lanes - 1;
+      ws.generation <- ws.generation + 1;
+      Condition.broadcast ws.work_ready;
+      Mutex.unlock ws.mutex;
+      as_task lane_body 0;
+      Mutex.lock ws.mutex;
+      while ws.pending > 0 do
+        Condition.wait ws.work_done ws.mutex
+      done;
+      ws.job <- None;
+      Mutex.unlock ws.mutex
+    end;
     Array.iter (function Some e -> raise e | None -> ()) errors;
     Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let exec ws tasks = exec_strided ws ~lanes:ws.lanes tasks
+
+let with_workers ?jobs f =
+  let lanes = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let ws = if lanes = 1 then spawn_set 1 else spawn_set lanes in
+  Fun.protect ~finally:(fun () -> shutdown ws) (fun () -> f ws)
+
+(* [run] feeds a process-wide shared set so repeated sweeps reuse the same
+   domains instead of re-spawning per call. The set grows (never shrinks)
+   when a call asks for more lanes than it has; access is serialized by
+   [shared_mutex] — concurrent top-level [run] calls take turns, and calls
+   from inside a worker fall back to sequential via [in_worker]. *)
+let shared_mutex = Mutex.create ()
+let shared : workers option ref = ref None
+
+let obtain lanes =
+  match !shared with
+  | Some ws when ws.lanes >= lanes -> ws
+  | prev ->
+    (match prev with Some ws -> shutdown ws | None -> ());
+    let ws = spawn_set lanes in
+    shared := Some ws;
+    ws
+
+let run ?jobs tasks =
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let jobs = max 1 (min jobs n) in
+  if n = 0 then [||]
+  else if jobs = 1 || Domain.DLS.get in_worker then
+    Array.map (fun task -> task ()) tasks
+  else begin
+    Mutex.lock shared_mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shared_mutex)
+      (fun () -> exec_strided (obtain jobs) ~lanes:jobs tasks)
   end
 
 let map ?jobs f xs = run ?jobs (Array.map (fun x () -> f x) xs)

@@ -1,17 +1,24 @@
-(** Fixed-size domain pool with deterministic, work-stealing-free chunking.
+(** Persistent domain worker sets with deterministic, work-stealing-free
+    chunking.
 
     OCaml 5 gives us shared-memory parallelism through [Domain]. This pool
-    fans an array of independent tasks across a fixed number of domains
-    using *static striding*: task [i] always runs on worker [i mod jobs].
-    There is no work stealing and no shared queue, so the assignment of
-    tasks to workers — and therefore any per-task effect ordering a worker
-    observes — is a pure function of [(number of tasks, jobs)].
+    fans arrays of independent tasks across domains using *static
+    striding*: task [i] always runs on lane [i mod lanes]. There is no work
+    stealing and no shared queue, so the assignment of tasks to lanes — and
+    therefore any per-task effect ordering a lane observes — is a pure
+    function of [(number of tasks, lanes)].
 
     Results come back indexed exactly like the input, so callers see output
-    that is independent of scheduling: running with [jobs = 1] and
-    [jobs = 8] produces the same array as long as the tasks themselves are
+    that is independent of scheduling: running with 1 lane and 8 lanes
+    produces the same array as long as the tasks themselves are
     deterministic and independent. The simulation runners qualify: each
     sweep point builds its own PKI, meter, trace and RNG from a fixed seed.
+
+    Because spawning a domain costs hundreds of microseconds, workers are
+    persistent: a {!workers} set spawns its helper domains once and feeds
+    them successive {!exec} rounds through a generation-counted barrier.
+    {!run} transparently reuses a process-wide shared set, so hot loops
+    (e.g. one barrier per simulation slot) never pay a spawn.
 
     Tasks must not share mutable state unless that state is domain-safe
     (e.g. {!Mewc_sim.Composition}'s registry, which is mutex-protected
@@ -21,15 +28,50 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what the runtime considers a
     sensible degree of parallelism on this machine (1 on a single core). *)
 
+(** {2 Persistent worker sets} *)
+
+type workers
+(** A barrier-synchronized set of parked helper domains plus the caller's
+    own lane 0. Valid only inside the {!with_workers} scope that created
+    it; a set is fed rounds of work by one domain at a time. *)
+
+val with_workers : ?jobs:int -> (workers -> 'a) -> 'a
+(** [with_workers ~jobs f] spawns a set of [jobs] lanes ([jobs - 1] helper
+    domains; [jobs] defaults to {!default_jobs}, and [jobs = 1] spawns
+    nothing), applies [f], and shuts the helpers down — also on exception.
+    Spawning is the only per-set cost; every {!exec} round afterwards is a
+    mutex/condvar barrier hand-off. *)
+
+val size : workers -> int
+(** Number of lanes, the caller's lane included. *)
+
+val exec : workers -> (unit -> 'a) array -> 'a array
+(** [exec ws tasks] runs one barrier round: every task executes exactly
+    once, task [i] on lane [i mod min (size ws) (Array.length tasks)], and
+    the results return in task order once all lanes reach the barrier. The
+    calling domain drives lane 0, so a 1-lane set runs everything
+    sequentially in the caller.
+
+    If tasks raise, the exception of the *lowest-indexed* failing task is
+    re-raised after the barrier — deterministic regardless of which lane
+    hit its exception first. *)
+
+(** {2 One-shot convenience} *)
+
 val run : ?jobs:int -> (unit -> 'a) array -> 'a array
 (** [run ~jobs tasks] executes every task and returns their results in task
     order. [jobs] defaults to {!default_jobs} and is clamped to
     [1 .. Array.length tasks]; with [jobs = 1] everything runs sequentially
-    in the calling domain, with no domain spawned at all.
+    in the calling domain, with no domain involved at all.
 
-    If tasks raise, the exception of the *lowest-indexed* failing task is
-    re-raised after every worker has finished — deterministic regardless of
-    which worker hit its exception first. *)
+    Parallel calls are fed to a lazily-spawned process-wide worker set that
+    persists across calls (growing if a later call asks for more lanes), so
+    repeated sweeps do not re-spawn domains. Concurrent top-level calls
+    serialize on that set; a [run] from *inside* a pool task falls back to
+    sequential execution rather than deadlock. The striding contract is
+    unchanged: task [i] runs on lane [i mod jobs], and if tasks raise, the
+    exception of the lowest-indexed failing task is re-raised after every
+    lane has finished. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] is [run ~jobs] over [fun () -> f xs.(i)]. *)

@@ -16,6 +16,13 @@ val copy : t -> t
 val split : t -> t
 (** [split g] derives a new independent generator and advances [g]. *)
 
+val mix : int64 -> int64
+(** The stateless splitmix64 finalizer. [mix] is a high-quality 64-bit
+    hash: deriving a generator as [create (mix key)] for a structured
+    [key] (e.g. a packed (slot, src, dst) triple) yields streams that are
+    independent of any other generator's position — the basis for
+    order-independent per-link randomness. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

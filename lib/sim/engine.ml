@@ -31,6 +31,7 @@ type ('s, 'm) options = {
   profile : Profile.t option;
   faults : Faults.plan;
   scheduler : scheduler;
+  shards : int;
 }
 
 let default_options =
@@ -42,9 +43,43 @@ let default_options =
     profile = None;
     faults = Faults.none;
     scheduler = `Legacy;
+    shards = 1;
   }
 
-let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
+(* ---- sharded step phase -------------------------------------------------
+
+   Within a slot, [Process.step ~slot ~inbox state] reads nothing but its
+   own state and inbox — every cross-process effect flows through [post].
+   That makes the step phase (where all the crypto lives) embarrassingly
+   parallel: shard the pid space across domains with static striding
+   (pid [p] on shard [p mod shards]), have each shard compute its
+   processes' results — the new state, plus each outgoing message already
+   paired with its word count and fault fate, both pure functions of the
+   message — into distinct slots of a results array, then merge on the
+   main domain in ascending pid order. Everything order-sensitive
+   (envelope ids, meter charges, trace events, provenance parents, shuffle
+   draws, delayed buckets) happens in the merge and the sequential [post]
+   phase, so a sharded run is byte-identical to the sequential one by
+   construction. The barrier is {!Pool.exec} on a persistent worker set:
+   one mutex/condvar round-trip per slot, no domain spawns. *)
+
+type ('s, 'm) step_out =
+  | Skipped
+  | Stepped of 's * ('m * Pid.t * int * Faults.link_fault option) list
+  | Failed of exn
+
+let compute_steps ws ~n ~active ~step_one results =
+  let lanes = Pool.size ws in
+  ignore
+    (Pool.exec ws
+       (Array.init lanes (fun w () ->
+            let p = ref w in
+            while !p < n do
+              if active !p then results.(!p) <- step_one !p;
+              p := !p + lanes
+            done)))
+
+let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
   let {
     record_trace;
     shuffle_seed;
@@ -53,6 +88,7 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     profile;
     faults;
     scheduler = _;
+    shards = _;
   } =
     options
   in
@@ -138,14 +174,23 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     Array.iteri (fun p l -> inbox_ids.(p) <- List.map fst l) pairs;
     Array.map (List.map snd) pairs
   in
-  let post ~slot ~src (msg, dst) =
+  let fate_for ~slot ~src ~dst ~seq =
+    match faults_rt with
+    | None -> None
+    | Some rt -> Faults.fate ~seq rt ~slot ~src ~dst
+  in
+  (* [post_pre] consumes a send whose word count and fault fate were already
+     computed — pure functions of the message, so shard workers precompute
+     them off the main domain. Everything order-sensitive (the envelope id,
+     the meter charge, trace emission, delayed buckets) happens here, on the
+     main domain, in legacy post order. *)
+  let post_pre ~slot ~src (msg, dst, word_count, fault) =
     if not (Pid.is_valid ~n dst) then
       invalid_arg
         (Printf.sprintf "Engine.run: p%d sent a message to unknown process %d"
            src dst);
     let envelope = { Envelope.src; dst; sent_at = slot; msg } in
     let byzantine = corrupted.(src) in
-    let word_count = words msg in
     let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
     let id = !next_id in
     incr next_id;
@@ -160,24 +205,25 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
              charged;
              parents = inbox_ids.(src);
            });
-    match faults_rt with
+    match fault with
     | None -> pending.(dst) <- (id, envelope) :: pending.(dst)
-    | Some rt -> (
-      match Faults.fate rt ~slot ~src ~dst with
-      | None -> pending.(dst) <- (id, envelope) :: pending.(dst)
-      | Some fault ->
-        (* The send happened — it was charged and traced above; only its
-           delivery is tampered with here. *)
-        if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
-        (match fault with
-        | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
-        | Faults.Delayed k ->
-          let at = slot + 1 + k in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt delayed at) in
-          Hashtbl.replace delayed at ((dst, (id, envelope)) :: prev)
-        | Faults.Duplicated ->
-          pending.(dst) <- (id, envelope) :: (id, envelope) :: pending.(dst)))
+    | Some fault ->
+      (* The send happened — it was charged and traced above; only its
+         delivery is tampered with here. *)
+      if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
+      (match fault with
+      | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
+      | Faults.Delayed k ->
+        let at = slot + 1 + k in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt delayed at) in
+        Hashtbl.replace delayed at ((dst, (id, envelope)) :: prev)
+      | Faults.Duplicated ->
+        pending.(dst) <- (id, envelope) :: (id, envelope) :: pending.(dst))
   in
+  let post ~slot ~src ~seq (msg, dst) =
+    post_pre ~slot ~src (msg, dst, words msg, fate_for ~slot ~src ~dst ~seq)
+  in
+  let step_results = Array.make n Skipped in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
     if observing then emit (Trace.Slot_start slot);
@@ -228,20 +274,50 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
             emit (Trace.Corruption { slot; pid = p; f = !corruption_count })
         end)
       new_corruptions;
-    (* 2. Correct processes step. *)
+    (* 2. Correct processes step. A down process neither steps nor sends; a
+       corrupted one is the adversary's problem regardless of injected
+       faults. *)
     let correct_sends = ref [] in
     timed Profile.Machine "machine.step" (fun () ->
-        for p = 0 to n - 1 do
-          (* A down process neither steps nor sends; a corrupted one is the
-             adversary's problem regardless of injected faults. *)
-          if (not corrupted.(p)) && not (is_down p) then begin
-            let state', sends =
-              machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
+        let active p = (not corrupted.(p)) && not (is_down p) in
+        let step_one p =
+          match machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p) with
+          | state', sends ->
+            let pres =
+              List.mapi
+                (fun seq (msg, dst) ->
+                  (msg, dst, words msg, fate_for ~slot ~src:p ~dst ~seq))
+                sends
             in
-            states.(p) <- state';
-            correct_sends := (p, sends) :: !correct_sends
-          end
-        done);
+            Stepped (state', pres)
+          | exception e -> Failed e
+        in
+        match workers with
+        | None ->
+          for p = 0 to n - 1 do
+            if active p then begin
+              match step_one p with
+              | Stepped (state', pres) ->
+                states.(p) <- state';
+                correct_sends := (p, pres) :: !correct_sends
+              | Failed e -> raise e
+              | Skipped -> ()
+            end
+          done
+        | Some ws ->
+          compute_steps ws ~n ~active ~step_one step_results;
+          (* Merge in ascending pid order — the legacy step order — raising
+             the lowest failing pid's exception, exactly as the sequential
+             scan would surface it. *)
+          for p = 0 to n - 1 do
+            match step_results.(p) with
+            | Skipped -> ()
+            | Stepped (state', pres) ->
+              step_results.(p) <- Skipped;
+              states.(p) <- state';
+              correct_sends := (p, pres) :: !correct_sends
+            | Failed e -> raise e
+          done);
     (* 2b. Decision transitions, for the observability stream. *)
     (match decided with
     | Some decided when observing ->
@@ -264,10 +340,10 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     | _ -> ());
     let correct_outgoing =
       List.concat_map
-        (fun (src, sends) ->
+        (fun (src, pres) ->
           List.map
-            (fun (msg, dst) -> { Envelope.src; dst; sent_at = slot; msg })
-            sends)
+            (fun (msg, dst, _, _) -> { Envelope.src; dst; sent_at = slot; msg })
+            pres)
         (List.rev !correct_sends)
     in
     (* 3. Byzantine processes step, seeing this slot's correct sends. *)
@@ -282,10 +358,15 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     (* 4. Post everything. *)
     timed Profile.Engine "engine.post" (fun () ->
         List.iter
-          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (fun (src, pres) -> List.iter (post_pre ~slot ~src) pres)
           (List.rev !correct_sends);
+        (* Byzantine sends go through the unsplit [post]: their fates are
+           derived from their own per-sender [seq] indices, disjoint from
+           nothing — (slot, src) already isolates them, since a corrupted
+           process never reaches the correct step phase. *)
         List.iter
-          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (fun (src, sends) ->
+            List.iteri (fun seq m -> post ~slot ~src ~seq m) sends)
           (List.rev !byz_sends))
   done;
   List.iter (fun m -> m.Monitor.on_finish ~slots:horizon) monitors;
@@ -323,7 +404,7 @@ let run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary () =
      is [[]] for every process without deliveries this slot — exactly what
      the legacy dense rebuild yields — so [parents] of sends (including
      byzantine sends and timer-driven sends) match byte for byte. *)
-let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
+let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
   let {
     record_trace;
     shuffle_seed;
@@ -332,6 +413,7 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     profile;
     faults;
     scheduler = _;
+    shards = _;
   } =
     options
   in
@@ -406,14 +488,21 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     | None -> List.rev messages
     | Some rng -> Rng.shuffle rng messages
   in
-  let post ~slot ~src (msg, dst) =
+  let fate_for ~slot ~src ~dst ~seq =
+    match faults_rt with
+    | None -> None
+    | Some rt -> Faults.fate ~seq rt ~slot ~src ~dst
+  in
+  (* See [run_legacy]'s [post_pre]: the word count and fate arrive
+     precomputed (pure, shard-safe); the order-sensitive effects happen
+     here in post order. *)
+  let post_pre ~slot ~src (msg, dst, word_count, fault) =
     if not (Pid.is_valid ~n dst) then
       invalid_arg
         (Printf.sprintf "Engine.run: p%d sent a message to unknown process %d"
            src dst);
     let envelope = { Envelope.src; dst; sent_at = slot; msg } in
     let byzantine = corrupted.(src) in
-    let word_count = words msg in
     let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
     let id = !next_id in
     incr next_id;
@@ -428,28 +517,27 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
              charged;
              parents = inbox_ids.(src);
            });
-    match faults_rt with
+    match fault with
     | None ->
       Vec.push pools.(dst) (id, envelope);
       mark_dirty dst
-    | Some rt -> (
-      match Faults.fate rt ~slot ~src ~dst with
-      | None ->
+    | Some fault ->
+      if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
+      (match fault with
+      | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
+      | Faults.Delayed k ->
+        let at = slot + 1 + k in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt delayed at) in
+        Hashtbl.replace delayed at ((dst, (id, envelope)) :: prev)
+      | Faults.Duplicated ->
         Vec.push pools.(dst) (id, envelope);
-        mark_dirty dst
-      | Some fault ->
-        if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
-        (match fault with
-        | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
-        | Faults.Delayed k ->
-          let at = slot + 1 + k in
-          let prev = Option.value ~default:[] (Hashtbl.find_opt delayed at) in
-          Hashtbl.replace delayed at ((dst, (id, envelope)) :: prev)
-        | Faults.Duplicated ->
-          Vec.push pools.(dst) (id, envelope);
-          Vec.push pools.(dst) (id, envelope);
-          mark_dirty dst))
+        Vec.push pools.(dst) (id, envelope);
+        mark_dirty dst)
   in
+  let post ~slot ~src ~seq (msg, dst) =
+    post_pre ~slot ~src (msg, dst, words msg, fate_for ~slot ~src ~dst ~seq)
+  in
+  let step_results = Array.make n Skipped in
   let stepped = Vec.create () in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
@@ -523,25 +611,54 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     let correct_sends = ref [] in
     Vec.clear stepped;
     timed Profile.Machine "machine.step" (fun () ->
-        for p = 0 to n - 1 do
-          if (not corrupted.(p)) && not (is_down p) then begin
-            let active =
-              inboxes.(p) <> []
-              ||
-              match machines.(p).Process.wake with
-              | None -> true
-              | Some wake -> wake ~slot states.(p)
+        let active p =
+          (not corrupted.(p))
+          && (not (is_down p))
+          && (inboxes.(p) <> []
+             ||
+             match machines.(p).Process.wake with
+             | None -> true
+             | Some wake -> wake ~slot states.(p))
+        in
+        let step_one p =
+          match machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p) with
+          | state', sends ->
+            let pres =
+              List.mapi
+                (fun seq (msg, dst) ->
+                  (msg, dst, words msg, fate_for ~slot ~src:p ~dst ~seq))
+                sends
             in
-            if active then begin
-              let state', sends =
-                machines.(p).Process.step ~slot ~inbox:inboxes.(p) states.(p)
-              in
-              states.(p) <- state';
-              correct_sends := (p, sends) :: !correct_sends;
-              Vec.push stepped p
+            Stepped (state', pres)
+          | exception e -> Failed e
+        in
+        match workers with
+        | None ->
+          for p = 0 to n - 1 do
+            if active p then begin
+              match step_one p with
+              | Stepped (state', pres) ->
+                states.(p) <- state';
+                correct_sends := (p, pres) :: !correct_sends;
+                Vec.push stepped p
+              | Failed e -> raise e
+              | Skipped -> ()
             end
-          end
-        done);
+          done
+        | Some ws ->
+          (* The activity predicate runs inside the workers: [wake] only
+             reads the process's own state, so it shards like [step]. *)
+          compute_steps ws ~n ~active ~step_one step_results;
+          for p = 0 to n - 1 do
+            match step_results.(p) with
+            | Skipped -> ()
+            | Stepped (state', pres) ->
+              step_results.(p) <- Skipped;
+              states.(p) <- state';
+              correct_sends := (p, pres) :: !correct_sends;
+              Vec.push stepped p
+            | Failed e -> raise e
+          done);
     (* 2b. Decision transitions. Slot 0 scans everyone (an init state may
        already be decided); afterwards only stepped processes can have
        transitioned, so the scan follows the stepped set — in the same
@@ -570,10 +687,10 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     | _ -> ());
     let correct_outgoing =
       List.concat_map
-        (fun (src, sends) ->
+        (fun (src, pres) ->
           List.map
-            (fun (msg, dst) -> { Envelope.src; dst; sent_at = slot; msg })
-            sends)
+            (fun (msg, dst, _, _) -> { Envelope.src; dst; sent_at = slot; msg })
+            pres)
         (List.rev !correct_sends)
     in
     (* 3. Byzantine processes step, seeing this slot's correct sends. *)
@@ -588,10 +705,15 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     (* 4. Post everything. *)
     timed Profile.Engine "engine.post" (fun () ->
         List.iter
-          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (fun (src, pres) -> List.iter (post_pre ~slot ~src) pres)
           (List.rev !correct_sends);
+        (* Byzantine sends go through the unsplit [post]: their fates are
+           derived from their own per-sender [seq] indices, disjoint from
+           nothing — (slot, src) already isolates them, since a corrupted
+           process never reaches the correct step phase. *)
         List.iter
-          (fun (src, sends) -> List.iter (post ~slot ~src) sends)
+          (fun (src, sends) ->
+            List.iteri (fun seq m -> post ~slot ~src ~seq m) sends)
           (List.rev !byz_sends));
     (* Restore the all-empty inbox invariant for the next slot. *)
     Array.iter
@@ -613,7 +735,20 @@ let run_event ~cfg ~options ~words ~horizon ~protocol ~adversary () =
 
 let run ~cfg ?(options = default_options) ~words ~horizon ~protocol ~adversary
     () =
-  match options.scheduler with
-  | `Legacy -> run_legacy ~cfg ~options ~words ~horizon ~protocol ~adversary ()
-  | `Event_driven ->
-    run_event ~cfg ~options ~words ~horizon ~protocol ~adversary ()
+  if options.shards < 1 then
+    invalid_arg
+      (Printf.sprintf "Engine.run: shards must be >= 1 (got %d)" options.shards);
+  if options.shards > 1 && options.profile <> None then
+    invalid_arg "Engine.run: profiling requires shards = 1";
+  let go workers =
+    match options.scheduler with
+    | `Legacy ->
+      run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary ()
+    | `Event_driven ->
+      run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary ()
+  in
+  if options.shards = 1 then go None
+  else
+    (* One worker set per run: the spawn cost is paid once and amortized
+       over every slot's barrier round. *)
+    Pool.with_workers ~jobs:options.shards (fun ws -> go (Some ws))

@@ -86,6 +86,22 @@ type ('s, 'm) options = {
           {!Faults.validate}. *)
   scheduler : scheduler;
       (** which hot loop runs the slots; [`Legacy] by default. *)
+  shards : int;
+      (** number of domains a run shards its processes across (default 1 =
+          fully sequential, no domains involved). Within a slot, process
+          [p]'s step — where all the signature crypto lives — runs on shard
+          [p mod shards]; each shard precomputes its processes' new states,
+          word counts, and fault fates, and the main domain merges them in
+          ascending pid order before the sequential post phase assigns
+          envelope ids, meter charges, and trace events. Sharding composes
+          with both schedulers and is {e observationally invisible}: any
+          shard count produces byte-identical traces, decisions, meter
+          series, and final states (the cache hit/miss {e split} in
+          {!Mewc_crypto.Pki.cache_stats} is the one legitimate exception —
+          per-domain caches move hits between domains). Raises
+          [Invalid_argument] from {!run} if [shards < 1] or if
+          [shards > 1] is combined with [profile] (the profiler is not
+          domain-safe). *)
 }
 (** Observability knobs, gathered in one record so that adding a knob does
     not grow every caller's argument list. Start from {!default_options} and
@@ -93,7 +109,7 @@ type ('s, 'm) options = {
 
 val default_options : ('s, 'm) options
 (** No trace, in-order delivery, no monitors, no decision projection, no
-    faults, legacy scheduler. *)
+    faults, legacy scheduler, one shard. *)
 
 val run :
   cfg:Config.t ->

@@ -335,7 +335,6 @@ let process_event_of_string = function
 
 type runtime = {
   plan : plan;
-  rng : Rng.t;
   down : bool array;
   omit : (int * int) option array;  (* (drop_mod, drop_rem) once active *)
 }
@@ -344,12 +343,7 @@ let start ~n plan =
   (match validate ~n plan with
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Faults.start: %s" e));
-  {
-    plan;
-    rng = Rng.create plan.seed;
-    down = Array.make n false;
-    omit = Array.make n None;
-  }
+  { plan; down = Array.make n false; omit = Array.make n None }
 
 let transitions rt ~slot =
   List.filter_map
@@ -374,7 +368,18 @@ let is_down rt pid = rt.down.(pid)
 
 let in_island island pid = List.exists (Pid.equal pid) island
 
-let fate rt ~slot ~src ~dst =
+(* An odd 64-bit multiplier folds (slot, src, dst, seq) into one injective-
+   enough word; [Rng.mix] then whitens it. Any residual structure only
+   biases *which* messages are hit, never determinism. *)
+let link_key ~slot ~src ~dst ~seq =
+  let open Int64 in
+  let c = 0x100000001B3L in
+  let acc = of_int slot in
+  let acc = add (mul acc c) (of_int src) in
+  let acc = add (mul acc c) (of_int dst) in
+  add (mul acc c) (of_int seq)
+
+let fate ?(seq = 0) rt ~slot ~src ~dst =
   if src = dst then None
   else
     let omitted =
@@ -390,11 +395,22 @@ let fate rt ~slot ~src ~dst =
           && in_island island src <> in_island island dst)
         rt.plan.partitions
     then Some Partitioned
+    else if
+      rt.plan.drop = 0.0 && rt.plan.delay_prob = 0.0 && rt.plan.dup = 0.0
+    then None
     else
-      (* Coins are drawn in a fixed order and only when the corresponding
-         probability is positive, so a plan's draw sequence depends only on
-         the (deterministic) send order of non-faulted cross-links. *)
-      let coin p = p > 0.0 && Rng.float rt.rng 1.0 < p in
+      (* Each message gets its own generator, keyed by the plan seed and
+         the message's identity (slot, src, dst, seq) — never by stream
+         position. A fate is therefore a pure function of the plan and the
+         message, independent of the order the engine evaluates sends in;
+         this is what lets the sharded engine precompute fates inside
+         worker domains. Coins are drawn from the per-message generator in
+         a fixed order. *)
+      let g =
+        Rng.create
+          (Rng.mix (Int64.logxor rt.plan.seed (Rng.mix (link_key ~slot ~src ~dst ~seq))))
+      in
+      let coin p = p > 0.0 && Rng.float g 1.0 < p in
       if coin rt.plan.drop then Some Dropped
       else if coin rt.plan.delay_prob then Some (Delayed rt.plan.delay)
       else if coin rt.plan.dup then Some Duplicated

@@ -10,10 +10,12 @@
     stressed.
 
     A {!plan} is pure data: validated up front, serializable
-    ([mewc-faults/1] JSON), and threaded through [Engine.options]. All
-    probabilistic choices are drawn from a dedicated generator seeded by
-    [plan.seed], independent of the engine's shuffle stream, so the same
-    seed and plan always produce byte-identical traces. Every injected
+    ([mewc-faults/1] JSON), and threaded through [Engine.options]. Every
+    probabilistic choice is drawn from a per-message generator keyed by
+    [plan.seed] and the message's identity (slot, src, dst, seq) —
+    independent of the engine's shuffle stream {e and} of evaluation
+    order, so the same seed and plan always produce byte-identical traces
+    no matter how the engine shards its processes across domains. Every injected
     fault is stamped into the trace ([mewc-trace/3] adds [Link_fault] and
     [Process_fault] events), keeping replay and post-mortems exact. *)
 
@@ -89,10 +91,12 @@ val process_event_of_string : string -> (process_event, string) result
 
 (** {2 Runtime}
 
-    The engine-side interpreter of a plan. All [Rng] draws happen in a
-    fixed order (omission, partition, drop, delay, duplication — though at
-    most one coin sequence per send), so outcomes depend only on
-    [plan.seed] and the engine's deterministic send order. *)
+    The engine-side interpreter of a plan. Link fates are pure functions
+    of [(plan.seed, slot, src, dst, seq)] — no draw ever depends on stream
+    position — so outcomes are invariant under any re-ordering of the
+    engine's send evaluation, including parallel shard interleavings. Only
+    {!transitions} carries mutable state (the up/down and omission flags),
+    and it is driven once per slot from the engine's main domain. *)
 
 type runtime
 
@@ -109,6 +113,7 @@ val is_down : runtime -> Mewc_prelude.Pid.t -> bool
     [transitions] call. Down processes neither step nor receive. *)
 
 val fate :
+  ?seq:int ->
   runtime ->
   slot:int ->
   src:Mewc_prelude.Pid.t ->
@@ -116,4 +121,9 @@ val fate :
   link_fault option
 (** The fate of a message sent at [slot] on link [src -> dst]. [None]
     means normal next-slot delivery. Self-addressed sends are never
-    faulted (local delivery does not cross the network). *)
+    faulted (local delivery does not cross the network).
+
+    [seq] (default 0) distinguishes multiple same-slot sends on the same
+    link: the engine passes the message's index within its sender's send
+    list, so each message draws independent coins while the result stays a
+    pure function of the message's identity. *)

@@ -1,9 +1,11 @@
-(* The differential gate behind the event-driven engine: for the same seed,
-   options and fault plan, the `Event_driven scheduler must be
-   observationally equivalent to the `Legacy lock-step loop — byte-identical
-   mewc-trace/3 traces, identical decisions, word/message counts and monitor
-   verdicts. Three batteries: the protocol zoo over a sweep-style grid, the
-   fuzzer's adversary scenarios, and the chaos fault-plan profiles. *)
+(* The differential gate behind the event-driven and sharded engines: for
+   the same seed, options and fault plan, every (scheduler, shards) pair
+   must be observationally equivalent to the `Legacy sequential loop —
+   byte-identical mewc-trace/3 traces, identical decisions, word/message
+   counts and monitor verdicts. Three batteries: the protocol zoo over a
+   sweep-style grid, the fuzzer's adversary scenarios, and the chaos
+   fault-plan profiles; each case runs under both schedulers at
+   shards in {1, 2, 4}. *)
 
 open Mewc_prelude
 open Mewc_sim
@@ -48,10 +50,27 @@ let observe f =
   | exception Monitor.Violation { monitor; slot; reason } ->
     Printf.sprintf "violation monitor=%s slot=%d reason=%s" monitor slot reason
 
+(* The fingerprint deliberately excludes [crypto] (cache hit/miss splits):
+   per-domain memo tables legitimately move hits between domains as the
+   shard count changes. Everything else — signature *counts* included —
+   must be invariant. *)
 let check_equiv name run =
-  let legacy = observe (fun () -> run `Legacy) in
-  let event = observe (fun () -> run `Event_driven) in
-  Alcotest.(check string) name legacy event
+  let base = observe (fun () -> run `Legacy 1) in
+  List.iter
+    (fun (scheduler, shards) ->
+      let label =
+        Printf.sprintf "%s [%s shards=%d]" name
+          (Engine.scheduler_to_string scheduler)
+          shards
+      in
+      Alcotest.(check string) label base (observe (fun () -> run scheduler shards)))
+    [
+      (`Event_driven, 1);
+      (`Legacy, 2);
+      (`Event_driven, 2);
+      (`Legacy, 4);
+      (`Event_driven, 4);
+    ]
 
 (* ---- battery 1: the protocol zoo over a sweep-style grid --------------- *)
 
@@ -72,9 +91,9 @@ let diff_grid_target (Campaign.Target { name; protocol; params; ablated = _ }) =
                   | Some s -> Int64.to_string s
                   | None -> "-")
               in
-              check_equiv label (fun scheduler ->
+              check_equiv label (fun scheduler shards ->
                   Instances.run protocol ~cfg ~seed:1L ?shuffle_seed
-                    ~record_trace:true ~scheduler ~params:(params cfg)
+                    ~record_trace:true ~scheduler ~shards ~params:(params cfg)
                     ~adversary ()))
             [ None; Some 42L ])
         [ 0; 1; cfg.Config.t ])
@@ -94,10 +113,11 @@ let diff_scenarios (Campaign.Target { name; protocol; params; ablated }) =
   for i = 0 to 5 do
     let scenario = Scenario.generate ~cfg ~rng in
     let label = Format.asprintf "%s scenario %d (%a)" name i Scenario.pp scenario in
-    check_equiv label (fun scheduler ->
+    check_equiv label (fun scheduler shards ->
         let params = params cfg in
         Instances.run protocol ~cfg ~seed:scenario.Scenario.seed
           ?shuffle_seed:scenario.Scenario.shuffle ~record_trace:true ~scheduler
+          ~shards
           ~monitors:(Campaign.safety_monitors ~cfg ~ablated)
           ~faults:(Compile.plan_of_scenario scenario)
           ~params
@@ -121,10 +141,10 @@ let chaos_cases () =
                 let cfg = Degrade.cfg in
                 let plan = Degrade.plan_of ~profile ~level in
                 let label = Printf.sprintf "%s chaos %s@%d" name profile level in
-                check_equiv label (fun scheduler ->
+                check_equiv label (fun scheduler shards ->
                     Instances.run protocol ~cfg
                       ~seed:(Degrade.seed_of ~protocol:name ~profile ~level)
-                      ~record_trace:true ~scheduler ~faults:plan
+                      ~record_trace:true ~scheduler ~shards ~faults:plan
                       ~params:(params cfg)
                       ~adversary:
                         (Adversary.const (Adversary.crash ~victims:[] ()))

@@ -268,14 +268,44 @@ let matrix_jobs_independent () =
     "jobs=3 matrix == sequential matrix" sequential
     (json (Degrade.run_all ~jobs:3 ()));
   let protocol, profile, level = Degrade.planted_unsafe in
-  let cell () = json [ Degrade.run_cell ~protocol ~profile ~level ] in
+  let cell () = json [ Degrade.run_cell ~protocol ~profile ~level () ] in
   Alcotest.(check string) "planted cell reproducible" (cell ()) (cell ())
+
+(* Chaos verdicts are shard-invariant: the same cell run with its engine
+   sharded across domains renders the same JSON — verdict, realized f,
+   words, slots, everything. Includes the planted-unsafe cell, so even a
+   violation raised mid-run is raised at the same place. *)
+let cells_shard_invariant () =
+  let planted_p, planted_prof, planted_l = Degrade.planted_unsafe in
+  let cells =
+    [
+      ("weak-ba", "partition", 3);
+      ("bb", "drop", 2);
+      ("strong-ba", "delay", 1);
+      (planted_p, planted_prof, planted_l);
+    ]
+  in
+  List.iter
+    (fun (protocol, profile, level) ->
+      let render shards =
+        Jsonx.to_string
+          (Degrade.matrix_to_json
+             [ Degrade.run_cell ~shards ~protocol ~profile ~level () ])
+      in
+      let base = render 1 in
+      List.iter
+        (fun shards ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s/L%d shards=%d" protocol profile level shards)
+            base (render shards))
+        [ 2; 4 ])
+    cells
 
 (* ---- the planted reliability violation ----------------------------------- *)
 
 let planted_cell_unsafe () =
   let protocol, profile, level = Degrade.planted_unsafe in
-  let c = Degrade.run_cell ~protocol ~profile ~level in
+  let c = Degrade.run_cell ~protocol ~profile ~level () in
   (match c.Degrade.verdict with
   | Monitor.Unsafe v ->
     Alcotest.(check string) "disagreement, specifically" "agreement"
@@ -288,7 +318,7 @@ let planted_cell_unsafe () =
      up. *)
   List.iter
     (fun protocol ->
-      match (Degrade.run_cell ~protocol ~profile ~level).Degrade.verdict with
+      match (Degrade.run_cell ~protocol ~profile ~level ()).Degrade.verdict with
       | Monitor.Unsafe v ->
         Alcotest.failf "sound %s went unsafe under the split: %s" protocol
           (Format.asprintf "%a" Monitor.pp_violation v)
@@ -315,6 +345,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "byte-identical traces" `Quick traces_byte_identical;
+          Alcotest.test_case "chaos cells shard-invariant" `Quick
+            cells_shard_invariant;
           Alcotest.test_case "matrix jobs-independent" `Quick
             matrix_jobs_independent;
         ] );

@@ -158,6 +158,26 @@ let test_run_deterministic () =
       Alcotest.(check bool) "same outcome" true (a = b))
     (scenarios 10)
 
+let test_verdict_shard_invariant () =
+  (* The fuzzer's verdicts must not depend on how many domains a run's
+     step phase is sharded across — same scenarios, same violations (or
+     same clean passes) at every shard count. *)
+  List.iter
+    (fun name ->
+      let target = Option.get (Campaign.find_target name) in
+      List.iter
+        (fun sc ->
+          let base = Campaign.violation_of ~shards:1 target ~cfg sc in
+          List.iter
+            (fun shards ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s shards=%d" name shards)
+                true
+                (base = Campaign.violation_of ~shards target ~cfg sc))
+            [ 2; 4 ])
+        (scenarios 4))
+    [ "weak-ba"; Campaign.planted_target ]
+
 let test_campaign_jobs_invariant () =
   (* The batched scan's outcome must not depend on parallelism. *)
   let target = Option.get (Campaign.find_target Campaign.planted_target) in
@@ -246,6 +266,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_run_deterministic;
           Alcotest.test_case "jobs invariant" `Quick test_campaign_jobs_invariant;
+          Alcotest.test_case "verdicts shard-invariant" `Quick
+            test_verdict_shard_invariant;
           Alcotest.test_case "smoke" `Quick test_smoke;
           Alcotest.test_case "replay rejects drift" `Quick
             test_replay_rejects_drift;

@@ -34,6 +34,8 @@ let mk_entry ?(rev = "deadbeef") ?(rows = [ mk_row "bb" ]) ?(sequential_s = 1.0)
     sequential_s;
     parallel_s = 0.5;
     speedup = 2.0;
+    shards = [ (1, 1.0); (2, 0.6) ];
+    parallelism = "ok (4 cores)";
     rollup = [ ("crypto", 0.25); ("engine", 0.5) ];
     rows;
   }
@@ -56,6 +58,25 @@ let test_entry_roundtrip () =
     (mk_entry ~rows:[] ());
   json_fixpoint Ledger.to_json Ledger.of_json
     [ mk_entry (); mk_entry ~rev:"cafe" () ]
+
+(* Ledger files written before the shard era carry no "shards" or
+   "parallelism" members; they must keep parsing (same mewc-ledger/1
+   schema) with the documented defaults. *)
+let test_pre_shard_entry_parses () =
+  let stripped =
+    match Ledger.entry_to_json (mk_entry ()) with
+    | Mewc_prelude.Jsonx.Obj fields ->
+      Mewc_prelude.Jsonx.Obj
+        (List.filter
+           (fun (k, _) -> k <> "shards" && k <> "parallelism")
+           fields)
+    | _ -> Alcotest.fail "entry json not an object"
+  in
+  match Ledger.entry_of_json stripped with
+  | Error e -> Alcotest.failf "pre-shard entry rejected: %s" e
+  | Ok e ->
+    Alcotest.(check (list (pair int (float 0.0)))) "shards default" [] e.Ledger.shards;
+    Alcotest.(check string) "parallelism default" "unknown" e.Ledger.parallelism
 
 let test_row_roundtrip () =
   let r = mk_row ~words:7 ~signatures:3 "weak-ba" in
@@ -314,6 +335,8 @@ let () =
         [
           Alcotest.test_case "entry/ledger json fixpoint" `Quick
             test_entry_roundtrip;
+          Alcotest.test_case "pre-shard entries still parse" `Quick
+            test_pre_shard_entry_parses;
           Alcotest.test_case "sweep row round-trip" `Quick test_row_roundtrip;
           Alcotest.test_case "schema gates" `Quick test_schema_gates;
           Alcotest.test_case "load/save/append" `Quick test_load_save_append;

@@ -1,6 +1,8 @@
-(* The perf layer: the domain pool's scheduling-independence guarantees and
-   the sweep's parallel-equals-sequential property (the invariant the whole
-   multicore runner rests on). *)
+(* The perf layer: the domain pool's scheduling-independence guarantees
+   (one-shot and persistent worker sets), the sweep's
+   parallel-equals-sequential property, and the intra-run sharding's
+   core-row invariance (the invariants the whole multicore runner rests
+   on). *)
 
 open Mewc_prelude
 open Mewc_core
@@ -40,6 +42,46 @@ let pool_exception_lowest_index () =
         Alcotest.(check int) (Printf.sprintf "jobs=%d lowest index" jobs) 3 i)
     [ 1; 2; 4 ]
 
+let workers_reuse_deterministic () =
+  (* One worker set fed many rounds — the hot path the sharded engine runs
+     once per slot — must match the sequential map on every round. *)
+  Pool.with_workers ~jobs:3 (fun ws ->
+      Alcotest.(check int) "lanes" 3 (Pool.size ws);
+      for round = 0 to 9 do
+        let expect = Array.init 17 (fun i -> (round * 31) + (i * i)) in
+        let got =
+          Pool.exec ws (Array.init 17 (fun i () -> (round * 31) + (i * i)))
+        in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          expect got
+      done)
+
+let workers_exception_lowest_index () =
+  Pool.with_workers ~jobs:4 (fun ws ->
+      (match
+         Pool.exec ws
+           (Array.init 10 (fun i () -> if i = 2 || i = 9 then raise (Boom i) else i))
+       with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i -> Alcotest.(check int) "lowest index" 2 i);
+      (* the set survives a failing round and keeps working *)
+      Alcotest.(check (array int)) "set still live" [| 0; 1; 2 |]
+        (Pool.exec ws (Array.init 3 (fun i () -> i))))
+
+let nested_run_falls_back_sequential () =
+  (* Pool.run from inside a pool task must not deadlock on the shared
+     worker set; it degrades to sequential execution in the worker. *)
+  let results =
+    Pool.run ~jobs:2
+      (Array.init 4 (fun i () ->
+           Array.to_list (Pool.run ~jobs:2 (Array.init 3 (fun j () -> (10 * i) + j)))))
+  in
+  Alcotest.(check (array (list int)))
+    "nested results"
+    (Array.init 4 (fun i -> List.init 3 (fun j -> (10 * i) + j)))
+    results
+
 let pool_results_match_sequential =
   Test_util.qcheck_case ~name:"pool(jobs) == sequential map for any jobs"
     QCheck2.Gen.(pair (int_range 1 16) (list_size (int_range 0 50) small_int))
@@ -68,25 +110,64 @@ let sweep_rerun_deterministic () =
   Alcotest.(check (list string)) "reruns replay bit for bit" a b
 
 let sweep_report () =
-  let report = Sweep.run_perf ~jobs:2 Sweep.smoke_grid in
+  let report = Sweep.run_perf ~jobs:2 ~shard_counts:[ 1; 2 ] Sweep.smoke_grid in
   Alcotest.(check bool) "identical" true report.Sweep.identical;
+  Alcotest.(check bool) "shards identical" true report.Sweep.shards_identical;
+  Alcotest.(check (list int)) "shard passes ran" [ 1; 2 ]
+    (List.map fst report.Sweep.shard_wall_s);
+  Alcotest.(check bool) "parallelism note set" true
+    (report.Sweep.parallelism <> "");
   Alcotest.(check int) "all points ran" (List.length Sweep.smoke_grid)
     (List.length report.Sweep.rows);
   Alcotest.(check bool) "sequential timing sane" true (report.Sweep.sequential_s >= 0.0);
-  (* The report round-trips through the JSON layer (schema mewc-perf/1). *)
+  (* The report round-trips through the JSON layer (schema mewc-perf/2). *)
   let json = Sweep.report_to_json report in
   match Jsonx.parse (Jsonx.to_string json) with
   | Error e -> Alcotest.failf "report JSON does not reparse: %s" e
   | Ok parsed ->
     Alcotest.(check (option string))
-      "schema" (Some "mewc-perf/1")
+      "schema" (Some "mewc-perf/2")
       (Option.bind (Jsonx.member "schema" parsed) Jsonx.get_str);
+    Alcotest.(check (option string))
+      "parallelism member"
+      (Some report.Sweep.parallelism)
+      (Option.bind (Jsonx.member "parallelism" parsed) Jsonx.get_str);
+    Alcotest.(check bool) "shards member is an array" true
+      (match Jsonx.member "shards" parsed with
+      | Some (Jsonx.Arr cells) -> List.length cells = 2
+      | _ -> false);
+    Alcotest.(check (option bool))
+      "shard identity member" (Some true)
+      (Option.bind
+         (Jsonx.member "shards_identical_to_sequential" parsed)
+         Jsonx.get_bool);
     let rows =
       Option.bind (Jsonx.member "rows" parsed) Jsonx.get_list
       |> Option.value ~default:[]
     in
     Alcotest.(check int) "rows serialized" (List.length report.Sweep.rows)
       (List.length rows)
+
+let sweep_sharded_core_rows_identical () =
+  (* The intra-run axis: sharding a point's engine across domains must
+     leave every protocol-observable row field untouched. Compared on
+     row_core_line — per-domain memo tables may split cache hits
+    differently, nothing else may move. *)
+  let points =
+    [
+      { Sweep.protocol = "weak-ba"; n = 13; f_spec = "t" };
+      { Sweep.protocol = "bb"; n = 9; f_spec = "1" };
+      { Sweep.protocol = "strong-ba"; n = 9; f_spec = "0" };
+    ]
+  in
+  let baseline = List.map Sweep.row_core_line (Sweep.run_all points) in
+  List.iter
+    (fun shards ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "shards=%d" shards)
+        baseline
+        (List.map Sweep.row_core_line (Sweep.run_all ~shards points)))
+    [ 2; 4; 8 ]
 
 let sweep_caches_hit () =
   (* The crypto caches must actually fire on a fallback-heavy point —
@@ -105,6 +186,12 @@ let () =
           Alcotest.test_case "empty / tiny inputs" `Quick pool_empty_and_tiny;
           Alcotest.test_case "exception surfaces at lowest task index" `Quick
             pool_exception_lowest_index;
+          Alcotest.test_case "worker set: reuse across rounds deterministic" `Quick
+            workers_reuse_deterministic;
+          Alcotest.test_case "worker set: exception at lowest index, set survives"
+            `Quick workers_exception_lowest_index;
+          Alcotest.test_case "nested run falls back to sequential" `Quick
+            nested_run_falls_back_sequential;
           pool_results_match_sequential;
         ] );
       ( "sweep",
@@ -112,8 +199,10 @@ let () =
           Alcotest.test_case "parallel byte-identical to sequential" `Quick
             sweep_parallel_identical;
           Alcotest.test_case "reruns deterministic" `Quick sweep_rerun_deterministic;
-          Alcotest.test_case "perf report: identity + mewc-perf/1 round-trip" `Quick
+          Alcotest.test_case "perf report: identity + mewc-perf/2 round-trip" `Quick
             sweep_report;
+          Alcotest.test_case "sharded core rows byte-identical" `Quick
+            sweep_sharded_core_rows_identical;
           Alcotest.test_case "crypto caches fire on fallback path" `Quick
             sweep_caches_hit;
         ] );
