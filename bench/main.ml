@@ -199,7 +199,11 @@ let run_frontier_smoke ~jobs =
     prerr_endline "[FRONTIER] FATAL: sharded sweep diverged from sequential";
     exit 1
   end;
-  let oracle = Sweep.run_all ~scheduler:`Legacy points in
+  let oracle =
+    Sweep.run_all
+      ~options:{ Instances.default_options with Instances.scheduler = `Legacy }
+      points
+  in
   let lines rows = List.map Sweep.row_to_line rows in
   if not (List.equal String.equal (lines report.Sweep.rows) (lines oracle))
   then begin

@@ -12,12 +12,17 @@
      mewc chaos --smoke
      mewc chaos --cell weak-ba:partition:3
      mewc perf diff -- -2 -1
+     mewc throughput --smoke
+     mewc throughput --workload bursty --depth deep --ledger BENCH_throughput.json
    `run` prints per-process decisions and the run's communication metering
    (with --trace, also the per-slot word series); `trace` emits the full
    structured execution trace as JSON (schema mewc-trace/3) or CSV, or a
    decision's happens-before cone; `chaos` sweeps the (protocol x
    fault-intensity) degradation matrix (schema mewc-degrade/1); `perf`
-   manages the append-only regression ledger (schema mewc-ledger/1).
+   manages the append-only regression ledger (schema mewc-ledger/1);
+   `throughput` runs the repeated-BA service over the workload ×
+   pipeline-depth grid and the SLO retention sweep (schema
+   mewc-throughput/1).
 
    Exit codes, uniform across subcommands:
      0    success
@@ -231,6 +236,16 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
       ~fault_seed
   in
   let profile = if profile_on then Some (Profile.create ()) else None in
+  let options =
+    {
+      Instances.default_options with
+      Instances.seed;
+      profile;
+      faults;
+      scheduler;
+      shards;
+    }
+  in
   pr "mewc: n=%d t=%d protocol=%s adversary=%s f=%d seed=%Ld%s\n\n" n t
     (protocol_name protocol) adversary f seed
     (if Faults.is_none faults then ""
@@ -240,7 +255,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
       match protocol with
       | Bb ->
       let adv = bb_adversary ~cfg ~f ~input adversary in
-      let o = Instances.run_bb ~cfg ~seed ?profile ~scheduler ~shards ~faults ~input ~adversary:adv () in
+      let o = Instances.run_bb ~cfg ~options ~input ~adversary:adv () in
       print_outcome ~show:true ~trace
       (fun () ->
         Array.iteri
@@ -256,8 +271,8 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Weak_ba ->
     let adv = wba_adversary ~cfg ~n ~t ~f adversary in
     let o =
-      Instances.run_weak_ba ~cfg ~seed ?profile ~scheduler ~shards ~faults
-        ~inputs:(Array.make n input) ~adversary:adv ()
+      Instances.run_weak_ba ~cfg ~options ~inputs:(Array.make n input)
+        ~adversary:adv ()
     in
     print_outcome ~show:true ~trace
       (fun () ->
@@ -274,7 +289,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Strong_ba ->
     let adv = sba_adversary ~cfg ~n ~f adversary in
     let o =
-      Instances.run_strong_ba ~cfg ~seed ?profile ~scheduler ~shards ~faults
+      Instances.run_strong_ba ~cfg ~options
         ~inputs:(Array.init n (fun i -> i mod 2 = 0))
         ~adversary:adv ()
     in
@@ -292,7 +307,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
   | Fallback ->
     let adv = epk_adversary ~cfg ~f ~input adversary in
     let o =
-      Instances.run_fallback ~cfg ~seed ?profile ~scheduler ~shards ~faults
+      Instances.run_fallback ~cfg ~options
         ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
         ~adversary:adv ()
     in
@@ -419,24 +434,26 @@ let trace_cmd protocol n adversary f seed input format output cone dot =
   let t = cfg.Config.t in
   let f = min f t in
   let seed = Int64.of_int seed in
+  let options =
+    { Instances.default_options with Instances.seed; record_trace = true }
+  in
   let trace_json =
     match protocol with
     | Bb ->
-      (Instances.run_bb ~cfg ~seed ~record_trace:true ~input
+      (Instances.run_bb ~cfg ~options ~input
          ~adversary:(bb_adversary ~cfg ~f ~input adversary) ())
         .Instances.trace_json
     | Weak_ba ->
-      (Instances.run_weak_ba ~cfg ~seed ~record_trace:true
-         ~inputs:(Array.make n input)
+      (Instances.run_weak_ba ~cfg ~options ~inputs:(Array.make n input)
          ~adversary:(wba_adversary ~cfg ~n ~t ~f adversary) ())
         .Instances.trace_json
     | Strong_ba ->
-      (Instances.run_strong_ba ~cfg ~seed ~record_trace:true
+      (Instances.run_strong_ba ~cfg ~options
          ~inputs:(Array.init n (fun i -> i mod 2 = 0))
          ~adversary:(sba_adversary ~cfg ~n ~f adversary) ())
         .Instances.trace_json
     | Fallback ->
-      (Instances.run_fallback ~cfg ~seed ~record_trace:true
+      (Instances.run_fallback ~cfg ~options
          ~inputs:(Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3)))
          ~adversary:(epk_adversary ~cfg ~f ~input adversary) ())
         .Instances.trace_json
@@ -893,7 +910,10 @@ let chaos_cmd jobs smoke cell output =
   match cell with
   | Some spec ->
     let protocol, profile, level = parse_cell spec in
-    let c = Degrade.run_cell ~protocol ~profile ~level () in
+    let c =
+      Degrade.run_cell ~options:Instances.default_options ~protocol ~profile
+        ~level
+    in
     pr "mewc chaos: %s/%s/L%d seed=%Ld -> %s\n" protocol profile level
       c.Degrade.seed
       (Format.asprintf "%a" Monitor.pp_classification c.Degrade.verdict);
@@ -935,6 +955,78 @@ let chaos_cmd jobs smoke cell output =
           unsafe;
         exit 3
     end
+
+(* ---- `throughput`: the repeated-BA service ------------------------------- *)
+
+let throughput_cmd smoke n workload depth rev date ledger output scheduler
+    shards =
+  let scheduler = scheduler_of_flag scheduler in
+  if shards < 1 then die_misuse "--shards %d: need at least one shard" shards;
+  let options = { Engine.default_options with Engine.scheduler; shards } in
+  if smoke then (
+    match Throughput.smoke ~options () with
+    | Error msg ->
+      epr "mewc throughput: smoke FAILED: %s\n%!" msg;
+      exit 1
+    | Ok entry ->
+      print_string (Throughput.render entry);
+      pr
+        "mewc throughput: smoke ok — grid deterministic, deep pipeline \
+         byte-equal to the sequential oracle and strictly faster, SLO \
+         controls at 1.0\n")
+  else begin
+    (match workload with
+    | Some w when Workload.find_preset w = None ->
+      die_misuse "throughput: unknown workload %S (known: %s)" w
+        (String.concat ", " Workload.preset_names)
+    | _ -> ());
+    (match depth with
+    | Some d when not (List.mem_assoc d Throughput.depths) ->
+      die_misuse "throughput: unknown depth %S (known: %s)" d
+        (String.concat ", " (List.map fst Throughput.depths))
+    | _ -> ());
+    let ns = match n with Some n -> [ n ] | None -> [ 9; 13 ] in
+    let workloads =
+      match workload with Some w -> [ w ] | None -> Workload.preset_names
+    in
+    let depth_names =
+      match depth with Some d -> [ d ] | None -> List.map fst Throughput.depths
+    in
+    let grid =
+      List.concat_map
+        (fun n ->
+          List.concat_map
+            (fun w -> List.map (fun d -> (n, w, d)) depth_names)
+            workloads)
+        ns
+    in
+    let cells =
+      try Throughput.run_grid ~options grid
+      with Invalid_argument e -> die_misuse "throughput: %s" e
+    in
+    let slo = Throughput.slo_sweep ~options () in
+    let entry = { Throughput.rev; date; cells; slo } in
+    print_string (Throughput.render entry);
+    (match output with
+    | None -> ()
+    | Some path -> (
+      match open_out path with
+      | exception Sys_error e -> die_misuse "cannot write %s: %s" path e
+      | oc ->
+        output_string oc
+          (Jsonx.to_string (Throughput.to_json [ Throughput.entry_to_json entry ]));
+        output_char oc '\n';
+        close_out oc;
+        pr "wrote %s (schema %s)\n" path Throughput.schema));
+    match ledger with
+    | None -> ()
+    | Some path -> (
+      match Throughput.append path entry with
+      | Ok count ->
+        pr "mewc throughput: appended %s@%s to %s (%d entries)\n" rev date path
+          count
+      | Error e -> die_parse "throughput: %s" e)
+  end
 
 open Cmdliner
 
@@ -1394,6 +1486,73 @@ let perf_cmd =
         frontier_csv_term;
     ]
 
+let throughput_term =
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "CI self-validation on the n = 9 sub-grid: the grid plus SLO \
+             sweep twice, byte-identical; the deep pipeline's committed log \
+             byte-equal to the sequential oracle while strictly faster; \
+             fault-free SLO retention exactly 1.0.")
+  in
+  let n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Run a single system size instead of the grid's {9, 13}.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload" ] ~docv:"PRESET"
+          ~doc:
+            "Run a single workload preset (steady, bursty, heavy-tail) \
+             instead of all three.")
+  in
+  let depth =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "depth" ] ~docv:"DEPTH"
+          ~doc:
+            "Run a single pipeline depth (seq, half, deep) instead of all \
+             three.")
+  in
+  let rev =
+    Arg.(
+      value & opt string "unknown"
+      & info [ "rev" ] ~docv:"REV"
+          ~doc:"Git revision to record (the tool never shells out).")
+  in
+  let date =
+    Arg.(
+      value & opt string "unknown"
+      & info [ "date" ] ~docv:"DATE" ~doc:"Date to record (ISO 8601).")
+  in
+  let ledger =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append this run to the mewc-throughput/1 ledger at $(docv) \
+             (by convention $(b,BENCH_throughput.json)).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Also write this run as a standalone mewc-throughput/1 document.")
+  in
+  Term.(
+    const throughput_cmd $ smoke $ n $ workload $ depth $ rev $ date $ ledger
+    $ output $ scheduler_arg $ shards_arg)
+
 let cmd =
   let info =
     Cmd.info "mewc" ~version:"1.0.0"
@@ -1430,6 +1589,15 @@ let cmd =
               violation to a minimal scenario, and manage the replayable \
               mewc-fuzz/1 corpus.")
         fuzz_term;
+      Cmd.v
+        (Cmd.info "throughput"
+           ~doc:
+             "Run the repeated-BA throughput service over the workload × \
+              pipeline-depth grid: decisions per 1k slots, words per \
+              decision, batch fill and p50/p99 commit latency per cell, \
+              plus the crash/drop SLO retention sweep (mewc-throughput/1); \
+              optionally append to the throughput ledger.")
+        throughput_term;
       Cmd.v
         (Cmd.info "chaos"
            ~doc:

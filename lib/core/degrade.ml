@@ -139,16 +139,28 @@ let classified run =
   in
   (verdict, f, faulty, undecided, words, slots)
 
-let run_cell ?shards ~protocol ~profile ~level () =
+let run_cell ~options ~protocol ~profile ~level =
   let plan = plan_of ~profile ~level in
   let seed = seed_of ~protocol ~profile ~level in
+  (* The cell's identity fixes the run: seed, recorded trace (the liveness
+     replay needs it), safety monitors and fault plan all override whatever
+     [options] says about them. What survives of [options] are the engine
+     knobs — scheduler, shards, profile — which the cell is invariant
+     under. *)
   let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) (params : p) =
     classified (fun () ->
         Instances.run
           (module P)
-          ~cfg ~seed ~record_trace:true ?shards
-          ~monitors:(safety_monitors ())
-          ~faults:plan ~params ~adversary:(honest ()) ())
+          ~cfg
+          ~options:
+            {
+              (Instances.retarget options) with
+              Instances.seed;
+              record_trace = true;
+              monitors = Some (safety_monitors ());
+              faults = plan;
+            }
+          ~params ~adversary:(honest ()) ())
   in
   let n = cfg.Config.n in
   let verdict, f, faulty, undecided, words, slots =
@@ -216,12 +228,10 @@ let grid =
     protocols
 
 let run_all ?(jobs = 1) () =
-  if jobs <= 1 then
-    List.map (fun (protocol, profile, level) -> run_cell ~protocol ~profile ~level ()) grid
-  else
-    Pool.map_list ~jobs
-      (fun (protocol, profile, level) -> run_cell ~protocol ~profile ~level ())
-      grid
+  let cell (protocol, profile, level) =
+    run_cell ~options:Instances.default_options ~protocol ~profile ~level
+  in
+  if jobs <= 1 then List.map cell grid else Pool.map_list ~jobs cell grid
 
 (* ---- reporting ---------------------------------------------------------- *)
 
@@ -387,7 +397,9 @@ let smoke ?jobs () =
      planted cell lives outside the grid (ablated protocol, bespoke fault
      profile), so it is run here and appended to the returned matrix. *)
   let p, pr, l = planted_unsafe in
-  let planted_cell = run_cell ~protocol:p ~profile:pr ~level:l () in
+  let planted_cell =
+    run_cell ~options:Instances.default_options ~protocol:p ~profile:pr ~level:l
+  in
   let* () =
     match planted_cell.verdict with
     | Monitor.Unsafe _ -> Ok ()

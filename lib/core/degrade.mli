@@ -68,11 +68,18 @@ type cell = {
 val seed_of : protocol:string -> profile:string -> level:int -> int64
 
 val run_cell :
-  ?shards:int -> protocol:string -> profile:string -> level:int -> unit -> cell
-(** One grid cell, reproducible from its arguments alone; the cell is
-    invariant under [shards] (default 1, see
-    {!Mewc_sim.Engine.options.shards}). Raises [Invalid_argument] on an
-    unknown protocol/profile/level. *)
+  options:'m Instances.options ->
+  protocol:string ->
+  profile:string ->
+  level:int ->
+  cell
+(** One grid cell, reproducible from the cell coordinates alone: the cell
+    identity fixes the seed, the recorded trace, the safety monitor suite
+    and the fault plan, overriding those fields of [options]. What
+    [options] contributes are the engine knobs — [scheduler], [shards],
+    [profile] — and the cell is invariant under all of them (pass
+    {!Instances.default_options} when in doubt). Raises [Invalid_argument]
+    on an unknown protocol/profile/level. *)
 
 val grid : (string * string * int) list
 (** All (protocol, profile, level) cells, row-major in the orders above. *)

@@ -518,12 +518,62 @@ module Strong_ba_protocol = struct
   let spray = None
 end
 
+(* ---- run options ------------------------------------------------------- *)
+
+type 'm options = {
+  seed : int64;
+  shuffle_seed : int64 option;
+  record_trace : bool;
+  monitors : 'm Monitor.t list option;
+  profile : Profile.t option;
+  faults : Faults.plan;
+  scheduler : Engine.scheduler;
+  shards : int;
+}
+
+let default_options =
+  {
+    seed = 1L;
+    shuffle_seed = None;
+    record_trace = false;
+    monitors = None;
+    profile = None;
+    faults = Faults.none;
+    scheduler = `Legacy;
+    shards = 1;
+  }
+
+(* Spelled out field by field (not [{ o with monitors = None }]) so the
+   result gets a fresh message-type parameter: ['m] only occurs in
+   [monitors], which is the field being forgotten. *)
+let retarget o =
+  {
+    seed = o.seed;
+    shuffle_seed = o.shuffle_seed;
+    record_trace = o.record_trace;
+    monitors = None;
+    profile = o.profile;
+    faults = o.faults;
+    scheduler = o.scheduler;
+    shards = o.shards;
+  }
+
 (* ---- the generic runner ------------------------------------------------ *)
 
-let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
-    ?shuffle_seed ?(record_trace = false) ?monitors ?profile
-    ?(faults = Faults.none) ?(scheduler = `Legacy) ?(shards = 1) ~params
-    ~adversary () =
+let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg
+    ?(options = default_options) ~params ~adversary () =
+  let {
+    seed;
+    shuffle_seed;
+    record_trace;
+    monitors;
+    profile;
+    faults;
+    scheduler;
+    shards;
+  } =
+    options
+  in
   P.validate_params ~cfg ~params;
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
@@ -611,44 +661,39 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg ?(seed = 1L)
 
 (* ---- legacy entry points (thin wrappers over [run]) -------------------- *)
 
-let run_fallback ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?shards ?(round_len = 1) ?(start_slot = fun _ -> 0)
+let run_fallback ~cfg ?options ?(round_len = 1) ?(start_slot = fun _ -> 0)
     ~inputs ~adversary () =
   run
     (module Fallback_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
+    ~cfg ?options
     ~params:{ Fallback_protocol.inputs; round_len; start_slot }
     ~adversary ()
 
-let run_weak_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?shards ?(validate = fun _ -> true) ?quorum_override
+let run_weak_ba ~cfg ?options ?(validate = fun _ -> true) ?quorum_override
     ~inputs ~adversary () =
   run
     (module Weak_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
+    ~cfg ?options
     ~params:{ Weak_ba_protocol.inputs; validate; quorum_override }
     ~adversary ()
 
-let run_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?shards ?(sender = 0) ~input ~adversary () =
+let run_bb ~cfg ?options ?(sender = 0) ~input ~adversary () =
   run
     (module Bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
+    ~cfg ?options
     ~params:{ Bb_protocol.sender; input }
     ~adversary ()
 
-let run_binary_bb ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?shards ?(sender = 0) ~input ~adversary () =
+let run_binary_bb ~cfg ?options ?(sender = 0) ~input ~adversary () =
   run
     (module Binary_bb_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
+    ~cfg ?options
     ~params:{ Binary_bb_protocol.sender; input }
     ~adversary ()
 
-let run_strong_ba ~cfg ?(seed = 1L) ?shuffle_seed ?(record_trace = false) ?profile
-    ?faults ?scheduler ?shards ?(leader = 0) ~inputs ~adversary () =
+let run_strong_ba ~cfg ?options ?(leader = 0) ~inputs ~adversary () =
   run
     (module Strong_ba_protocol)
-    ~cfg ~seed ?shuffle_seed ~record_trace ?profile ?faults ?scheduler ?shards
+    ~cfg ?options
     ~params:{ Strong_ba_protocol.leader; inputs }
     ~adversary ()

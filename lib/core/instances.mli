@@ -173,40 +173,74 @@ module Strong_ba_protocol : sig
 end
 (** §7 strong BA; [nonsilent_phases] counts correct fast deciders. *)
 
+(** {2 Run options}
+
+    Every run knob that is not part of the protocol's own parameters,
+    gathered in one record (mirroring {!Mewc_sim.Engine.options}) so that
+    adding a knob does not grow eight runner signatures in lock step.
+    Start from {!default_options} and override the fields you need:
+
+    {[
+      Instances.run (module P) ~cfg
+        ~options:{ Instances.default_options with seed = 7L; shards = 2 }
+        ~params ~adversary ()
+    ]} *)
+
+type 'm options = {
+  seed : int64;  (** trusted-setup / RNG seed (default [1L]) *)
+  shuffle_seed : int64 option;
+      (** permute every inbox deterministically before delivery
+          ({!Mewc_sim.Engine.options.shuffle_seed}) *)
+  record_trace : bool;  (** materialize the run's [mewc-trace/3] JSON *)
+  monitors : 'm Mewc_sim.Monitor.t list option;
+      (** [None] (default) installs the instance's standard suite — or,
+          under injected faults, its model-independent safety core;
+          [Some ms] installs [ms] verbatim (the fuzzer does this) *)
+  profile : Mewc_sim.Profile.t option;
+      (** charge engine phases, crypto hot paths and serialization to spans *)
+  faults : Mewc_sim.Faults.plan;  (** default {!Mewc_sim.Faults.none} *)
+  scheduler : Mewc_sim.Engine.scheduler;  (** default [`Legacy] *)
+  shards : int;  (** intra-run domains (default 1) *)
+}
+
+val default_options : 'm options
+(** Seed [1L], in-order delivery, no trace, standard monitors, no profile,
+    no faults, legacy scheduler, one shard. *)
+
+val retarget : 'a options -> 'b options
+(** The same options for a protocol with a different message type. The
+    [monitors] override — the only ['m]-typed field — is dropped back to
+    [None]; everything else is preserved. Generic drivers ({!Sweep},
+    {!Degrade}, the fuzzer) use this to re-type one caller-supplied record
+    per protocol branch. *)
+
 (** {2 The generic runner} *)
 
 val run :
   ('p, 's, 'm, 'd) Protocol.t ->
   cfg:Mewc_sim.Config.t ->
-  ?seed:int64 ->
-  ?shuffle_seed:int64 ->
-  ?record_trace:bool ->
-  ?monitors:'m Mewc_sim.Monitor.t list ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?faults:Mewc_sim.Faults.plan ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
+  ?options:'m options ->
   params:'p ->
   adversary:('s, 'm) Mewc_sim.Adversary.factory ->
   unit ->
   'd agreement_outcome
 (** [run (module P) ~cfg ~params ~adversary ()] executes one run of [P] to
-    its static horizon: trusted setup from [seed] (default [1L]), machines
-    from [P.machine], the instance's standard monitor suite — or [monitors]
-    verbatim when given (the fuzzer installs its own safety suite) — and
-    the outcome assembled from the final states, meter and PKI counters.
-    With [profile], engine phases, the PKI's hash hot paths and trace
-    serialization are charged to the given {!Mewc_sim.Profile.t} spans.
-    With [faults] (default {!Mewc_sim.Faults.none}), the plan is threaded to
-    the engine's deliver boundary; when [monitors] is not given, the
-    default suite is narrowed to the model-independent safety core
-    (corruption budget, agreement, metering), since neither the liveness
-    envelopes nor the word bounds — calibrated against the realized f on a
-    reliable network — are promised off the reliable model. Read stalls
-    off [status] instead.
+    its static horizon: trusted setup from [options.seed], machines from
+    [P.machine], the instance's standard monitor suite — or
+    [options.monitors] verbatim when given (the fuzzer installs its own
+    safety suite) — and the outcome assembled from the final states, meter
+    and PKI counters. With [options.profile], engine phases, the PKI's hash
+    hot paths and trace serialization are charged to the given
+    {!Mewc_sim.Profile.t} spans. With [options.faults], the plan is
+    threaded to the engine's deliver boundary; when [options.monitors] is
+    [None], the default suite is then narrowed to the model-independent
+    safety core (corruption budget, agreement, metering), since neither the
+    liveness envelopes nor the word bounds — calibrated against the
+    realized f on a reliable network — are promised off the reliable model.
+    Read stalls off [status] instead.
 
-    [shards] (default 1) is threaded to {!Mewc_sim.Engine.options.shards}:
-    the run's step phase is sharded across that many domains, with
+    [options.shards] is threaded to {!Mewc_sim.Engine.options.shards}: the
+    run's step phase is sharded across that many domains, with
     byte-identical observable results — only [crypto] (the cache hit/miss
     split) may legitimately differ across shard counts, which is why it is
     excluded from equivalence fingerprints. *)
@@ -214,19 +248,13 @@ val run :
 (** {2 Legacy entry points}
 
     Deprecated thin wrappers over {!run}: each builds the instance's
-    [params] from the historical optional arguments and delegates.
-    Behavior is identical to the pre-{!Protocol.S} runners; new code
-    should call {!run} directly. *)
+    [params] from the historical protocol-specific optional arguments and
+    delegates, forwarding [?options] untouched. Behavior is identical to
+    the pre-{!Protocol.S} runners; new code should call {!run} directly. *)
 
 val run_fallback :
   cfg:Mewc_sim.Config.t ->
-  ?seed:int64 ->
-  ?shuffle_seed:int64 ->
-  ?record_trace:bool ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?faults:Mewc_sim.Faults.plan ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
+  ?options:Epk_str.msg options ->
   ?round_len:int ->
   ?start_slot:(Mewc_prelude.Pid.t -> int) ->
   inputs:string array ->
@@ -237,13 +265,7 @@ val run_fallback :
 
 val run_weak_ba :
   cfg:Mewc_sim.Config.t ->
-  ?seed:int64 ->
-  ?shuffle_seed:int64 ->
-  ?record_trace:bool ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?faults:Mewc_sim.Faults.plan ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
+  ?options:Weak_str.msg options ->
   ?validate:(string -> bool) ->
   ?quorum_override:int ->
   inputs:string array ->
@@ -254,13 +276,7 @@ val run_weak_ba :
 
 val run_bb :
   cfg:Mewc_sim.Config.t ->
-  ?seed:int64 ->
-  ?shuffle_seed:int64 ->
-  ?record_trace:bool ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?faults:Mewc_sim.Faults.plan ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
+  ?options:Adaptive_bb.msg options ->
   ?sender:Mewc_prelude.Pid.t ->
   input:string ->
   adversary:(Adaptive_bb.state, Adaptive_bb.msg) Mewc_sim.Adversary.factory ->
@@ -270,13 +286,7 @@ val run_bb :
 
 val run_binary_bb :
   cfg:Mewc_sim.Config.t ->
-  ?seed:int64 ->
-  ?shuffle_seed:int64 ->
-  ?record_trace:bool ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?faults:Mewc_sim.Faults.plan ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
+  ?options:Binary_bb_bool.msg options ->
   ?sender:Mewc_prelude.Pid.t ->
   input:bool ->
   adversary:(Binary_bb_bool.state, Binary_bb_bool.msg) Mewc_sim.Adversary.factory ->
@@ -286,13 +296,7 @@ val run_binary_bb :
 
 val run_strong_ba :
   cfg:Mewc_sim.Config.t ->
-  ?seed:int64 ->
-  ?shuffle_seed:int64 ->
-  ?record_trace:bool ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?faults:Mewc_sim.Faults.plan ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
+  ?options:Strong_bool.msg options ->
   ?leader:Mewc_prelude.Pid.t ->
   inputs:bool array ->
   adversary:(Strong_bool.state, Strong_bool.msg) Mewc_sim.Adversary.factory ->

@@ -26,23 +26,39 @@ type state = {
   secret : Pki.Secret.t;
   pid : Pid.t;
   length : int;
+  offset : int;
   propose : int -> string;
   instances : Adaptive_bb.state option array;
   pending : Adaptive_bb.msg Envelope.t list array;  (* reversed, per index *)
 }
 
 let stride cfg = Adaptive_bb.horizon cfg
-let horizon cfg ~length = length * stride cfg
+
+let check_offset cfg = function
+  | None -> stride cfg
+  | Some off ->
+    if off < 1 || off > stride cfg then
+      invalid_arg
+        (Printf.sprintf "Repeated_bb: offset must be in [1, %d], got %d"
+           (stride cfg) off);
+    off
+
+let horizon ?offset cfg ~length =
+  let offset = check_offset cfg offset in
+  ((length - 1) * offset) + stride cfg
+
 let proposer cfg i = i mod cfg.Config.n
 
-let init ~cfg ~pki ~secret ~pid ~length ~propose =
+let init ~cfg ~pki ~secret ~pid ~length ?offset ~propose () =
   if length < 1 then invalid_arg "Repeated_bb.init: length >= 1";
+  let offset = check_offset cfg offset in
   {
     cfg;
     pki;
     secret;
     pid;
     length;
+    offset;
     propose;
     instances = Array.make length None;
     pending = Array.make length [];
@@ -57,6 +73,9 @@ let log st =
           | Some Adaptive_bb.No_decision -> Some Skipped
           | None -> None))
     st.instances
+
+let decided_slots st =
+  Array.map (fun inst -> Option.bind inst Adaptive_bb.decided_at) st.instances
 
 let step ~slot ~inbox st =
   List.iter
@@ -73,65 +92,79 @@ let step ~slot ~inbox st =
           :: st.pending.(index))
     inbox;
   let stride = stride st.cfg in
+  let offset = st.offset in
   let out = ref [] in
-  (* Only the currently-active instance (and at most the previous one, for
-     messages in flight at the boundary) can make progress; stepping just
-     those keeps a k-slot log linear in k. *)
-  let active = min (slot / stride) (st.length - 1) in
-  let lo = max 0 (active - 1) in
-  for i = lo to active do
-    let start = i * stride in
-    if slot >= start then begin
-      if st.instances.(i) = None then begin
-        let sender = proposer st.cfg i in
-        st.instances.(i) <-
-          Some
-            (Adaptive_bb.init ~cfg:st.cfg ~pki:st.pki ~secret:st.secret
-               ~pid:st.pid ~sender
-               ~input:(if Pid.equal st.pid sender then Some (st.propose i) else None)
-               ~start_slot:start)
-      end;
-      match st.instances.(i) with
-      | None -> ()
-      | Some inst ->
-        let inbox = List.rev st.pending.(i) in
-        st.pending.(i) <- [];
-        let inst', sends = Adaptive_bb.step ~slot ~inbox inst in
-        st.instances.(i) <- Some inst';
-        out :=
-          List.map (fun (m, dst) -> ({ index = i; inner = m }, dst)) sends @ !out
-    end
+  (* Instance [i] starts at [i * offset] and its inner BB is silent after
+     [stride] slots, so only the window of instances whose [stride]-slot
+     life (plus one stride of slack for messages in flight at the
+     boundary) covers [slot] can make progress. Stepping just that window
+     keeps a k-slot log linear in k at any pipeline depth. *)
+  let hi = min (st.length - 1) (slot / offset) in
+  let lo =
+    (* smallest i with i*offset + 2*stride > slot; integer division
+       truncates toward zero, so guard the negative numerator. *)
+    if slot < 2 * stride then 0 else ((slot - (2 * stride)) / offset) + 1
+  in
+  for i = max 0 lo to hi do
+    let start = i * offset in
+    if st.instances.(i) = None then begin
+      let sender = proposer st.cfg i in
+      st.instances.(i) <-
+        Some
+          (Adaptive_bb.init ~cfg:st.cfg ~pki:st.pki ~secret:st.secret
+             ~pid:st.pid ~sender
+             ~input:(if Pid.equal st.pid sender then Some (st.propose i) else None)
+             ~start_slot:start)
+    end;
+    match st.instances.(i) with
+    | None -> ()
+    | Some inst ->
+      let inbox = List.rev st.pending.(i) in
+      st.pending.(i) <- [];
+      let inst', sends = Adaptive_bb.step ~slot ~inbox inst in
+      st.instances.(i) <- Some inst';
+      out :=
+        List.map (fun (m, dst) -> ({ index = i; inner = m }, dst)) sends @ !out
   done;
   (st, !out)
 
 type outcome = {
   logs : entry option array array;
+  decided_slots : int option array array;
   corrupted : Pid.t list;
+  faulty : Pid.t list;
   f : int;
   words : int;
+  slots : int;
   words_per_slot : float;
 }
 
-let run ~cfg ?(seed = 1L) ~length ~propose ~adversary () =
+let run ~cfg ?(seed = 1L) ?offset ?options ~length ~propose ~adversary () =
   let n = cfg.Config.n in
   let pki, secrets = Pki.setup ~seed ~n () in
   let protocol pid =
     {
       Process.init =
-        init ~cfg ~pki ~secret:secrets.(pid) ~pid ~length ~propose:(propose pid);
+        init ~cfg ~pki ~secret:secrets.(pid) ~pid ~length ?offset
+          ~propose:(propose pid) ();
       step = (fun ~slot ~inbox st -> step ~slot ~inbox st);
       wake = None;
     }
   in
   let adversary = adversary ~pki ~secrets in
   let res =
-    Engine.run ~cfg ~words ~horizon:(horizon cfg ~length) ~protocol ~adversary ()
+    Engine.run ~cfg ?options ~words
+      ~horizon:(horizon ?offset cfg ~length)
+      ~protocol ~adversary ()
   in
   let words_total = Meter.correct_words res.Engine.meter in
   {
     logs = Array.map log res.Engine.states;
+    decided_slots = Array.map decided_slots res.Engine.states;
     corrupted = res.Engine.corrupted;
+    faulty = res.Engine.faulty;
     f = res.Engine.f;
     words = words_total;
+    slots = res.Engine.slots;
     words_per_slot = float_of_int words_total /. float_of_int length;
   }

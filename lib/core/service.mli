@@ -1,0 +1,114 @@
+(** The client-visible face of the replicated log: submit → batch →
+    commit.
+
+    {!Repeated_bb} stays the raw protocol machine (init/step/log); this
+    module is the entry point clients are meant to use. The lifecycle is
+    submit / claim / finalize:
+
+    + {!submit} queues a request (arrival slot + size in words) and
+      returns a ticket;
+    + {!finalize} packs the queue into batches — each batch is one
+      proposed value, i.e. one {!Repeated_bb} log slot — runs the whole
+      log in a single synchronous execution, and returns a {!report};
+    + {!claim} looks a ticket up in the report: {!disposition.Committed}
+      with the landing slot and latency, {!disposition.Skipped} when the
+      batch's round-robin proposer was exposed as Byzantine,
+      {!disposition.Undecided} when fault injection stalled the instance,
+      or {!disposition.Unassigned} when the instance cap cut the tail of
+      the queue.
+
+    {b Batching is schedule-independent.} Batches are packed greedily in
+    arrival order under three caps — [max_requests] and [max_words] per
+    batch, and [max_age] slots between a batch's first and last arrival —
+    as a pure function of the submitted stream. The pipeline offset never
+    influences {e which} batch a request lands in, only {e when} that
+    batch's instance runs; combined with {!Repeated_bb}'s oracle
+    invariant, the committed log under a deep pipeline is byte-identical
+    to the sequential schedule, while commits land earlier in wall-slots.
+
+    The generator is open-loop, so a deep pipeline can decide a batch
+    {e before} its last request's arrival slot (the schedule is known
+    ahead of time); latency clamps at 0 in that case. *)
+
+open Mewc_sim
+
+type policy = { max_requests : int; max_words : int; max_age : int }
+(** Batch caps. A batch closes as soon as adding the next request would
+    exceed [max_requests] requests or [max_words] payload words, or when
+    the next request arrived more than [max_age] slots after the batch's
+    first. *)
+
+val default_policy : policy
+(** [{ max_requests = 8; max_words = 64; max_age = 4 }]. *)
+
+val validate_policy : policy -> unit
+(** Raises [Invalid_argument] unless all three caps are >= 1. *)
+
+type t
+
+val create : cfg:Config.t -> ?policy:policy -> ?offset:int -> unit -> t
+(** A fresh service. [offset] is {!Repeated_bb}'s pipeline offset
+    (default: unpipelined); validated here, eagerly. *)
+
+val submit : t -> arrival:int -> size:int -> int
+(** Queue one request; returns its ticket (dense, starting at 0).
+    Arrivals must be non-decreasing across calls and sizes >= 1 —
+    [Invalid_argument] otherwise. Raises [Failure] after {!finalize}. *)
+
+val submit_workload : t -> Workload.request list -> unit
+(** {!submit} every generated request, in order. *)
+
+type disposition =
+  | Committed of { index : int; decided_slot : int; latency : int }
+      (** landed in log slot [index], fully replicated at wall-slot
+          [decided_slot] (the last correct replica's decision),
+          [latency = max 0 (decided_slot - arrival)] *)
+  | Skipped of { index : int }  (** batch lost to a Byzantine proposer *)
+  | Undecided of { index : int }  (** instance stalled (fault injection) *)
+  | Unassigned  (** beyond the instance cap; never proposed *)
+
+val pp_disposition : Format.formatter -> disposition -> unit
+
+type report = {
+  length : int;  (** log length = number of batches proposed *)
+  offset : int;
+  slots : int;  (** engine horizon executed *)
+  f : int;
+  words : int;  (** protocol words, the paper's metric *)
+  requests : int;
+  committed : int;  (** requests, not batches *)
+  skipped : int;
+  undecided : int;
+  unassigned : int;
+  decided_batches : int;
+  batch_fill : float;
+      (** mean batch occupancy / [max_requests], over proposed batches *)
+  words_per_decision : float;  (** protocol words per decided batch *)
+  decisions_per_1k_slots : float;  (** decided batches per 1000 slots *)
+  p50_latency : int;  (** over committed requests; 0 when none *)
+  p99_latency : int;
+  dispositions : disposition array;  (** indexed by ticket *)
+  log : Repeated_bb.entry option array;  (** the agreed log, replica 0 *)
+}
+
+val finalize :
+  t ->
+  seed:int64 ->
+  ?max_instances:int ->
+  ?options:(Repeated_bb.state, Repeated_bb.msg) Engine.options ->
+  adversary:(Repeated_bb.state, Repeated_bb.msg) Adversary.factory ->
+  unit ->
+  report
+(** Pack, run, measure. [seed] feeds the trusted setup ({!Repeated_bb.run});
+    [max_instances] caps the log length (default: unbounded — every batch
+    is proposed); excess requests come back {!disposition.Unassigned}.
+    [options] passes the engine's knobs through (fault plans for the SLO
+    sweep, scheduler/shards for the determinism gates). The service is
+    single-shot: a second call raises [Failure]. *)
+
+val claim : report -> int -> disposition
+(** [claim report ticket]. Raises [Invalid_argument] on unknown tickets. *)
+
+val report_to_json : report -> Mewc_prelude.Jsonx.t
+(** Per-run facts only (no schema tag; {!Throughput} wraps reports into
+    the versioned [mewc-throughput/1] document). *)

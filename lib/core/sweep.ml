@@ -79,11 +79,15 @@ let seed_of { protocol; n; f_spec } =
 let crash_first f ~pki:_ ~secrets:_ =
   Adversary.crash ~victims:(List.init f (fun i -> i + 1)) ()
 
-let run_point ?profile ?scheduler ?shards point =
+let run_point ?(options = Instances.default_options) point =
   let cfg = Config.optimal ~n:point.n in
   let t = cfg.Config.t in
   let f = f_of_spec ~t point.f_spec in
   let seed = seed_of point in
+  (* The point owns its seed (reruns replay bit for bit whatever the caller
+     passed); the monitors override is dropped by [retarget] — each branch
+     installs its protocol's standard suite. *)
+  let opts () = { (Instances.retarget options) with Instances.seed } in
   let of_outcome (o : _ Instances.agreement_outcome) =
     {
       point;
@@ -103,14 +107,14 @@ let run_point ?profile ?scheduler ?shards point =
     of_outcome
       (Instances.run
          (module Instances.Bb_protocol)
-         ~cfg ~seed ?profile ?scheduler ?shards
+         ~cfg ~options:(opts ())
          ~params:{ Instances.Bb_protocol.sender = 0; input = "payload" }
          ~adversary:(crash_first f) ())
   | "weak-ba" ->
     of_outcome
       (Instances.run
          (module Instances.Weak_ba_protocol)
-         ~cfg ~seed ?profile ?scheduler ?shards
+         ~cfg ~options:(opts ())
          ~params:
            {
              Instances.Weak_ba_protocol.inputs = Array.make point.n "v";
@@ -122,7 +126,7 @@ let run_point ?profile ?scheduler ?shards point =
     of_outcome
       (Instances.run
          (module Instances.Strong_ba_protocol)
-         ~cfg ~seed ?profile ?scheduler ?shards
+         ~cfg ~options:(opts ())
          ~params:
            {
              Instances.Strong_ba_protocol.leader = 0;
@@ -133,7 +137,7 @@ let run_point ?profile ?scheduler ?shards point =
     of_outcome
       (Instances.run
          (module Instances.Fallback_protocol)
-         ~cfg ~seed ?profile ?scheduler ?shards
+         ~cfg ~options:(opts ())
          ~params:
            {
              Instances.Fallback_protocol.inputs =
@@ -144,13 +148,13 @@ let run_point ?profile ?scheduler ?shards point =
          ~adversary:(crash_first f) ())
   | p -> invalid_arg ("Sweep.run_point: unknown protocol " ^ p)
 
-let run_all ?(jobs = 1) ?profile ?scheduler ?shards points =
+let run_all ?(jobs = 1) ?(options = Instances.default_options) points =
   (* A Profile.t is a plain mutable record — not domain-safe — so profiled
      passes must stay in the calling domain. *)
-  if jobs > 1 && Option.is_some profile then
+  if jobs > 1 && Option.is_some options.Instances.profile then
     invalid_arg "Sweep.run_all: profiling requires jobs = 1";
-  if jobs <= 1 then List.map (run_point ?profile ?scheduler ?shards) points
-  else Pool.map_list ~jobs (fun p -> run_point ?scheduler ?shards p) points
+  if jobs <= 1 then List.map (run_point ~options) points
+  else Pool.map_list ~jobs (fun p -> run_point ~options p) points
 
 let row_to_line r =
   Printf.sprintf
@@ -255,12 +259,15 @@ let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = [])
     let v = f () in
     (v, Unix.gettimeofday () -. t0)
   in
+  let base = { Instances.default_options with Instances.scheduler } in
   (* Only the sequential pass is profiled: spans would race across domains,
      and the parallel pass exists to time raw throughput anyway. *)
   let seq_rows, sequential_s =
-    timed (fun () -> run_all ~jobs:1 ?profile ~scheduler points)
+    timed (fun () -> run_all ~jobs:1 ~options:{ base with Instances.profile } points)
   in
-  let par_rows, parallel_s = timed (fun () -> run_all ~jobs ~scheduler points) in
+  let par_rows, parallel_s =
+    timed (fun () -> run_all ~jobs ~options:base points)
+  in
   let identical =
     List.equal String.equal (List.map row_to_line seq_rows)
       (List.map row_to_line par_rows)
@@ -274,7 +281,8 @@ let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = [])
     List.map
       (fun shards ->
         let rows, wall =
-          timed (fun () -> run_all ~jobs:1 ~scheduler ~shards points)
+          timed (fun () ->
+              run_all ~jobs:1 ~options:{ base with Instances.shards } points)
         in
         let same = List.equal String.equal seq_core (List.map row_core_line rows) in
         ((shards, wall), same))

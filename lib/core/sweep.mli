@@ -65,35 +65,25 @@ val frontier_grid : Mewc_sim.Engine.scheduler -> point list * point list
     is the paper's adaptive showcase — while the other protocols run
     failure-free beyond n = 21, as on {!standard_grid}. *)
 
-val run_point :
-  ?profile:Mewc_sim.Profile.t ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
-  point ->
-  row
-(** Run one point (seed fixed by the point; crash-first adversary). With
-    [profile], the run's engine phases, crypto hot paths and serialization
-    are charged to the given profiler (see {!Instances.run}); rows are
-    unaffected — timing never leaks into the deterministic facts. The
-    [scheduler] (default [`Legacy]) changes wall-clock only: rows are
-    byte-identical across schedulers (the engine-diff suite's invariant),
-    so sweeping event-driven against a legacy baseline is sound. [shards]
-    (default 1) shards the run itself across domains
-    ({!Mewc_sim.Engine.options.shards}); every row field except the
-    crypto-cache split is invariant under it. *)
+val run_point : ?options:'m Instances.options -> point -> row
+(** Run one point (crash-first adversary). The point owns its seed —
+    [options.seed] is overridden by the point's derived seed, and the
+    [monitors] override is dropped ({!Instances.retarget}): each protocol
+    branch installs its own standard suite. The honored knobs are the
+    engine's: [profile] charges the run's phases, crypto hot paths and
+    serialization to the given profiler (rows are unaffected — timing never
+    leaks into the deterministic facts); [scheduler] (default [`Legacy])
+    changes wall-clock only, rows are byte-identical across schedulers (the
+    engine-diff suite's invariant); [shards] (default 1) shards the run
+    itself across domains ({!Mewc_sim.Engine.options.shards}), with every
+    row field except the crypto-cache split invariant under it. *)
 
-val run_all :
-  ?jobs:int ->
-  ?profile:Mewc_sim.Profile.t ->
-  ?scheduler:Mewc_sim.Engine.scheduler ->
-  ?shards:int ->
-  point list ->
-  row list
-(** All points, order-preserving. [jobs] > 1 fans the points across that
-    many domains with {!Mewc_prelude.Pool}'s deterministic chunking;
-    default 1 (sequential, no domains spawned). Raises [Invalid_argument]
-    if [profile] is combined with [jobs] > 1: a {!Mewc_sim.Profile.t} is
-    not domain-safe. *)
+val run_all : ?jobs:int -> ?options:'m Instances.options -> point list -> row list
+(** All points, order-preserving, each through {!run_point} with the same
+    [options]. [jobs] > 1 fans the points across that many domains with
+    {!Mewc_prelude.Pool}'s deterministic chunking; default 1 (sequential,
+    no domains spawned). Raises [Invalid_argument] if [options.profile] is
+    combined with [jobs] > 1: a {!Mewc_sim.Profile.t} is not domain-safe. *)
 
 val row_to_json : row -> Mewc_prelude.Jsonx.t
 val row_to_line : row -> string

@@ -1,0 +1,103 @@
+open Mewc_prelude
+
+type arrival =
+  | Steady of float
+  | Bursty of { rate : float; burst_every : int; burst_size : int }
+
+type sizes =
+  | Fixed of int
+  | Skewed of { base : int; heavy : int; heavy_weight : float }
+
+type profile = { arrival : arrival; sizes : sizes }
+
+let validate { arrival; sizes } =
+  (match arrival with
+  | Steady rate ->
+    if rate <= 0.0 then invalid_arg "Workload: Steady rate must be > 0"
+  | Bursty { rate; burst_every; burst_size } ->
+    if rate < 0.0 then invalid_arg "Workload: Bursty rate must be >= 0";
+    if burst_every < 1 then invalid_arg "Workload: burst_every must be >= 1";
+    if burst_size < 0 then invalid_arg "Workload: burst_size must be >= 0");
+  match sizes with
+  | Fixed w -> if w < 1 then invalid_arg "Workload: Fixed size must be >= 1"
+  | Skewed { base; heavy; heavy_weight } ->
+    if base < 1 || heavy < 1 then
+      invalid_arg "Workload: Skewed sizes must be >= 1";
+    if heavy_weight < 0.0 || heavy_weight > 1.0 then
+      invalid_arg "Workload: heavy_weight must be in [0, 1]"
+
+type request = { id : int; arrival : int; size : int }
+
+(* Knuth's Poisson sampler: exact, and only ever consumes uniforms from
+   the workload's own stream, so traffic is independent of protocol
+   randomness. Rates here are O(1) per slot, so the exp(-rate) product
+   loop terminates in a handful of draws. *)
+let poisson rng rate =
+  let l = exp (-.rate) in
+  let k = ref 0 and p = ref 1.0 in
+  let continue = ref true in
+  while !continue do
+    p := !p *. Rng.float rng 1.0;
+    if !p > l then incr k else continue := false
+  done;
+  !k
+
+let draw_size rng = function
+  | Fixed w -> w
+  | Skewed { base; heavy; heavy_weight } ->
+    if Rng.float rng 1.0 < heavy_weight then heavy else base
+
+let generate ~seed ~profile ~slots =
+  validate profile;
+  if slots < 0 then invalid_arg "Workload.generate: slots must be >= 0";
+  let rng = Rng.create seed in
+  let next_id = ref 0 in
+  let out = ref [] in
+  let push ~arrival ~size =
+    out := { id = !next_id; arrival; size } :: !out;
+    incr next_id
+  in
+  for slot = 0 to slots - 1 do
+    let arrivals =
+      match profile.arrival with
+      | Steady rate -> poisson rng rate
+      | Bursty { rate; burst_every; burst_size } ->
+        let base = poisson rng rate in
+        if slot mod burst_every = 0 then base + burst_size else base
+    in
+    for _ = 1 to arrivals do
+      push ~arrival:slot ~size:(draw_size rng profile.sizes)
+    done
+  done;
+  List.rev !out
+
+let total_words reqs = List.fold_left (fun acc r -> acc + r.size) 0 reqs
+
+let presets =
+  [
+    ("steady", { arrival = Steady 1.0; sizes = Fixed 4 });
+    ( "bursty",
+      {
+        arrival = Bursty { rate = 0.4; burst_every = 8; burst_size = 6 };
+        sizes = Fixed 4;
+      } );
+    ( "heavy-tail",
+      {
+        arrival = Steady 1.0;
+        sizes = Skewed { base = 2; heavy = 32; heavy_weight = 0.1 };
+      } );
+  ]
+
+let preset_names = List.map fst presets
+let find_preset name = List.assoc_opt name presets
+
+let pp_profile fmt { arrival; sizes } =
+  (match arrival with
+  | Steady r -> Format.fprintf fmt "steady(%.2f/slot)" r
+  | Bursty { rate; burst_every; burst_size } ->
+    Format.fprintf fmt "bursty(%.2f/slot + %d every %d)" rate burst_size
+      burst_every);
+  match sizes with
+  | Fixed w -> Format.fprintf fmt " x %dw" w
+  | Skewed { base; heavy; heavy_weight } ->
+    Format.fprintf fmt " x (%dw | %dw @ %.2f)" base heavy heavy_weight

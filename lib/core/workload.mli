@@ -1,0 +1,52 @@
+(** Open-loop client traffic for the throughput service.
+
+    A workload is a deterministic stream of client requests — arrival slot
+    and payload size in words — generated from a seed on a dedicated
+    {!Mewc_prelude.Rng} stream, independent of every protocol RNG: the
+    same seed always produces the same traffic no matter what the service
+    does with it (open loop — clients do not wait for commits before
+    sending more).
+
+    Arrival processes are per-slot Poisson (Knuth sampling), optionally
+    with a deterministic burst superimposed every [burst_every] slots;
+    sizes are fixed or two-point skewed (mostly [base], occasionally
+    [heavy]). *)
+
+type arrival =
+  | Steady of float  (** mean requests per slot (Poisson) *)
+  | Bursty of { rate : float; burst_every : int; burst_size : int }
+      (** Poisson at [rate], plus [burst_size] extra requests landing
+          together every [burst_every] slots (first burst at slot 0) *)
+
+type sizes =
+  | Fixed of int  (** every request is this many words *)
+  | Skewed of { base : int; heavy : int; heavy_weight : float }
+      (** [heavy] words with probability [heavy_weight], else [base] *)
+
+type profile = { arrival : arrival; sizes : sizes }
+
+val validate : profile -> unit
+(** Raises [Invalid_argument] on nonsensical profiles (negative rates,
+    non-positive sizes or periods, weights outside [0, 1]). *)
+
+type request = {
+  id : int;  (** dense, in arrival order *)
+  arrival : int;  (** slot the request reaches the service *)
+  size : int;  (** payload words *)
+}
+
+val generate : seed:int64 -> profile:profile -> slots:int -> request list
+(** The first [slots] slots of traffic, in arrival order (ties broken by
+    generation order). Pure function of [(seed, profile, slots)]. *)
+
+val total_words : request list -> int
+
+val presets : (string * profile) list
+(** The named profiles the throughput grid and CLI use:
+    ["steady"] (1 req/slot, fixed 4 words), ["bursty"] (0.4 req/slot plus
+    a 6-request burst every 8 slots) and ["heavy-tail"] (1 req/slot,
+    skewed 2/32-word sizes). *)
+
+val preset_names : string list
+val find_preset : string -> profile option
+val pp_profile : Format.formatter -> profile -> unit

@@ -81,15 +81,21 @@ let safety_monitors ~cfg ~ablated =
   [ Monitor.corruption_budget ~cfg; Monitor.agreement (); Monitor.metering () ]
   @ (if ablated then [] else [ Monitor.termination ~cfg ])
 
-let violation_of ?shards (Target { protocol; params; ablated; _ }) ~cfg
-    (sc : Scenario.t) =
+let violation_of ?(options = Instances.default_options)
+    (Target { protocol; params; ablated; _ }) ~cfg (sc : Scenario.t) =
   let params = params cfg in
   let adversary = Compile.adversary protocol ~cfg ~params sc in
   match
-    Instances.run protocol ~cfg ~seed:sc.Scenario.seed
-      ?shuffle_seed:sc.Scenario.shuffle ?shards
-      ~monitors:(safety_monitors ~cfg ~ablated)
-      ~faults:(Compile.plan_of_scenario sc) ~params ~adversary ()
+    Instances.run protocol ~cfg
+      ~options:
+        {
+          (Instances.retarget options) with
+          Instances.seed = sc.Scenario.seed;
+          shuffle_seed = sc.Scenario.shuffle;
+          monitors = Some (safety_monitors ~cfg ~ablated);
+          faults = Compile.plan_of_scenario sc;
+        }
+      ~params ~adversary ()
   with
   | _ -> None
   | exception Monitor.Violation v -> Some v

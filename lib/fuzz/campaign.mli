@@ -46,11 +46,17 @@ val safety_monitors : cfg:Config.t -> ablated:bool -> 'm Monitor.t list
 (** {2 Campaigns and shrinking} *)
 
 val violation_of :
-  ?shards:int -> target -> cfg:Config.t -> Scenario.t -> Monitor.violation option
-(** Run one scenario to the horizon under the safety suite. [shards]
-    (default 1) shards the run across domains
-    ({!Mewc_sim.Engine.options.shards}); the verdict is invariant under
-    it. *)
+  ?options:'m Instances.options ->
+  target ->
+  cfg:Config.t ->
+  Scenario.t ->
+  Monitor.violation option
+(** Run one scenario to the horizon under the safety suite. The scenario
+    owns the run's identity — its seed, shuffle seed, fault plan and the
+    safety monitor suite override whatever [options] says about them —
+    while the engine knobs ([scheduler], [shards], [profile],
+    [record_trace]) are honored; the verdict is invariant under scheduler
+    and shard count. *)
 
 type finding = {
   index : int;  (** scenario index within the campaign, for reproduction *)

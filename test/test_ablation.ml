@@ -231,7 +231,8 @@ let order_insensitive protocol_run =
 let shuffle_weak_ba () =
   order_insensitive (fun shuffle_seed ->
       let o =
-        Instances.run_weak_ba ~cfg:(cfg 9) ?shuffle_seed
+        Instances.run_weak_ba ~cfg:(cfg 9) 
+          ~options:{ Instances.default_options with Instances.shuffle_seed }
           ~inputs:(Array.init 9 (fun i -> Printf.sprintf "x%d" (i mod 3)))
           ~adversary:(Adversary.const (Adversary.crash ~victims:[ 1; 2 ] ()))
           ()
@@ -241,7 +242,8 @@ let shuffle_weak_ba () =
 let shuffle_weak_ba_fallback_path () =
   order_insensitive (fun shuffle_seed ->
       let o =
-        Instances.run_weak_ba ~cfg:(cfg 9) ?shuffle_seed
+        Instances.run_weak_ba ~cfg:(cfg 9) 
+          ~options:{ Instances.default_options with Instances.shuffle_seed }
           ~inputs:(Array.make 9 "v")
           ~adversary:(Adversary.const (Adversary.crash ~victims:[ 1; 2; 3; 4 ] ()))
           ()
@@ -251,7 +253,9 @@ let shuffle_weak_ba_fallback_path () =
 let shuffle_bb () =
   order_insensitive (fun shuffle_seed ->
       let o =
-        Instances.run_bb ~cfg:(cfg 9) ?shuffle_seed ~input:"v"
+        Instances.run_bb ~cfg:(cfg 9)
+          ~options:{ Instances.default_options with Instances.shuffle_seed }
+          ~input:"v"
           ~adversary:(Adversary.const (Adversary.crash ~victims:[ 0 ] ()))
           ()
       in
@@ -264,7 +268,10 @@ let shuffle_equivocating_sender_agreement () =
   List.iter
     (fun seed ->
       let o =
-        Instances.run_bb ~cfg:(cfg 9) ~shuffle_seed:seed ~input:"ignored"
+        Instances.run_bb ~cfg:(cfg 9)
+          ~options:
+            { Instances.default_options with Instances.shuffle_seed = Some seed }
+          ~input:"ignored"
           ~adversary:
             (Attacks.bb_equivocating_sender ~cfg:(cfg 9) ~sender:0 ~v1:"a" ~v2:"b")
           ()
@@ -277,7 +284,8 @@ let shuffle_equivocating_sender_agreement () =
 let shuffle_strong_ba () =
   order_insensitive (fun shuffle_seed ->
       let o =
-        Instances.run_strong_ba ~cfg:(cfg 9) ?shuffle_seed
+        Instances.run_strong_ba ~cfg:(cfg 9)
+          ~options:{ Instances.default_options with Instances.shuffle_seed }
           ~inputs:(Array.init 9 (fun i -> i mod 2 = 0))
           ~adversary:(Adversary.const (Adversary.crash ~victims:[ 0; 5 ] ()))
           ()

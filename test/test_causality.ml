@@ -28,9 +28,15 @@ let traced_run (Fuzz.Campaign.Target { protocol; params; ablated; _ })
     (sc : Fuzz.Scenario.t) =
   let params = params cfg in
   let o =
-    Instances.run protocol ~cfg ~seed:sc.Fuzz.Scenario.seed
-      ?shuffle_seed:sc.Fuzz.Scenario.shuffle ~record_trace:true
-      ~monitors:(Fuzz.Campaign.safety_monitors ~cfg ~ablated)
+    Instances.run protocol ~cfg
+      ~options:
+        {
+          Instances.default_options with
+          Instances.seed = sc.Fuzz.Scenario.seed;
+          shuffle_seed = sc.Fuzz.Scenario.shuffle;
+          record_trace = true;
+          monitors = Some (Fuzz.Campaign.safety_monitors ~cfg ~ablated);
+        }
       ~params
       ~adversary:(Fuzz.Compile.adversary protocol ~cfg ~params sc)
       ()
@@ -142,14 +148,20 @@ let run_with_cone_bound (Fuzz.Campaign.Target { protocol; params; _ })
     (sc : Fuzz.Scenario.t) ~bound =
   let params = params cfg in
   ignore
-    (Instances.run protocol ~cfg ~seed:sc.Fuzz.Scenario.seed
-       ?shuffle_seed:sc.Fuzz.Scenario.shuffle
-       ~monitors:
-         [
-           Monitor.cone_words_bound ~cfg ~name:"cone-exact"
-             ~bound:(fun ~f:_ -> bound)
-             ();
-         ]
+    (Instances.run protocol ~cfg
+       ~options:
+         {
+           Instances.default_options with
+           Instances.seed = sc.Fuzz.Scenario.seed;
+           shuffle_seed = sc.Fuzz.Scenario.shuffle;
+           monitors =
+             Some
+               [
+                 Monitor.cone_words_bound ~cfg ~name:"cone-exact"
+                   ~bound:(fun ~f:_ -> bound)
+                   ();
+               ];
+         }
        ~params
        ~adversary:(Fuzz.Compile.adversary protocol ~cfg ~params sc)
        ())

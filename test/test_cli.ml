@@ -43,6 +43,7 @@ let help_cases =
     check_code "perf --help" 0 "perf --help";
     check_code "perf diff --help" 0 "perf diff --help";
     check_code "chaos --help" 0 "chaos --help";
+    check_code "throughput --help" 0 "throughput --help";
   ]
 
 let error_cases =
@@ -249,6 +250,56 @@ let test_perf_append_then_diff_codes () =
 let test_perf_smoke_gate () =
   Alcotest.(check int) "perf smoke" 0 (run "perf smoke")
 
+(* ---- throughput: the repeated-BA service --------------------------------- *)
+
+let throughput_cases =
+  [
+    check_code "single cell exits 0" 0
+      "throughput -n 9 --workload steady --depth deep";
+    (* workload/depth/scheduler are validated in the command body: misuse
+       (1), not a cmdliner parse error (124) *)
+    check_code "unknown workload" 1 "throughput --workload nonesuch";
+    check_code "unknown depth" 1 "throughput --depth nonesuch";
+    check_code "unknown scheduler" 1 "throughput --smoke --scheduler nonesuch";
+    check_code "zero shards" 1 "throughput --smoke --shards 0";
+    check_code "unknown flag" cli_error "throughput --bogus-flag";
+    check_code "non-int n" cli_error "throughput -n many";
+  ]
+
+let test_throughput_rejects_malformed_ledger () =
+  in_temp_ledger (fun l ->
+      Out_channel.with_open_text l (fun oc -> output_string oc "not json");
+      Alcotest.(check int) "malformed ledger" 124
+        (run
+           (Printf.sprintf
+              "throughput -n 9 --workload steady --depth seq --ledger %s"
+              (Filename.quote l))))
+
+let test_throughput_ledger_roundtrip () =
+  in_temp_ledger (fun l ->
+      let ql = Filename.quote l in
+      let append rev =
+        run
+          (Printf.sprintf
+             "throughput -n 9 --workload steady --depth half --rev %s \
+              --date 2026-08-07 --ledger %s"
+            rev ql)
+      in
+      Alcotest.(check int) "first append" 0 (append "aaa");
+      Alcotest.(check int) "second append" 0 (append "bbb");
+      match Mewc_core.Throughput.load l with
+      | Ok [ _; _ ] -> ()
+      | Ok es -> Alcotest.failf "loaded %d entries" (List.length es)
+      | Error e -> Alcotest.fail e)
+
+let test_throughput_smoke_gate () =
+  let code, out = run_out "throughput --smoke" in
+  Alcotest.(check int) "smoke exit 0" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains out needle))
+    [ "dec/1k"; "retention"; "smoke ok" ]
+
 (* ---- chaos / fault flags ------------------------------------------------- *)
 
 (* Every cell runs from a seed derived from its identity, so these codes
@@ -329,6 +380,15 @@ let () =
           Alcotest.test_case "foreign schema" `Quick
             test_fuzz_rejects_foreign_schema;
         ] );
+      ( "throughput",
+        throughput_cases
+        @ [
+            Alcotest.test_case "malformed ledger" `Quick
+              test_throughput_rejects_malformed_ledger;
+            Alcotest.test_case "ledger round-trip" `Quick
+              test_throughput_ledger_roundtrip;
+            Alcotest.test_case "smoke gate" `Slow test_throughput_smoke_gate;
+          ] );
       ( "chaos",
         chaos_cases
         @ [ Alcotest.test_case "smoke gate" `Quick test_chaos_smoke_gate ] );

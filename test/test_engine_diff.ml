@@ -92,9 +92,17 @@ let diff_grid_target (Campaign.Target { name; protocol; params; ablated = _ }) =
                   | None -> "-")
               in
               check_equiv label (fun scheduler shards ->
-                  Instances.run protocol ~cfg ~seed:1L ?shuffle_seed
-                    ~record_trace:true ~scheduler ~shards ~params:(params cfg)
-                    ~adversary ()))
+                  Instances.run protocol ~cfg
+                    ~options:
+                      {
+                        Instances.default_options with
+                        Instances.seed = 1L;
+                        shuffle_seed;
+                        record_trace = true;
+                        scheduler;
+                        shards;
+                      }
+                    ~params:(params cfg) ~adversary ()))
             [ None; Some 42L ])
         [ 0; 1; cfg.Config.t ])
     [ cfg9; cfg13 ]
@@ -115,11 +123,18 @@ let diff_scenarios (Campaign.Target { name; protocol; params; ablated }) =
     let label = Format.asprintf "%s scenario %d (%a)" name i Scenario.pp scenario in
     check_equiv label (fun scheduler shards ->
         let params = params cfg in
-        Instances.run protocol ~cfg ~seed:scenario.Scenario.seed
-          ?shuffle_seed:scenario.Scenario.shuffle ~record_trace:true ~scheduler
-          ~shards
-          ~monitors:(Campaign.safety_monitors ~cfg ~ablated)
-          ~faults:(Compile.plan_of_scenario scenario)
+        Instances.run protocol ~cfg
+          ~options:
+            {
+              Instances.default_options with
+              Instances.seed = scenario.Scenario.seed;
+              shuffle_seed = scenario.Scenario.shuffle;
+              record_trace = true;
+              scheduler;
+              shards;
+              monitors = Some (Campaign.safety_monitors ~cfg ~ablated);
+              faults = Compile.plan_of_scenario scenario;
+            }
           ~params
           ~adversary:(Compile.adversary protocol ~cfg ~params scenario)
           ())
@@ -143,8 +158,16 @@ let chaos_cases () =
                 let label = Printf.sprintf "%s chaos %s@%d" name profile level in
                 check_equiv label (fun scheduler shards ->
                     Instances.run protocol ~cfg
-                      ~seed:(Degrade.seed_of ~protocol:name ~profile ~level)
-                      ~record_trace:true ~scheduler ~shards ~faults:plan
+                      ~options:
+                        {
+                          Instances.default_options with
+                          Instances.seed =
+                            Degrade.seed_of ~protocol:name ~profile ~level;
+                          record_trace = true;
+                          scheduler;
+                          shards;
+                          faults = plan;
+                        }
                       ~params:(params cfg)
                       ~adversary:
                         (Adversary.const (Adversary.crash ~victims:[] ()))

@@ -241,8 +241,15 @@ let trace_string o =
 
 let run_traced ~fault_seed () =
   let c = cfg 9 in
-  Instances.run_weak_ba ~cfg:c ~seed:7L ~record_trace:true
-    ~faults:{ Faults.none with Faults.seed = fault_seed; drop = 0.3; dup = 0.1 }
+  Instances.run_weak_ba ~cfg:c
+    ~options:
+      {
+        Instances.default_options with
+        Instances.seed = 7L;
+        record_trace = true;
+        faults =
+          { Faults.none with Faults.seed = fault_seed; drop = 0.3; dup = 0.1 };
+      }
     ~inputs:(Array.init 9 (fun i -> Printf.sprintf "v%d" (i mod 2)))
     ~adversary:(Adversary.const (Adversary.honest ~name:"honest"))
     ()
@@ -268,7 +275,13 @@ let matrix_jobs_independent () =
     "jobs=3 matrix == sequential matrix" sequential
     (json (Degrade.run_all ~jobs:3 ()));
   let protocol, profile, level = Degrade.planted_unsafe in
-  let cell () = json [ Degrade.run_cell ~protocol ~profile ~level () ] in
+  let cell () =
+    json
+      [
+        Degrade.run_cell ~options:Instances.default_options ~protocol ~profile
+          ~level;
+      ]
+  in
   Alcotest.(check string) "planted cell reproducible" (cell ()) (cell ())
 
 (* Chaos verdicts are shard-invariant: the same cell run with its engine
@@ -290,7 +303,11 @@ let cells_shard_invariant () =
       let render shards =
         Jsonx.to_string
           (Degrade.matrix_to_json
-             [ Degrade.run_cell ~shards ~protocol ~profile ~level () ])
+             [
+               Degrade.run_cell
+                 ~options:{ Instances.default_options with Instances.shards }
+                 ~protocol ~profile ~level;
+             ])
       in
       let base = render 1 in
       List.iter
@@ -305,7 +322,10 @@ let cells_shard_invariant () =
 
 let planted_cell_unsafe () =
   let protocol, profile, level = Degrade.planted_unsafe in
-  let c = Degrade.run_cell ~protocol ~profile ~level () in
+  let c =
+    Degrade.run_cell ~options:Instances.default_options ~protocol ~profile
+      ~level
+  in
   (match c.Degrade.verdict with
   | Monitor.Unsafe v ->
     Alcotest.(check string) "disagreement, specifically" "agreement"
@@ -318,7 +338,11 @@ let planted_cell_unsafe () =
      up. *)
   List.iter
     (fun protocol ->
-      match (Degrade.run_cell ~protocol ~profile ~level ()).Degrade.verdict with
+      match
+        (Degrade.run_cell ~options:Instances.default_options ~protocol ~profile
+           ~level)
+          .Degrade.verdict
+      with
       | Monitor.Unsafe v ->
         Alcotest.failf "sound %s went unsafe under the split: %s" protocol
           (Format.asprintf "%a" Monitor.pp_violation v)

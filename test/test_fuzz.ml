@@ -167,13 +167,28 @@ let test_verdict_shard_invariant () =
       let target = Option.get (Campaign.find_target name) in
       List.iter
         (fun sc ->
-          let base = Campaign.violation_of ~shards:1 target ~cfg sc in
+          let base =
+            Campaign.violation_of
+              ~options:
+                {
+                  Mewc_core.Instances.default_options with
+                  Mewc_core.Instances.shards = 1;
+                }
+              target ~cfg sc
+          in
           List.iter
             (fun shards ->
               Alcotest.(check bool)
                 (Printf.sprintf "%s shards=%d" name shards)
                 true
-                (base = Campaign.violation_of ~shards target ~cfg sc))
+                (base
+                = Campaign.violation_of
+                    ~options:
+                      {
+                        Mewc_core.Instances.default_options with
+                        Mewc_core.Instances.shards = shards;
+                      }
+                    target ~cfg sc))
             [ 2; 4 ])
         (scenarios 4))
     [ "weak-ba"; Campaign.planted_target ]

@@ -324,7 +324,11 @@ let test_profile_json_schema () =
 
 let test_profiled_parallel_sweep_rejected () =
   let p = Profile.create () in
-  match Sweep.run_all ~jobs:2 ~profile:p tiny_grid with
+  match
+    Sweep.run_all ~jobs:2
+      ~options:{ Instances.default_options with Instances.profile = Some p }
+      tiny_grid
+  with
   | _ -> Alcotest.fail "profiled parallel sweep accepted"
   | exception Invalid_argument _ -> ()
 

@@ -222,8 +222,13 @@ let qcheck_zoo_accepted =
       let c = cfg n in
       let o =
         try
-          Instances.run_weak_ba ~cfg:c ~seed:(Int64.of_int seed)
-            ~record_trace:true
+          Instances.run_weak_ba ~cfg:c
+            ~options:
+              {
+                Instances.default_options with
+                Instances.seed = Int64.of_int seed;
+                record_trace = true;
+              }
             ~inputs:(Array.init n (fun i -> Printf.sprintf "v%d" (i mod 2)))
             ~adversary:(Test_util.to_weak_adversary c pick) ()
         with Monitor.Violation v ->

@@ -166,7 +166,10 @@ let sweep_sharded_core_rows_identical () =
       Alcotest.(check (list string))
         (Printf.sprintf "shards=%d" shards)
         baseline
-        (List.map Sweep.row_core_line (Sweep.run_all ~shards points)))
+        (List.map Sweep.row_core_line
+           (Sweep.run_all
+              ~options:{ Instances.default_options with Instances.shards }
+              points)))
     [ 2; 4; 8 ]
 
 let sweep_caches_hit () =

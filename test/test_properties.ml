@@ -113,7 +113,11 @@ let determinism =
       let go () =
         let o =
           Instances.run_weak_ba ~cfg:c
-            ~seed:(Int64.of_int seed)
+            ~options:
+              {
+                Instances.default_options with
+                Instances.seed = Int64.of_int seed;
+              }
             ~inputs:(Array.init n (fun i -> Printf.sprintf "v%d" (i mod 2)))
             ~adversary:
               (Adversary.const (Adversary.crash ~victims:[ 1 ] ()))
@@ -135,8 +139,14 @@ let trace_replay_byte_identical =
       let c = cfg n in
       let go () =
         let o =
-          Instances.run_weak_ba ~cfg:c ~seed:(Int64.of_int seed)
-            ~shuffle_seed:(Int64.of_int shuffle) ~record_trace:true
+          Instances.run_weak_ba ~cfg:c
+            ~options:
+              {
+                Instances.default_options with
+                Instances.seed = Int64.of_int seed;
+                shuffle_seed = Some (Int64.of_int shuffle);
+                record_trace = true;
+              }
             ~inputs:(Array.init n (fun i -> Printf.sprintf "v%d" (i mod 2)))
             ~adversary:(to_weak_adversary c pick) ()
         in

@@ -97,6 +97,109 @@ let words_amortize_linearly () =
     true
     (abs_float (a -. b) /. a < 0.05)
 
+(* ---- pipelining is a scheduling policy, not a protocol change ---------- *)
+
+(* The oracle equality: on the same seed, every pipeline offset must
+   produce the same final logs as the sequential schedule, and every
+   instance must decide at the same point of its own [stride]-window —
+   only the wall-slot placement of the windows moves. *)
+let pipelined_logs_match_oracle () =
+  let n = 9 in
+  let c = cfg n in
+  let stride = Repeated_bb.stride c in
+  let length = 6 in
+  let run ?offset adversary =
+    Repeated_bb.run ~cfg:c ~seed:5L ?offset ~length ~propose ~adversary ()
+  in
+  List.iter
+    (fun (name, adversary) ->
+      let oracle = run adversary in
+      List.iter
+        (fun offset ->
+          let o = run ~offset adversary in
+          if o.Repeated_bb.logs <> oracle.Repeated_bb.logs then
+            Alcotest.failf "%s offset=%d: logs diverge from the oracle" name
+              offset;
+          (* decision slots, re-based to each instance's start, must match
+             the oracle's re-based decision slots exactly. *)
+          let rebase off (per_proc : int option array array) =
+            Array.map
+              (Array.mapi (fun i d -> Option.map (fun s -> s - (i * off)) d))
+              per_proc
+          in
+          if
+            rebase offset o.Repeated_bb.decided_slots
+            <> rebase stride oracle.Repeated_bb.decided_slots
+          then
+            Alcotest.failf "%s offset=%d: relative decision slots diverge" name
+              offset;
+          Alcotest.(check int)
+            (Printf.sprintf "%s offset=%d horizon" name offset)
+            (((length - 1) * offset) + stride)
+            o.Repeated_bb.slots)
+        [ 1; 2; stride / 2; stride ])
+    [
+      ("honest", Adversary.const (Adversary.honest ~name:"h"));
+      ("crash", Adversary.const (Adversary.crash ~victims:[ 5; 6 ] ()));
+    ]
+
+let byzantine_proposer_skipped_at_its_slots_pipelined () =
+  (* Round-robin: a proposer crashed from slot 0 skips exactly the log
+     slots it owns (i mod n), at any pipeline depth. *)
+  let n = 5 in
+  let c = cfg n in
+  let length = 12 in
+  let victim = 2 in
+  List.iter
+    (fun offset ->
+      let o =
+        Repeated_bb.run ~cfg:c ~seed:3L ~offset ~length ~propose
+          ~adversary:(Adversary.const (Adversary.crash ~victims:[ victim ] ()))
+          ()
+      in
+      let log = check_logs_agree o in
+      Array.iteri
+        (fun i entry ->
+          match (entry, i mod n = victim) with
+          | Some Repeated_bb.Skipped, true -> ()
+          | Some (Repeated_bb.Committed v), false ->
+            Alcotest.(check string)
+              (Printf.sprintf "offset=%d slot %d" offset i)
+              (propose (i mod n) i) v
+          | Some e, _ ->
+            Alcotest.failf "offset=%d slot %d: unexpected %s" offset i
+              (Format.asprintf "%a" Repeated_bb.pp_entry e)
+          | None, _ -> Alcotest.failf "offset=%d slot %d undecided" offset i)
+        log)
+    [ 1; Repeated_bb.stride c ]
+
+let logs_invariant_under_engine_knobs () =
+  (* scheduler × shards must be observationally invisible to the log,
+     pipelined or not — same invariant the engine-diff suite proves for
+     the one-shot protocols. *)
+  let n = 9 in
+  let c = cfg n in
+  let run ~offset ~scheduler ~shards =
+    let o =
+      Repeated_bb.run ~cfg:c ~seed:11L ~offset ~length:4 ~propose
+        ~options:{ Engine.default_options with Engine.scheduler; shards }
+        ~adversary:(Adversary.const (Adversary.crash ~victims:[ 1 ] ()))
+        ()
+    in
+    (o.Repeated_bb.logs, o.Repeated_bb.decided_slots, o.Repeated_bb.words)
+  in
+  List.iter
+    (fun offset ->
+      let base = run ~offset ~scheduler:`Legacy ~shards:1 in
+      List.iter
+        (fun (scheduler, shards) ->
+          if run ~offset ~scheduler ~shards <> base then
+            Alcotest.failf "offset=%d %s shards=%d diverges" offset
+              (Engine.scheduler_to_string scheduler)
+              shards)
+        [ (`Legacy, 2); (`Event_driven, 1); (`Event_driven, 2) ])
+    [ 2; Repeated_bb.stride c ]
+
 let () =
   Alcotest.run "repeated BB (replicated log)"
     [
@@ -107,5 +210,14 @@ let () =
             byzantine_proposer_skipped;
           Alcotest.test_case "crashes tolerated" `Quick early_crash_tolerated;
           Alcotest.test_case "per-slot cost flat" `Slow words_amortize_linearly;
+        ] );
+      ( "pipelining",
+        [
+          Alcotest.test_case "pipelined logs == oracle" `Quick
+            pipelined_logs_match_oracle;
+          Alcotest.test_case "byzantine proposer skipped at its slots" `Quick
+            byzantine_proposer_skipped_at_its_slots_pipelined;
+          Alcotest.test_case "invariant under scheduler x shards" `Quick
+            logs_invariant_under_engine_knobs;
         ] );
     ]
