@@ -511,12 +511,27 @@ let shard_counts_upto n =
   let counts = doubling [] 1 in
   List.rev (if List.mem n counts then counts else n :: counts)
 
-let bench_cmd jobs smoke frontier scheduler shards output =
+(* --progress: an opt-in stderr heartbeat. [heartbeat_of] returns the
+   ?progress tick to thread into a sweep plus the finish hook; with the
+   flag off both are inert, so the flag can never perturb stdout or any
+   JSON artifact (test_cli pins that). *)
+let heartbeat_of enabled ~label ~total =
+  if not enabled then (None, fun () -> ())
+  else
+    let hb = Mewc_obs.Heartbeat.create ~total ~label () in
+    (Some (fun () -> Mewc_obs.Heartbeat.tick hb),
+     fun () -> Mewc_obs.Heartbeat.finish hb)
+
+let bench_cmd jobs smoke frontier scheduler shards output progress =
   let scheduler = scheduler_of_flag scheduler in
   if shards < 1 then die_misuse "--shards %d: need at least one shard" shards;
   let grid, capped, grid_name = select_grid ~smoke ~frontier ~scheduler in
   let shard_counts = shard_counts_upto shards in
-  let report = Sweep.run_perf ?jobs ~scheduler ~capped ~shard_counts grid in
+  let tick, finish =
+    heartbeat_of progress ~label:"bench" ~total:(List.length grid)
+  in
+  let report = Sweep.run_perf ?jobs ~scheduler ~capped ~shard_counts ?progress:tick grid in
+  finish ();
   pr
     "mewc bench: %d points (%s grid, %s engine), %d cores, jobs=%d\n\
     \  parallelism   %s\n\
@@ -593,6 +608,29 @@ let perf_append ledger rev date smoke frontier scheduler jobs =
       ledger count
   | Error e -> die_parse "perf: %s" e);
   print_string (Profile.flame profile)
+
+(* `perf baseline`: one timed sequential pass over the ratio grid under one
+   scheduler, appended as a grid="ratio" ledger entry whose rows carry
+   their own wall clocks. Two such entries (one per scheduler) are what
+   `mewc report` turns into the event-vs-legacy ratio figure. *)
+let perf_baseline ledger rev date scheduler progress =
+  let scheduler = scheduler_of_flag scheduler in
+  let tick, finish =
+    heartbeat_of progress ~label:"perf baseline"
+      ~total:(List.length Sweep.ratio_grid)
+  in
+  let rows, wall_s = Sweep.run_baseline ?progress:tick ~scheduler () in
+  finish ();
+  let entry = Ledger.of_baseline ~rev ~date ~scheduler ~wall_s rows in
+  match Ledger.append ledger entry with
+  | Ok count ->
+    pr
+      "mewc perf: appended ratio baseline %s (%s engine, %d rows, %.2fs) to \
+       %s (%d entries)\n"
+      (entry_label entry)
+      (Engine.scheduler_to_string scheduler)
+      (List.length rows) wall_s ledger count
+  | Error e -> die_parse "perf: %s" e
 
 let perf_list ledger =
   let entries = load_ledger ledger in
@@ -706,36 +744,10 @@ let perf_smoke ledger =
 
 (* ---- frontier CSV: measured words vs the literature's curves ------------- *)
 
-(* One CSV row per ledger-entry row, with the related-work reference curves
-   computed alongside the measurement so the words-vs-n frontier plots
-   straight out of the file:
-   - paper_bound_n_f1: the source paper's adaptive O(n(f+1)) upper shape;
-   - civit_adaptive_n_tf: Civit et al.'s adaptive word complexity O(n + t*f)
-     (Strong Byzantine Agreement with Adaptive Word Complexity);
-   - king_saia_nsqrtn_log2n: King-Saia's O~(sqrt n) bits per processor,
-     totalled as n*sqrt(n)*log2(n) words.
-   Shapes, not constants: each column is the bound's leading term with
-   constant 1, for slope comparison on log-log axes. *)
-let frontier_csv_of_rows rows =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b
-    "protocol,n,t,f_spec,f,words,messages,signatures,paper_bound_n_f1,\
-     civit_adaptive_n_tf,king_saia_nsqrtn_log2n\n";
-  List.iter
-    (fun (r : Sweep.row) ->
-      let n = float_of_int r.Sweep.point.Sweep.n in
-      let king_saia = n *. sqrt n *. (log n /. log 2.0) in
-      Buffer.add_string b
-        (Printf.sprintf "%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%.1f\n"
-           r.Sweep.point.Sweep.protocol r.Sweep.point.Sweep.n r.Sweep.t
-           r.Sweep.point.Sweep.f_spec r.Sweep.f r.Sweep.words r.Sweep.messages
-           r.Sweep.signatures
-           (r.Sweep.point.Sweep.n * (r.Sweep.f + 1))
-           (r.Sweep.point.Sweep.n + (r.Sweep.t * r.Sweep.f))
-           king_saia))
-    rows;
-  Buffer.contents b
-
+(* A thin alias: the frontier arithmetic (the paper's n(f+1), Civit et
+   al.'s n + t*f, King-Saia's n*sqrt(n)*log2(n) reference columns) lives
+   in Mewc_report.Figure so `mewc report` and this subcommand can never
+   disagree about a column. *)
 let perf_frontier_csv ledger selector output =
   let entries = load_ledger ledger in
   let entry =
@@ -743,7 +755,7 @@ let perf_frontier_csv ledger selector output =
     | Ok e -> e
     | Error e -> die_misuse "perf: %s" e
   in
-  let csv = frontier_csv_of_rows entry.Ledger.rows in
+  let csv = Mewc_report.Figure.frontier_csv entry.Ledger.rows in
   match output with
   | None -> print_string csv
   | Some path -> (
@@ -755,6 +767,40 @@ let perf_frontier_csv ledger selector output =
       pr "wrote %s (%d rows from ledger entry %s)\n" path
         (List.length entry.Ledger.rows)
         (entry_label entry))
+
+(* ---- `report`: figures + consistency from the committed artifacts ------- *)
+
+(* Everything is re-parsed from disk (Mewc_report.Loader) and regenerated
+   as a pure function of the parsed artifacts, so --check can byte-compare
+   the regeneration against the committed docs/report/ files: a broken
+   artifact dies with 124 like every other parse error, drift or a violated
+   cross-artifact invariant exits 3 like every other finding. *)
+let report_cmd dir out check =
+  let out =
+    match out with
+    | Some o -> o
+    | None -> Filename.concat dir (Filename.concat "docs" "report")
+  in
+  let artifacts =
+    match Mewc_report.Loader.load_all ~dir with
+    | Ok a -> a
+    | Error e -> die_parse "report: %s" e
+  in
+  let findings = Mewc_report.Consistency.run artifacts in
+  let files = Mewc_report.Report.generate artifacts in
+  print_string (Mewc_report.Consistency.render findings);
+  if check then begin
+    let drift = Mewc_report.Report.check ~dir:out files in
+    List.iter (fun d -> pr "[report-drift] %s\n" d) drift;
+    if findings <> [] || drift <> [] then exit 3;
+    pr "mewc report: ok — %d files in %s match regeneration, consistency clean\n"
+      (List.length files) out
+  end
+  else begin
+    Mewc_report.Report.write ~dir:out files;
+    pr "mewc report: wrote %d files to %s\n" (List.length files) out;
+    if findings <> [] then exit 3
+  end
 
 (* ---- fuzz --------------------------------------------------------------- *)
 
@@ -906,7 +952,7 @@ let write_matrix path cells =
     close_out oc;
     pr "wrote %s (schema mewc-degrade/1)\n" path
 
-let chaos_cmd jobs smoke cell output =
+let chaos_cmd jobs smoke cell output progress =
   match cell with
   | Some spec ->
     let protocol, profile, level = parse_cell spec in
@@ -939,7 +985,13 @@ let chaos_cmd jobs smoke cell output =
           p prof l;
         Option.iter (fun path -> write_matrix path cells) output)
     else begin
-      let cells = Degrade.run_all ?jobs () in
+      let tick, finish =
+        heartbeat_of progress ~label:"chaos"
+          ~total:(List.length Degrade.protocols * List.length Degrade.profiles
+                  * Degrade.levels)
+      in
+      let cells = Degrade.run_all ?jobs ?progress:tick () in
+      finish ();
       print_string (Degrade.render cells);
       Option.iter (fun path -> write_matrix path cells) output;
       match Degrade.unsafe_cells cells with
@@ -959,7 +1011,7 @@ let chaos_cmd jobs smoke cell output =
 (* ---- `throughput`: the repeated-BA service ------------------------------- *)
 
 let throughput_cmd smoke n workload depth rev date ledger output scheduler
-    shards =
+    shards progress =
   let scheduler = scheduler_of_flag scheduler in
   if shards < 1 then die_misuse "--shards %d: need at least one shard" shards;
   let options = { Engine.default_options with Engine.scheduler; shards } in
@@ -1000,11 +1052,16 @@ let throughput_cmd smoke n workload depth rev date ledger output scheduler
             workloads)
         ns
     in
+    let tick, finish =
+      heartbeat_of progress ~label:"throughput"
+        ~total:(List.length grid + List.length Throughput.slo_grid)
+    in
     let cells =
-      try Throughput.run_grid ~options grid
+      try Throughput.run_grid ~options ?progress:tick grid
       with Invalid_argument e -> die_misuse "throughput: %s" e
     in
-    let slo = Throughput.slo_sweep ~options () in
+    let slo = Throughput.slo_sweep ~options ?progress:tick () in
+    finish ();
     let entry = { Throughput.rev; date; cells; slo } in
     print_string (Throughput.render entry);
     (match output with
@@ -1067,6 +1124,15 @@ let scheduler_arg =
            every slot, the original lock-step loop) or $(b,event-driven) \
            (only processes with pending deliveries or an armed timer step \
            — byte-identical outputs, much faster at large n).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Emit a stderr heartbeat line per completed sweep point (off by \
+           default). Strictly an observer: stdout and every JSON artifact \
+           are byte-identical with or without it.")
 
 let shards_arg =
   Arg.(
@@ -1224,7 +1290,8 @@ let bench_term =
              the curve beyond the baseline pass.")
   in
   Term.(
-    const bench_cmd $ jobs $ smoke $ frontier $ scheduler_arg $ shards $ output)
+    const bench_cmd $ jobs $ smoke $ frontier $ scheduler_arg $ shards $ output
+    $ progress_arg)
 
 let fuzz_term =
   let target =
@@ -1331,7 +1398,7 @@ let chaos_term =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the mewc-degrade/1 JSON matrix to FILE.")
   in
-  Term.(const chaos_cmd $ jobs $ smoke $ cell $ output)
+  Term.(const chaos_cmd $ jobs $ smoke $ cell $ output $ progress_arg)
 
 let perf_cmd =
   let ledger_arg =
@@ -1376,6 +1443,22 @@ let perf_cmd =
     Term.(
       const perf_append $ ledger_arg $ rev $ date $ smoke_arg $ frontier_arg
       $ scheduler_arg $ jobs_arg)
+  in
+  let baseline_term =
+    let rev =
+      Arg.(
+        value & opt string "unknown"
+        & info [ "rev" ] ~docv:"REV"
+            ~doc:"Git revision to record (the tool never shells out).")
+    in
+    let date =
+      Arg.(
+        value & opt string "unknown"
+        & info [ "date" ] ~docv:"DATE" ~doc:"Date to record (ISO 8601).")
+    in
+    Term.(
+      const perf_baseline $ ledger_arg $ rev $ date $ scheduler_arg
+      $ progress_arg)
   in
   let diff_term =
     let threshold =
@@ -1477,6 +1560,15 @@ let perf_cmd =
               self-diff.")
         smoke_term;
       Cmd.v
+        (Cmd.info "baseline"
+           ~doc:
+             "Run the scheduler-ratio grid sequentially under one scheduler \
+              and append it as a grid=\"ratio\" ledger entry whose rows \
+              carry per-point wall clocks; record one per scheduler and \
+              `mewc report` derives the event-vs-legacy ratio figure from \
+              them.")
+        baseline_term;
+      Cmd.v
         (Cmd.info "frontier-csv"
            ~doc:
              "Dump one ledger entry's words-vs-n rows as CSV, with the \
@@ -1551,7 +1643,37 @@ let throughput_term =
   in
   Term.(
     const throughput_cmd $ smoke $ n $ workload $ depth $ rev $ date $ ledger
-    $ output $ scheduler_arg $ shards_arg)
+    $ output $ scheduler_arg $ shards_arg $ progress_arg)
+
+let report_term =
+  let dir =
+    Arg.(
+      value & opt string "."
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory holding the five committed artifacts \
+             (BENCH_perf.json, BENCH_ledger.json, BENCH_throughput.json, \
+             BENCH_degrade.json, BENCH_observability.json).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Output directory (default $(b,DIR/docs/report)).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Verify instead of write: regenerate every report file in \
+             memory, byte-compare against the committed ones, and re-run \
+             the cross-artifact consistency checks (including replaying \
+             the latest smoke-grid ledger entry). Exits 3 on any drift or \
+             violated invariant.")
+  in
+  Term.(const report_cmd $ dir $ out $ check)
 
 let cmd =
   let info =
@@ -1598,6 +1720,18 @@ let cmd =
               plus the crash/drop SLO retention sweep (mewc-throughput/1); \
               optionally append to the throughput ledger.")
         throughput_term;
+      Cmd.v
+        (Cmd.info "report"
+           ~doc:
+             "Regenerate the analytics report (words-vs-n frontier against \
+              the literature's reference shapes, event-vs-legacy scheduler \
+              ratio, service throughput, chaos heatmap — CSV + SVG + \
+              REPORT.md) from the five committed benchmark artifacts, after \
+              re-checking their cross-artifact consistency invariants. \
+              $(b,--check) byte-compares the regeneration against the \
+              committed files instead of writing; drift or a violated \
+              invariant exits 3.")
+        report_term;
       Cmd.v
         (Cmd.info "chaos"
            ~doc:

@@ -227,11 +227,21 @@ let grid =
         profiles)
     protocols
 
-let run_all ?(jobs = 1) () =
+let run_all ?(jobs = 1) ?progress () =
   let cell (protocol, profile, level) =
     run_cell ~options:Instances.default_options ~protocol ~profile ~level
   in
-  if jobs <= 1 then List.map cell grid else Pool.map_list ~jobs cell grid
+  if jobs <= 1 then
+    List.map
+      (fun g ->
+        let c = cell g in
+        (match progress with None -> () | Some tick -> tick ());
+        c)
+      grid
+  else
+    (* Heartbeats only from the calling domain — a parallel pass reports
+       nothing per cell. *)
+    Pool.map_list ~jobs cell grid
 
 (* ---- reporting ---------------------------------------------------------- *)
 
@@ -343,7 +353,27 @@ let render cells =
       in
       Ascii_table.add_row table (protocol :: profile :: row))
     rows;
-  Ascii_table.render table
+  (* Per-level word-cost spread across the whole matrix: how spending grows
+     as fault intensity rises. Nearest-rank, like every other quantile in
+     the repo ({!Mewc_obs.Metrics}). *)
+  let summary =
+    let b = Buffer.create 256 in
+    for level = 0 to levels - 1 do
+      let words =
+        List.filter_map
+          (fun c -> if c.level = level then Some c.words else None)
+          cells
+      in
+      if words <> [] then begin
+        let q p = Mewc_obs.Metrics.percentile_of_list p words in
+        Buffer.add_string b
+          (Printf.sprintf "L%d words: p50 %d, p90 %d, p99 %d\n" level (q 50.0)
+             (q 90.0) (q 99.0))
+      end
+    done;
+    Buffer.contents b
+  in
+  Ascii_table.render table ^ summary
 
 let unsafe_cells cells =
   List.filter

@@ -84,9 +84,10 @@ val run_cell :
 val grid : (string * string * int) list
 (** All (protocol, profile, level) cells, row-major in the orders above. *)
 
-val run_all : ?jobs:int -> unit -> cell list
+val run_all : ?jobs:int -> ?progress:(unit -> unit) -> unit -> cell list
 (** The whole matrix, optionally domain-parallel ({!Mewc_prelude.Pool});
-    the result is independent of [jobs]. *)
+    the result is independent of [jobs]. [progress] is called once per
+    completed cell — sequential passes only. *)
 
 val matrix_to_json : cell list -> Mewc_prelude.Jsonx.t
 (** Schema [mewc-degrade/1]: the grid dimensions plus one record per cell
@@ -94,7 +95,9 @@ val matrix_to_json : cell list -> Mewc_prelude.Jsonx.t
 
 val render : cell list -> string
 (** An ASCII degradation matrix: one row per (protocol, profile), one
-    column per level, [ok] / [st] / [UN] verdicts. *)
+    column per level, [ok] / [st] / [UN] verdicts — followed by a
+    per-level p50/p90/p99 word-cost summary (nearest-rank,
+    {!Mewc_obs.Metrics.percentile_of_list}). *)
 
 val unsafe_cells : cell list -> cell list
 

@@ -529,6 +529,7 @@ type 'm options = {
   faults : Faults.plan;
   scheduler : Engine.scheduler;
   shards : int;
+  metrics : Mewc_obs.Metrics.t option;
 }
 
 let default_options =
@@ -541,6 +542,7 @@ let default_options =
     faults = Faults.none;
     scheduler = `Legacy;
     shards = 1;
+    metrics = None;
   }
 
 (* Spelled out field by field (not [{ o with monitors = None }]) so the
@@ -556,6 +558,7 @@ let retarget o =
     faults = o.faults;
     scheduler = o.scheduler;
     shards = o.shards;
+    metrics = o.metrics;
   }
 
 (* ---- the generic runner ------------------------------------------------ *)
@@ -571,6 +574,7 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg
     faults;
     scheduler;
     shards;
+    metrics;
   } =
     options
   in
@@ -583,6 +587,7 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg
     Pki.set_timer pki
       (Some
          { Pki.time = (fun name f -> Profile.span p ~category:Profile.Crypto name f) }));
+  Pki.set_metrics pki metrics;
   let protocol pid = P.machine ~cfg ~pki ~secret:secrets.(pid) ~params ~pid in
   let adversary = adversary ~pki ~secrets in
   let horizon = P.horizon ~cfg ~params in
@@ -612,6 +617,7 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg
               faults;
               scheduler;
               shards;
+              metrics;
             }
           ~words:P.words ~horizon ~protocol ~adversary ())
   in

@@ -201,6 +201,11 @@ type 'm options = {
   faults : Mewc_sim.Faults.plan;  (** default {!Mewc_sim.Faults.none} *)
   scheduler : Mewc_sim.Engine.scheduler;  (** default [`Legacy] *)
   shards : int;  (** intra-run domains (default 1) *)
+  metrics : Mewc_obs.Metrics.t option;
+      (** live-telemetry registry (default [None]). Threaded into
+          {!Mewc_sim.Engine.options.metrics} and installed on the run's PKI
+          via {!Mewc_crypto.Pki.set_metrics}, so engine and crypto counters
+          accumulate while the run is in flight. *)
 }
 
 val default_options : 'm options

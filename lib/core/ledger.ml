@@ -6,6 +6,7 @@ type entry = {
   rev : string;
   date : string;
   grid : string;
+  scheduler : string;
   jobs : int;
   cores : int;
   sequential_s : float;
@@ -22,6 +23,7 @@ let of_report ~rev ~date ~grid ?profile (r : Sweep.report) =
     rev;
     date;
     grid;
+    scheduler = Mewc_sim.Engine.scheduler_to_string r.Sweep.scheduler;
     jobs = r.Sweep.jobs;
     cores = r.Sweep.cores;
     sequential_s = r.Sweep.sequential_s;
@@ -39,12 +41,34 @@ let of_report ~rev ~date ~grid ?profile (r : Sweep.report) =
     rows = r.Sweep.rows;
   }
 
+(* A scheduler-ratio baseline entry: one sequential pass, no across-points
+   parallelism and no shard curve, so the parallel fields collapse to the
+   sequential ones. [mewc report] pairs the latest "ratio" entry per
+   scheduler and divides per-point wall clocks. *)
+let of_baseline ~rev ~date ~scheduler ~wall_s rows =
+  {
+    rev;
+    date;
+    grid = "ratio";
+    scheduler = Mewc_sim.Engine.scheduler_to_string scheduler;
+    jobs = 1;
+    cores = Pool.default_jobs ();
+    sequential_s = wall_s;
+    parallel_s = wall_s;
+    speedup = 1.0;
+    shards = [];
+    parallelism = "sequential baseline";
+    rollup = [];
+    rows;
+  }
+
 let entry_to_json e =
   Jsonx.Obj
     [
       ("rev", Jsonx.Str e.rev);
       ("date", Jsonx.Str e.date);
       ("grid", Jsonx.Str e.grid);
+      ("scheduler", Jsonx.Str e.scheduler);
       ("jobs", Jsonx.Int e.jobs);
       ("cores", Jsonx.Int e.cores);
       ("sequential_wall_s", Jsonx.Float e.sequential_s);
@@ -108,6 +132,13 @@ let entry_of_json j =
       (Option.bind (Jsonx.member "parallelism" j) Jsonx.get_str)
       ~default:"unknown"
   in
+  (* Optional like the other late-era fields: pre-scheduler ledger files
+     (all written by the legacy engine) keep parsing. *)
+  let scheduler =
+    Option.value
+      (Option.bind (Jsonx.member "scheduler" j) Jsonx.get_str)
+      ~default:"legacy"
+  in
   let* rollup =
     match Jsonx.member "rollup" j with
     | Some (Jsonx.Obj fields) ->
@@ -139,6 +170,7 @@ let entry_of_json j =
       rev;
       date;
       grid;
+      scheduler;
       jobs;
       cores;
       sequential_s;

@@ -113,12 +113,10 @@ type report = {
   log : Repeated_bb.entry option array;
 }
 
-let percentile p sorted =
-  match Array.length sorted with
-  | 0 -> 0
-  | len ->
-    let rank = int_of_float (ceil (p *. float_of_int len /. 100.0)) - 1 in
-    sorted.(max 0 (min (len - 1) rank))
+(* The repo-wide nearest-rank definition; byte-identical to the formula
+   this module used to carry, so recorded BENCH_throughput numbers and the
+   throughput smoke gate are unaffected by the unification. *)
+let percentile = Mewc_obs.Metrics.nearest_rank
 
 let finalize t ~seed ?max_instances ?options ~adversary () =
   if t.finalized then failwith "Service.finalize: already finalized";
@@ -241,6 +239,19 @@ let finalize t ~seed ?max_instances ?options ~adversary () =
     dispositions;
     log = (match correct with [] -> [||] | p :: _ -> o.Repeated_bb.logs.(p));
   }
+  |> fun report ->
+  (* Service-level telemetry rides the same registry the engine already
+     wrote into during the run; recorded after the fact, so counts are the
+     report's own deterministic numbers. *)
+  (match Option.bind options (fun o -> o.Engine.metrics) with
+  | None -> ()
+  | Some reg ->
+    let open Mewc_obs.Metrics in
+    add (counter reg "service.requests") report.requests;
+    add (counter reg "service.committed") report.committed;
+    let latency_h = histogram reg "service.latency" in
+    Array.iter (observe latency_h) sorted_latencies);
+  report
 
 let claim report ticket =
   if ticket < 0 || ticket >= Array.length report.dispositions then

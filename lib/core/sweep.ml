@@ -14,6 +14,7 @@ type row = {
   slots : int;
   fallback_runs : int;
   crypto : Mewc_crypto.Pki.cache_stats;
+  wall_s : float;
 }
 
 let pp_point fmt p =
@@ -88,6 +89,7 @@ let run_point ?(options = Instances.default_options) point =
      passed); the monitors override is dropped by [retarget] — each branch
      installs its protocol's standard suite. *)
   let opts () = { (Instances.retarget options) with Instances.seed } in
+  let t0 = Unix.gettimeofday () in
   let of_outcome (o : _ Instances.agreement_outcome) =
     {
       point;
@@ -100,6 +102,10 @@ let run_point ?(options = Instances.default_options) point =
       slots = o.Instances.slots;
       fallback_runs = o.Instances.fallback_runs;
       crypto = o.Instances.crypto;
+      (* The one advisory field: the point's own wall clock, so per-point
+         scheduler ratios can be derived from stored rows. Excluded from
+         every identity line — timing never gates byte-equality. *)
+      wall_s = Unix.gettimeofday () -. t0;
     }
   in
   match point.protocol with
@@ -148,13 +154,46 @@ let run_point ?(options = Instances.default_options) point =
          ~adversary:(crash_first f) ())
   | p -> invalid_arg ("Sweep.run_point: unknown protocol " ^ p)
 
-let run_all ?(jobs = 1) ?(options = Instances.default_options) points =
+let run_all ?(jobs = 1) ?(options = Instances.default_options) ?progress points
+    =
   (* A Profile.t is a plain mutable record — not domain-safe — so profiled
      passes must stay in the calling domain. *)
   if jobs > 1 && Option.is_some options.Instances.profile then
     invalid_arg "Sweep.run_all: profiling requires jobs = 1";
-  if jobs <= 1 then List.map (run_point ~options) points
-  else Pool.map_list ~jobs (fun p -> run_point ~options p) points
+  if jobs <= 1 then
+    List.map
+      (fun p ->
+        let r = run_point ~options p in
+        (match progress with None -> () | Some tick -> tick ());
+        r)
+      points
+  else
+    (* Heartbeats stay on the calling domain: a parallel pass reports
+       nothing per point rather than interleaving writes across domains. *)
+    Pool.map_list ~jobs (fun p -> run_point ~options p) points
+
+(* The scheduler-ratio baseline: the failure-free column only — the ratio
+   isolates scheduler overhead, and f > 0 points confound it with fault
+   handling — with the standalone fallback capped at 201 under {e both}
+   schedulers, so a legacy and an event-driven baseline cover the same
+   point set and the ratio curve never divides by a missing row. *)
+let ratio_ns = [ 21; 101; 201; 401; 1001 ]
+
+let ratio_grid =
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun protocol ->
+          if String.equal protocol "fallback" && n > 201 then None
+          else Some { protocol; n; f_spec = "0" })
+        protocols)
+    ratio_ns
+
+let run_baseline ?progress ~scheduler () =
+  let options = { Instances.default_options with Instances.scheduler } in
+  let t0 = Unix.gettimeofday () in
+  let rows = run_all ~jobs:1 ~options ?progress ratio_grid in
+  (rows, Unix.gettimeofday () -. t0)
 
 let row_to_line r =
   Printf.sprintf
@@ -191,6 +230,7 @@ let row_to_json r =
       ("slots", Jsonx.Int r.slots);
       ("fallback_runs", Jsonx.Int r.fallback_runs);
       ("crypto_cache", Mewc_crypto.Pki.cache_stats_to_json r.crypto);
+      ("wall_s", Jsonx.Float r.wall_s);
     ]
 
 let row_of_json j =
@@ -218,6 +258,13 @@ let row_of_json j =
     | None -> Error "Sweep.row_of_json: bad or missing \"crypto_cache\""
     | Some c -> Mewc_crypto.Pki.cache_stats_of_json c
   in
+  (* Optional so pre-wall_s ledger files (same schemas) keep parsing. *)
+  let wall_s =
+    match Jsonx.member "wall_s" j with
+    | Some (Jsonx.Float f) -> f
+    | Some (Jsonx.Int i) -> float_of_int i
+    | _ -> 0.0
+  in
   Ok
     {
       point = { protocol; n; f_spec };
@@ -230,6 +277,7 @@ let row_of_json j =
       slots;
       fallback_runs;
       crypto;
+      wall_s;
     }
 
 type report = {
@@ -252,7 +300,7 @@ let parallelism_note ~cores =
   else Printf.sprintf "ok (%d cores)" cores
 
 let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = [])
-    ?(shard_counts = [ 1; 2; 4; 8 ]) points =
+    ?(shard_counts = [ 1; 2; 4; 8 ]) ?progress points =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let timed f =
     let t0 = Unix.gettimeofday () in
@@ -263,7 +311,8 @@ let run_perf ?jobs ?profile ?(scheduler = `Legacy) ?(capped = [])
   (* Only the sequential pass is profiled: spans would race across domains,
      and the parallel pass exists to time raw throughput anyway. *)
   let seq_rows, sequential_s =
-    timed (fun () -> run_all ~jobs:1 ~options:{ base with Instances.profile } points)
+    timed (fun () ->
+        run_all ~jobs:1 ~options:{ base with Instances.profile } ?progress points)
   in
   let par_rows, parallel_s =
     timed (fun () -> run_all ~jobs ~options:base points)

@@ -8,10 +8,12 @@
     through this module, and the byte-identical-under-parallelism property
     is enforced by tests and by {!run_perf} itself on every invocation.
 
-    Timing lives {e outside} the rows: a row is everything deterministic
-    about a point (words, latency, signatures, crypto-cache counters …),
-    while wall-clock measurements go next to them in the report, so
-    "parallel output ≡ sequential output" is a byte-level comparison. *)
+    Timing lives {e outside} the row identity: a row's deterministic facts
+    (words, latency, signatures, crypto-cache counters …) are what the
+    "parallel output ≡ sequential output" byte-level comparisons see. The
+    one advisory exception is {!row.wall_s} — the point's own wall clock,
+    stored so scheduler-ratio figures can be derived from ledger rows — and
+    it is excluded from {!row_to_line} and {!row_core_line}. *)
 
 type point = {
   protocol : string;  (** "bb" | "weak-ba" | "strong-ba" | "fallback" *)
@@ -30,6 +32,9 @@ type row = {
   slots : int;
   fallback_runs : int;
   crypto : Mewc_crypto.Pki.cache_stats;
+  wall_s : float;
+      (** this point's own wall clock — advisory, never part of an identity
+          line; parses back as [0.0] from pre-wall_s ledger files *)
 }
 
 val pp_point : Format.formatter -> point -> unit
@@ -78,12 +83,39 @@ val run_point : ?options:'m Instances.options -> point -> row
     itself across domains ({!Mewc_sim.Engine.options.shards}), with every
     row field except the crypto-cache split invariant under it. *)
 
-val run_all : ?jobs:int -> ?options:'m Instances.options -> point list -> row list
+val run_all :
+  ?jobs:int ->
+  ?options:'m Instances.options ->
+  ?progress:(unit -> unit) ->
+  point list ->
+  row list
 (** All points, order-preserving, each through {!run_point} with the same
     [options]. [jobs] > 1 fans the points across that many domains with
     {!Mewc_prelude.Pool}'s deterministic chunking; default 1 (sequential,
-    no domains spawned). Raises [Invalid_argument] if [options.profile] is
-    combined with [jobs] > 1: a {!Mewc_sim.Profile.t} is not domain-safe. *)
+    no domains spawned). [progress] is called once per completed point —
+    sequential passes only; a parallel pass never interleaves heartbeat
+    writes across domains. Raises [Invalid_argument] if [options.profile]
+    is combined with [jobs] > 1: a {!Mewc_sim.Profile.t} is not
+    domain-safe. *)
+
+val ratio_ns : int list
+(** n ∈ \{21, 101, 201, 401, 1001\} — the scheduler-ratio baseline axis. *)
+
+val ratio_grid : point list
+(** The failure-free column (f_spec = "0") of every protocol over
+    {!ratio_ns}, with the standalone fallback capped at n = 201 under both
+    schedulers — so a legacy and an event-driven baseline cover the same
+    point set and per-point wall-clock ratios are always well-defined. *)
+
+val run_baseline :
+  ?progress:(unit -> unit) ->
+  scheduler:Mewc_sim.Engine.scheduler ->
+  unit ->
+  row list * float
+(** One sequential timed pass over {!ratio_grid} under the given scheduler:
+    [(rows, total_wall_s)], each row carrying its own {!row.wall_s}. The
+    ratio figure in [mewc report] divides event-driven by legacy row
+    timings from two such ledger entries. *)
 
 val row_to_json : row -> Mewc_prelude.Jsonx.t
 val row_to_line : row -> string
@@ -130,6 +162,7 @@ val run_perf :
   ?scheduler:Mewc_sim.Engine.scheduler ->
   ?capped:point list ->
   ?shard_counts:int list ->
+  ?progress:(unit -> unit) ->
   point list ->
   report
 (** Runs the grid sequentially, then with [jobs] domains across points
@@ -140,8 +173,10 @@ val run_perf :
     across-points pass must match the sequential rows byte for byte
     ({!row_to_line}), the shard passes on {!row_core_line}. [profile]
     instruments the {e sequential} pass only (profilers are not
-    domain-safe). [capped] (default empty) is carried verbatim into the
-    report for the JSON's [capped_points] member. *)
+    domain-safe); [progress] likewise ticks once per point of the
+    sequential pass only — heartbeats never interleave across domains.
+    [capped] (default empty) is carried verbatim into the report for the
+    JSON's [capped_points] member. *)
 
 val report_to_json : report -> Mewc_prelude.Jsonx.t
 (** Schema ["mewc-perf/2"]: machine facts (cores, jobs), the

@@ -66,9 +66,12 @@ let run_cell ?options ~n ~workload ~depth () =
   let report = Service.finalize svc ~seed ?options ~adversary:honest () in
   { n; workload; depth; seed; report }
 
-let run_grid ?options cells =
+let run_grid ?options ?progress cells =
   List.map
-    (fun (n, workload, depth) -> run_cell ?options ~n ~workload ~depth ())
+    (fun (n, workload, depth) ->
+      let c = run_cell ?options ~n ~workload ~depth () in
+      (match progress with None -> () | Some tick -> tick ());
+      c)
     cells
 
 (* ---- the SLO sweep ------------------------------------------------------ *)
@@ -93,7 +96,7 @@ let slo_n = 9
 let slo_workload = "steady"
 let slo_depth = "half"
 
-let slo_sweep ?(options = Engine.default_options) () =
+let slo_sweep ?(options = Engine.default_options) ?progress () =
   let profile = Option.get (Workload.find_preset slo_workload) in
   let cfg = Config.optimal ~n:slo_n in
   let offset = offset_of cfg slo_depth in
@@ -111,6 +114,7 @@ let slo_sweep ?(options = Engine.default_options) () =
     (fun (fault_profile, level) ->
       let r = run fault_profile level in
       let base = run fault_profile 0 in
+      (match progress with None -> () | Some tick -> tick ());
       let retention =
         if base.Service.decisions_per_1k_slots <= 0.0 then 1.0
         else r.Service.decisions_per_1k_slots /. base.Service.decisions_per_1k_slots

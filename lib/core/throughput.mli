@@ -70,8 +70,10 @@ val run_cell :
 
 val run_grid :
   ?options:(Repeated_bb.state, Repeated_bb.msg) Engine.options ->
+  ?progress:(unit -> unit) ->
   (int * string * string) list ->
   cell list
+(** [progress] is called once per completed cell. *)
 
 (** {2 The SLO sweep} *)
 
@@ -93,11 +95,13 @@ val slo_grid : (string * int) list
 
 val slo_sweep :
   ?options:(Repeated_bb.state, Repeated_bb.msg) Engine.options ->
+  ?progress:(unit -> unit) ->
   unit ->
   slo_point list
 (** The pinned SLO configuration — n = 9, ["steady"] traffic, ["half"]
     pipeline — swept over {!slo_grid}. The sweep owns [options.faults]
-    (each point installs its own plan); scheduler/shards pass through. *)
+    (each point installs its own plan); scheduler/shards pass through.
+    [progress] is called once per completed point. *)
 
 (** {2 The ledger} *)
 

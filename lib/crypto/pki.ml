@@ -86,6 +86,18 @@ let default_cache_capacity = 1 lsl 14
    hash computation. *)
 type timer = { time : 'a. string -> (unit -> 'a) -> 'a }
 
+(* Live-telemetry mirrors of the sign/verify/combine counters. Handles are
+   resolved once at install time; the per-op cost when metering is off is
+   one match, and when on each counter lands in the calling domain's
+   private cell — safe from sharded workers, and the totals are
+   shard-invariant because every shard performs exactly the calls the
+   sequential engine would. *)
+type meters = {
+  signs_m : Mewc_obs.Metrics.counter;
+  verifies_m : Mewc_obs.Metrics.counter;
+  combines_m : Mewc_obs.Metrics.counter;
+}
+
 type t = {
   n : int;
   mac_keys : string array;  (* trusted setup; used for verification only *)
@@ -100,6 +112,7 @@ type t = {
   verifies : int Atomic.t;
   combines : int Atomic.t;
   mutable timer : timer option;
+  mutable meters : meters option;
 }
 
 module Secret = struct
@@ -126,6 +139,7 @@ let setup ?(seed = 0x5EEDL) ?(cache_capacity = default_cache_capacity) ~n () =
       verifies = Atomic.make 0;
       combines = Atomic.make 0;
       timer = None;
+      meters = None;
     }
   in
   let secrets =
@@ -136,8 +150,24 @@ let setup ?(seed = 0x5EEDL) ?(cache_capacity = default_cache_capacity) ~n () =
 let n t = t.n
 let set_timer t timer = t.timer <- timer
 
+let set_metrics t registry =
+  t.meters <-
+    Option.map
+      (fun reg ->
+        {
+          signs_m = Mewc_obs.Metrics.counter reg "pki.signs";
+          verifies_m = Mewc_obs.Metrics.counter reg "pki.verifies";
+          combines_m = Mewc_obs.Metrics.counter reg "pki.combines";
+        })
+      registry
+
 let timed t name f =
   match t.timer with None -> f () | Some { time } -> time name f
+
+let meter t get =
+  match t.meters with
+  | None -> ()
+  | Some m -> Mewc_obs.Metrics.incr (get m)
 
 module Sig = struct
   type t = { signer : Pid.t; tag : Sha256.t }
@@ -155,6 +185,7 @@ end
 
 let sign t (secret : Secret.t) msg =
   Atomic.incr t.signs;
+  meter t (fun m -> m.signs_m);
   {
     Sig.signer = secret.Secret.owner;
     tag = timed t "crypto.sign" (fun () -> Sha256.hmac_with secret.Secret.hmac_key msg);
@@ -173,6 +204,7 @@ let share_tag t p msg =
 
 let verify t (s : Sig.t) ~msg =
   Atomic.incr t.verifies;
+  meter t (fun m -> m.verifies_m);
   Pid.is_valid ~n:t.n s.Sig.signer
   && Sha256.equal s.Sig.tag (share_tag t s.Sig.signer msg)
 
@@ -227,6 +259,7 @@ let aggregate_tag t signers ~msg =
 
 let combine t ~k ~msg shares =
   Atomic.incr t.combines;
+  meter t (fun m -> m.combines_m);
   let valid =
     List.filter (fun s -> verify t s ~msg) shares
     |> List.map Sig.signer |> Pid.Set.of_list
@@ -242,6 +275,7 @@ let combine t ~k ~msg shares =
 
 let verify_tsig t (ts : Tsig.t) ~k ~msg =
   Atomic.incr t.verifies;
+  meter t (fun m -> m.verifies_m);
   Pid.Set.cardinal ts.Tsig.signers >= k
   && (* The cardinality check stays outside the shortcut: the same tag can
         legitimately pass at one [k] and fail at a larger one. *)
@@ -291,6 +325,7 @@ module Tally = struct
     else begin
       let t = tl.pki in
       Atomic.incr t.combines;
+      meter t (fun m -> m.combines_m);
       (* Keep exactly the k lowest signer ids — byte-identical to what
          {!combine} would return for the same valid-signer set. *)
       let signers =

@@ -147,6 +147,13 @@ val set_timer : t -> timer option -> unit
     ["crypto.share_tag"] and ["crypto.aggregate_tag"] — memo-table {e miss}
     paths only, so cache hits stay a bare hashtable probe. *)
 
+val set_metrics : t -> Mewc_obs.Metrics.t option -> unit
+(** Install ([Some]) or remove ([None], the default) a live-telemetry
+    registry. When installed, every sign/verify/combine also bumps the
+    ["pki.signs"]/["pki.verifies"]/["pki.combines"] counters — the same
+    quantities as the atomic operation counters, but visible in heartbeat
+    snapshots while a run is still in flight. *)
+
 (** {1 Cache statistics} *)
 
 type cache_stats = {

@@ -1,0 +1,59 @@
+(* Opt-in progress heartbeat for long sweeps. Strictly an observer: it
+   writes to [out] (stderr by default) and touches nothing the sweep
+   emits, so enabling it cannot perturb any JSON artifact — test_cli pins
+   that. The clock is injectable so tests can assert exact lines. *)
+
+type t = {
+  label : string;
+  every : int;
+  total : int option;
+  out : string -> unit;
+  clock : unit -> float;
+  start : float;
+  registry : Metrics.t option;
+  mutable count : int;
+}
+
+let default_out line =
+  output_string stderr line;
+  output_char stderr '\n';
+  flush stderr
+
+let create ?(every = 1) ?total ?out ?clock ?registry ~label () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    label;
+    every = max 1 every;
+    total;
+    out = (match out with Some o -> o | None -> default_out);
+    clock;
+    start = clock ();
+    registry;
+    count = 0;
+  }
+
+let line t =
+  let progress =
+    match t.total with
+    | Some total when total > 0 ->
+      Printf.sprintf "%d/%d (%d%%)" t.count total (100 * t.count / total)
+    | _ -> string_of_int t.count
+  in
+  let metrics =
+    match t.registry with
+    | None -> ""
+    | Some r -> (
+      match Metrics.snapshot_to_line (Metrics.snapshot r) with
+      | "" -> ""
+      | s -> " " ^ s)
+  in
+  Printf.sprintf "[mewc] %s %s %.1fs%s" t.label progress
+    (t.clock () -. t.start)
+    metrics
+
+let tick t =
+  t.count <- t.count + 1;
+  if t.count mod t.every = 0 then t.out (line t)
+
+let finish t =
+  if t.count mod t.every <> 0 then t.out (line t)

@@ -1,0 +1,23 @@
+(** Opt-in stderr heartbeat for long sweeps: one line every [every] ticks,
+    with elapsed wall-clock and (optionally) a compact counter snapshot
+    from a {!Metrics.t}. Pure observer — never touches what the sweep
+    emits. *)
+
+type t
+
+val create :
+  ?every:int ->
+  ?total:int ->
+  ?out:(string -> unit) ->
+  ?clock:(unit -> float) ->
+  ?registry:Metrics.t ->
+  label:string ->
+  unit ->
+  t
+
+(** Count one unit of work; emits a line when the count is a multiple of
+    [every]. *)
+val tick : t -> unit
+
+(** Emit a final line unless the last {!tick} just did. *)
+val finish : t -> unit

@@ -1,0 +1,67 @@
+(** Deterministic live-telemetry registry: counters, gauges and log2-bucket
+    histograms, recorded into private per-domain cells and merged with
+    commutative, associative operations (sum / max / pointwise sum) — so a
+    run that performs the same operations snapshots byte-identically at
+    every shard count and under either engine scheduler. *)
+
+(** Nearest-rank percentile of an ascending-sorted sample array:
+    rank(p) = ceil(p·len/100), 1-based, clamped; 0 on the empty array.
+    The single quantile definition shared by the throughput service, the
+    profiler summary and the degradation summaries. *)
+val nearest_rank : float -> int array -> int
+
+(** [percentile_of_list p xs] sorts a copy of [xs] and applies
+    {!nearest_rank}. *)
+val percentile_of_list : float -> int list -> int
+
+(** Number of histogram buckets. Bucket 0 holds the value 0; bucket
+    [i >= 1] holds the half-open range [2^(i-1), 2^i). *)
+val buckets : int
+
+val bucket_of : int -> int
+val bucket_floor : int -> int
+
+(** Nearest-rank quantile over raw bucket counts, reporting the chosen
+    bucket's lower bound (exact for powers of two, never more than 2x
+    under). *)
+val histogram_quantile : counts:int array -> float -> int
+
+type t
+
+val create : unit -> t
+
+type counter
+type gauge
+type histogram
+
+(** Handle constructors register the name (idempotently), so the metric
+    appears in snapshots — as zero — even if never incremented. *)
+val counter : t -> string -> counter
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> histogram
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+(** Gauges are high-water marks: [set_max] keeps the maximum ever set in
+    this domain, and cells merge by max — the only gauge semantics that is
+    merge-order-free. *)
+val set_max : gauge -> int -> unit
+
+val observe : histogram -> int -> unit
+
+type snapshot = {
+  counter_values : (string * int) list;  (** sorted by name *)
+  gauge_values : (string * int) list;  (** sorted by name *)
+  histogram_values : (string * int array) list;  (** sorted by name *)
+}
+
+val empty_snapshot : snapshot
+
+(** Commutative and associative; the same operation used internally to fold
+    per-domain cells. *)
+val merge : snapshot -> snapshot -> snapshot
+
+val snapshot : t -> snapshot
+val snapshot_to_json : snapshot -> Mewc_prelude.Jsonx.t
+val snapshot_to_line : snapshot -> string

@@ -1,0 +1,567 @@
+(* Figure rendering: CSV + dependency-free SVG, all byte-deterministic.
+
+   Every coordinate is printed through a fixed [%.2f] so regenerating a
+   figure from the same artifacts yields the same bytes — that is what
+   lets [mewc report --check] treat the committed [docs/report/] files as
+   a drift gate rather than a best-effort snapshot. *)
+
+module Sweep = Mewc_core.Sweep
+module Ledger = Mewc_core.Ledger
+
+(* ---- frontier CSV: measured words vs the literature's curves ------------- *)
+
+(* One CSV row per ledger-entry row, with the related-work reference curves
+   computed alongside the measurement so the words-vs-n frontier plots
+   straight out of the file:
+   - paper_bound_n_f1: the source paper's adaptive O(n(f+1)) upper shape;
+   - civit_adaptive_n_tf: Civit et al.'s adaptive word complexity O(n + t*f)
+     (Strong Byzantine Agreement with Adaptive Word Complexity);
+   - king_saia_nsqrtn_log2n: King-Saia's O~(sqrt n) bits per processor,
+     totalled as n*sqrt(n)*log2(n) words.
+   Shapes, not constants: each column is the bound's leading term with
+   constant 1, for slope comparison on log-log axes. *)
+let frontier_csv rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "protocol,n,t,f_spec,f,words,messages,signatures,paper_bound_n_f1,\
+     civit_adaptive_n_tf,king_saia_nsqrtn_log2n\n";
+  List.iter
+    (fun (r : Sweep.row) ->
+      let n = float_of_int r.Sweep.point.Sweep.n in
+      let king_saia = n *. sqrt n *. (log n /. log 2.0) in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%d,%s,%d,%d,%d,%d,%d,%d,%.1f\n"
+           r.Sweep.point.Sweep.protocol r.Sweep.point.Sweep.n r.Sweep.t
+           r.Sweep.point.Sweep.f_spec r.Sweep.f r.Sweep.words r.Sweep.messages
+           r.Sweep.signatures
+           (r.Sweep.point.Sweep.n * (r.Sweep.f + 1))
+           (r.Sweep.point.Sweep.n + (r.Sweep.t * r.Sweep.f))
+           king_saia))
+    rows;
+  Buffer.contents b
+
+(* ---- a tiny SVG chart kit ------------------------------------------------ *)
+
+let palette =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b" |]
+
+let color i = palette.(i mod Array.length palette)
+let f2 = Printf.sprintf "%.2f"
+
+type series = {
+  s_name : string;
+  s_color : string;
+  s_dash : bool;  (** dashed = reference shape, solid = measurement *)
+  s_pts : (float * float) list;
+}
+
+(* Shared layout for every line chart. *)
+let width = 720.0
+let height = 440.0
+let ml = 80.0 (* left *)
+let mr = 180.0 (* right: legend column *)
+let mt = 46.0
+let mb = 56.0
+
+let xml_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let svg_open b =
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" \
+        height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\" \
+        font-size=\"12\">\n"
+       width height width height);
+  Buffer.add_string b
+    (Printf.sprintf
+       "<rect width=\"%.0f\" height=\"%.0f\" fill=\"white\"/>\n" width height)
+
+let text b ?(anchor = "middle") ?(size = 12) ?(fill = "#333") ?(rotate = None) x
+    y s =
+  let transform =
+    match rotate with
+    | None -> ""
+    | Some deg -> Printf.sprintf " transform=\"rotate(%d %s %s)\"" deg (f2 x) (f2 y)
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<text x=\"%s\" y=\"%s\" text-anchor=\"%s\" font-size=\"%d\" \
+        fill=\"%s\"%s>%s</text>\n"
+       (f2 x) (f2 y) anchor size fill transform (xml_escape s))
+
+(* Nice tick label: integers as integers, otherwise 3 significant digits. *)
+let tick_label v =
+  if Float.is_integer v && Float.abs v < 1e7 then
+    Printf.sprintf "%d" (int_of_float v)
+  else Printf.sprintf "%.3g" v
+
+(* Log-x / log-y or linear-y line chart with a legend column on the right.
+   Determinism note: tick positions are derived from the data bounds with
+   pure float arithmetic — same data, same bytes. *)
+let line_chart ~title ~xlabel ~ylabel ~logy series =
+  let b = Buffer.create 8192 in
+  svg_open b;
+  let all = List.concat_map (fun s -> s.s_pts) series in
+  let xs = List.map fst all and ys = List.map snd all in
+  let fmin = List.fold_left Float.min infinity
+  and fmax = List.fold_left Float.max neg_infinity in
+  let xmin = fmin xs and xmax = fmax xs in
+  let ymin0 = fmin ys and ymax0 = fmax ys in
+  let ymin = if logy then Float.max ymin0 1.0 else Float.min ymin0 0.0 in
+  let ymax = Float.max ymax0 (ymin +. 1.0) in
+  let lx v = log10 v in
+  let ly v = if logy then log10 (Float.max v 1e-9) else v in
+  let x0 = ml and x1 = width -. mr in
+  let y0 = height -. mb and y1 = mt in
+  let sx v = x0 +. ((lx v -. lx xmin) /. (lx xmax -. lx xmin) *. (x1 -. x0)) in
+  let sy v =
+    y0 +. ((ly v -. ly ymin) /. (ly ymax -. ly ymin) *. (y1 -. y0))
+  in
+  (* frame *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"none\" \
+        stroke=\"#999\"/>\n"
+       (f2 x0) (f2 y1) (f2 (x1 -. x0)) (f2 (y0 -. y1)));
+  text b ~size:14 ((x0 +. x1) /. 2.0) (mt -. 18.0) title;
+  text b ((x0 +. x1) /. 2.0) (height -. 14.0) xlabel;
+  text b ~rotate:(Some (-90)) 22.0 ((y0 +. y1) /. 2.0) ylabel;
+  (* x ticks: the decades spanned, plus the exact endpoints *)
+  let x_ticks =
+    let d0 = int_of_float (Float.ceil (lx xmin))
+    and d1 = int_of_float (Float.floor (lx xmax)) in
+    let decades = List.init (max 0 (d1 - d0 + 1)) (fun i -> 10.0 ** float_of_int (d0 + i)) in
+    List.sort_uniq compare (xmin :: xmax :: decades)
+  in
+  List.iter
+    (fun v ->
+      let x = sx v in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"#ddd\"/>\n"
+           (f2 x) (f2 y1) (f2 x) (f2 y0));
+      text b x (y0 +. 18.0) (tick_label v))
+    x_ticks;
+  (* y ticks *)
+  let y_ticks =
+    if logy then begin
+      let d0 = int_of_float (Float.ceil (ly ymin))
+      and d1 = int_of_float (Float.floor (ly ymax)) in
+      List.init (max 0 (d1 - d0 + 1)) (fun i -> 10.0 ** float_of_int (d0 + i))
+    end
+    else
+      let span = ymax -. ymin in
+      List.init 5 (fun i -> ymin +. (span *. float_of_int i /. 4.0))
+  in
+  List.iter
+    (fun v ->
+      let y = sy v in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"#ddd\"/>\n"
+           (f2 x0) (f2 y) (f2 x1) (f2 y));
+      text b ~anchor:"end" (x0 -. 6.0) (y +. 4.0) (tick_label v))
+    y_ticks;
+  (* series *)
+  List.iter
+    (fun s ->
+      let pts = List.sort (fun (a, _) (c, _) -> compare a c) s.s_pts in
+      let path =
+        String.concat " "
+          (List.mapi
+             (fun i (x, y) ->
+               Printf.sprintf "%s%s,%s" (if i = 0 then "M" else "L") (f2 (sx x))
+                 (f2 (sy y)))
+             pts)
+      in
+      let dash = if s.s_dash then " stroke-dasharray=\"6,3\"" else "" in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"%s/>\n"
+           path s.s_color dash);
+      if not s.s_dash then
+        List.iter
+          (fun (x, y) ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<circle cx=\"%s\" cy=\"%s\" r=\"3\" fill=\"%s\"/>\n"
+                 (f2 (sx x)) (f2 (sy y)) s.s_color))
+          pts)
+    series;
+  (* legend *)
+  List.iteri
+    (fun i s ->
+      let y = mt +. 10.0 +. (float_of_int i *. 18.0) in
+      let dash = if s.s_dash then " stroke-dasharray=\"6,3\"" else "" in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"%s\" \
+            stroke-width=\"1.5\"%s/>\n"
+           (f2 (x1 +. 12.0)) (f2 y)
+           (f2 (x1 +. 34.0))
+           (f2 y) s.s_color dash);
+      text b ~anchor:"start" ~size:11 (x1 +. 40.0) (y +. 4.0) s.s_name)
+    series;
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b
+
+(* ---- the words-vs-n frontier --------------------------------------------- *)
+
+let rows_of rows ~protocol ~f_spec =
+  List.filter
+    (fun (r : Sweep.row) ->
+      String.equal r.Sweep.point.Sweep.protocol protocol
+      && String.equal r.Sweep.point.Sweep.f_spec f_spec)
+    rows
+  |> List.sort (fun (a : Sweep.row) b ->
+         compare a.Sweep.point.Sweep.n b.Sweep.point.Sweep.n)
+
+let frontier_svg rows =
+  let measured =
+    List.filter_map
+      (fun (i, protocol, f_spec, name) ->
+        match rows_of rows ~protocol ~f_spec with
+        | [] -> None
+        | rs ->
+          Some
+            {
+              s_name = name;
+              s_color = color i;
+              s_dash = false;
+              s_pts =
+                List.map
+                  (fun (r : Sweep.row) ->
+                    ( float_of_int r.Sweep.point.Sweep.n,
+                      float_of_int r.Sweep.words ))
+                  rs;
+            })
+      [
+        (0, "bb", "0", "bb f=0");
+        (1, "weak-ba", "0", "weak-ba f=0");
+        (2, "strong-ba", "0", "strong-ba f=0");
+        (3, "fallback", "0", "fallback f=0");
+        (4, "weak-ba", "t", "weak-ba f=t");
+      ]
+  in
+  (* Reference shapes, anchored at the smallest-n weak-ba f=t measurement
+     (the paper's adaptive worst case): each curve is scaled so it passes
+     through that point, leaving only the growth rate to compare. *)
+  let references =
+    match rows_of rows ~protocol:"weak-ba" ~f_spec:"t" with
+    | [] -> []
+    | anchor_row :: _ as rs ->
+      let n0 = float_of_int anchor_row.Sweep.point.Sweep.n in
+      let w0 = float_of_int anchor_row.Sweep.words in
+      let ns = List.map (fun (r : Sweep.row) -> float_of_int r.Sweep.point.Sweep.n) rs in
+      let t_of n = Float.of_int ((int_of_float n - 1) / 2) in
+      let shapes =
+        [
+          ("n(f+1), f=t (this paper)", fun n -> n *. (t_of n +. 1.0));
+          ("n + t·f, f=t (Civit et al.)", fun n -> n +. (t_of n *. t_of n));
+          ("n·√n·log²n (King–Saia)", fun n ->
+            let l = log n /. log 2.0 in
+            n *. sqrt n *. l *. l);
+        ]
+      in
+      List.map
+        (fun (name, shape) ->
+          let scale = w0 /. shape n0 in
+          {
+            s_name = name;
+            s_color = "#888888";
+            s_dash = true;
+            s_pts = List.map (fun n -> (n, scale *. shape n)) ns;
+          })
+        shapes
+  in
+  line_chart ~title:"Total words vs n (log-log)" ~xlabel:"n (processes)"
+    ~ylabel:"words" ~logy:true (measured @ references)
+
+(* ---- the scheduler wall-clock ratio -------------------------------------- *)
+
+(* Match the two baselines point by point. Rows whose counterpart is
+   missing are dropped (the ratio grid caps fallback identically under
+   both schedulers precisely so this set is empty in practice). *)
+let ratio_pairs ~(legacy : Sweep.row list) ~(event : Sweep.row list) =
+  List.filter_map
+    (fun (l : Sweep.row) ->
+      List.find_opt
+        (fun (e : Sweep.row) -> l.Sweep.point = e.Sweep.point)
+        event
+      |> Option.map (fun e -> (l, e)))
+    legacy
+
+let ratio_csv ~legacy ~event =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "protocol,n,f_spec,legacy_wall_s,event_wall_s,speedup\n";
+  List.iter
+    (fun ((l : Sweep.row), (e : Sweep.row)) ->
+      let speedup =
+        if e.Sweep.wall_s > 0.0 then l.Sweep.wall_s /. e.Sweep.wall_s else 0.0
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%s,%.6f,%.6f,%.3f\n" l.Sweep.point.Sweep.protocol
+           l.Sweep.point.Sweep.n l.Sweep.point.Sweep.f_spec l.Sweep.wall_s
+           e.Sweep.wall_s speedup))
+    (ratio_pairs ~legacy ~event);
+  Buffer.contents b
+
+let ratio_svg ~legacy ~event =
+  let pairs = ratio_pairs ~legacy ~event in
+  let protocols =
+    List.sort_uniq compare
+      (List.map (fun ((l : Sweep.row), _) -> l.Sweep.point.Sweep.protocol) pairs)
+  in
+  let series =
+    List.mapi
+      (fun i protocol ->
+        {
+          s_name = protocol;
+          s_color = color i;
+          s_dash = false;
+          s_pts =
+            List.filter_map
+              (fun ((l : Sweep.row), (e : Sweep.row)) ->
+                if
+                  String.equal l.Sweep.point.Sweep.protocol protocol
+                  && e.Sweep.wall_s > 0.0
+                then
+                  Some
+                    ( float_of_int l.Sweep.point.Sweep.n,
+                      l.Sweep.wall_s /. e.Sweep.wall_s )
+                else None)
+              pairs;
+        })
+      protocols
+  in
+  let baseline =
+    {
+      s_name = "parity (1.0)";
+      s_color = "#888888";
+      s_dash = true;
+      s_pts =
+        (match pairs with
+        | [] -> []
+        | _ ->
+          let ns =
+            List.map
+              (fun ((l : Sweep.row), _) -> float_of_int l.Sweep.point.Sweep.n)
+              pairs
+          in
+          let mn = List.fold_left Float.min infinity ns
+          and mx = List.fold_left Float.max neg_infinity ns in
+          [ (mn, 1.0); (mx, 1.0) ]);
+    }
+  in
+  line_chart ~title:"Event-driven speedup over legacy (wall clock)"
+    ~xlabel:"n (processes)" ~ylabel:"legacy / event-driven" ~logy:false
+    (series @ [ baseline ])
+
+(* ---- throughput: the service grid ---------------------------------------- *)
+
+let throughput_csv (e : Loader.throughput_entry) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "n,workload,depth,decisions_per_1k_slots,words_per_decision,batch_fill,\
+     p50_latency,p99_latency\n";
+  List.iter
+    (fun (c : Loader.thr_cell) ->
+      let r = c.Loader.report in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%s,%s,%.2f,%.2f,%.3f,%d,%d\n" c.Loader.cell_n
+           c.Loader.workload c.Loader.depth r.Loader.decisions_per_1k_slots
+           r.Loader.words_per_decision r.Loader.batch_fill r.Loader.p50_latency
+           r.Loader.p99_latency))
+    e.Loader.cells;
+  Buffer.contents b
+
+(* Grouped bars: one group per (n, workload) cell column, one bar per
+   pipeline depth; top panel decisions/1k-slots, bottom panel p50+p99
+   commit latency. *)
+let throughput_svg (e : Loader.throughput_entry) =
+  let cells = e.Loader.cells in
+  let groups =
+    List.sort_uniq compare
+      (List.map (fun (c : Loader.thr_cell) -> (c.Loader.cell_n, c.Loader.workload)) cells)
+  in
+  let depths =
+    List.sort_uniq compare (List.map (fun (c : Loader.thr_cell) -> c.Loader.depth) cells)
+  in
+  let cell n workload depth =
+    List.find_opt
+      (fun (c : Loader.thr_cell) ->
+        c.Loader.cell_n = n
+        && String.equal c.Loader.workload workload
+        && String.equal c.Loader.depth depth)
+      cells
+  in
+  let b = Buffer.create 8192 in
+  svg_open b;
+  let panel ~y_top ~y_bot ~title ~value =
+    let vmax =
+      List.fold_left
+        (fun acc (c : Loader.thr_cell) -> Float.max acc (value c))
+        1.0 cells
+    in
+    let x0 = ml and x1 = width -. mr in
+    let sy v = y_bot -. (v /. vmax *. (y_bot -. y_top)) in
+    Buffer.add_string b
+      (Printf.sprintf
+         "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" fill=\"none\" \
+          stroke=\"#999\"/>\n"
+         (f2 x0) (f2 y_top) (f2 (x1 -. x0)) (f2 (y_bot -. y_top)));
+    text b ~size:13 ((x0 +. x1) /. 2.0) (y_top -. 6.0) title;
+    List.iter
+      (fun frac ->
+        let v = vmax *. frac in
+        let y = sy v in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\" stroke=\"#ddd\"/>\n"
+             (f2 x0) (f2 y) (f2 x1) (f2 y));
+        text b ~anchor:"end" (x0 -. 6.0) (y +. 4.0) (Printf.sprintf "%.3g" v))
+      [ 0.25; 0.5; 0.75; 1.0 ];
+    let ngroups = List.length groups in
+    let gw = (x1 -. x0) /. float_of_int (max 1 ngroups) in
+    let bw = gw *. 0.8 /. float_of_int (max 1 (List.length depths)) in
+    List.iteri
+      (fun gi (n, workload) ->
+        let gx = x0 +. (float_of_int gi *. gw) in
+        List.iteri
+          (fun di depth ->
+            match cell n workload depth with
+            | None -> ()
+            | Some c ->
+              let v = value c in
+              let y = sy v in
+              Buffer.add_string b
+                (Printf.sprintf
+                   "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" \
+                    fill=\"%s\"/>\n"
+                   (f2 (gx +. (gw *. 0.1) +. (float_of_int di *. bw)))
+                   (f2 y) (f2 (bw *. 0.9)) (f2 (y_bot -. y)) (color di)))
+          depths;
+        text b ~size:10
+          (gx +. (gw /. 2.0))
+          (y_bot +. 14.0)
+          (Printf.sprintf "n=%d %s" n workload))
+      groups
+  in
+  panel ~y_top:50.0 ~y_bot:200.0 ~title:"Decided batches per 1000 slots"
+    ~value:(fun c -> c.Loader.report.Loader.decisions_per_1k_slots);
+  panel ~y_top:250.0 ~y_bot:400.0 ~title:"p99 commit latency (slots)"
+    ~value:(fun c -> float_of_int c.Loader.report.Loader.p99_latency);
+  (* legend: depths *)
+  List.iteri
+    (fun i depth ->
+      let y = 60.0 +. (float_of_int i *. 18.0) in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<rect x=\"%s\" y=\"%s\" width=\"14\" height=\"10\" fill=\"%s\"/>\n"
+           (f2 (width -. mr +. 12.0))
+           (f2 (y -. 9.0))
+           (color i));
+      text b ~anchor:"start" ~size:11 (width -. mr +. 32.0) y ("depth " ^ depth))
+    depths;
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b
+
+(* ---- chaos degradation heatmap ------------------------------------------- *)
+
+let verdict_color = function
+  | "safe-live" -> "#2ca02c"
+  | "safe-stalled" -> "#ffbf00"
+  | "unsafe" -> "#d62728"
+  | _ -> "#888888"
+
+let degrade_svg (d : Loader.degrade) =
+  let rows =
+    List.sort_uniq compare
+      (List.map
+         (fun (c : Loader.degrade_cell) -> (c.Loader.dg_protocol, c.Loader.fault))
+         d.Loader.dg_cells)
+  in
+  let levels = List.init d.Loader.levels (fun i -> i) in
+  let cell_of (protocol, fault) level =
+    List.find_opt
+      (fun (c : Loader.degrade_cell) ->
+        String.equal c.Loader.dg_protocol protocol
+        && String.equal c.Loader.fault fault
+        && c.Loader.level = level)
+      d.Loader.dg_cells
+  in
+  let row_h = 18.0 and cell_w = 54.0 in
+  let x0 = 230.0 and y0 = 64.0 in
+  let w = x0 +. (float_of_int d.Loader.levels *. cell_w) +. 170.0 in
+  let h = y0 +. (float_of_int (List.length rows) *. row_h) +. 30.0 in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" \
+        height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" font-family=\"sans-serif\" \
+        font-size=\"12\">\n"
+       w h w h);
+  Buffer.add_string b
+    (Printf.sprintf "<rect width=\"%.0f\" height=\"%.0f\" fill=\"white\"/>\n" w h);
+  text b ~size:14 (w /. 2.0) 24.0
+    (Printf.sprintf "Chaos degradation matrix (n=%d, t=%d)" d.Loader.dg_n
+       d.Loader.dg_t);
+  List.iter
+    (fun level ->
+      text b
+        (x0 +. ((float_of_int level +. 0.5) *. cell_w))
+        (y0 -. 8.0)
+        (Printf.sprintf "L%d" level))
+    levels;
+  List.iteri
+    (fun ri (protocol, fault) ->
+      let y = y0 +. (float_of_int ri *. row_h) in
+      text b ~anchor:"end" ~size:11 (x0 -. 8.0) (y +. 13.0)
+        (Printf.sprintf "%s / %s" protocol fault);
+      List.iter
+        (fun level ->
+          match cell_of (protocol, fault) level with
+          | None ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" \
+                  fill=\"#f2f2f2\" stroke=\"white\"/>\n"
+                 (f2 (x0 +. (float_of_int level *. cell_w)))
+                 (f2 y) (f2 cell_w) (f2 row_h))
+          | Some c ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\" \
+                  fill=\"%s\" stroke=\"white\"><title>%s</title></rect>\n"
+                 (f2 (x0 +. (float_of_int level *. cell_w)))
+                 (f2 y) (f2 cell_w) (f2 row_h)
+                 (verdict_color c.Loader.verdict)
+                 (xml_escape
+                    (Printf.sprintf "%s/%s L%d: %s (f=%d, undecided=%d, words=%d)"
+                       protocol fault level c.Loader.verdict c.Loader.dg_f
+                       c.Loader.dg_undecided c.Loader.dg_words))))
+        levels)
+    rows;
+  (* verdict legend *)
+  List.iteri
+    (fun i verdict ->
+      let y = y0 +. (float_of_int i *. 20.0) in
+      let x = x0 +. (float_of_int d.Loader.levels *. cell_w) +. 16.0 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "<rect x=\"%s\" y=\"%s\" width=\"14\" height=\"12\" fill=\"%s\"/>\n"
+           (f2 x) (f2 y) (verdict_color verdict));
+      text b ~anchor:"start" ~size:11 (x +. 20.0) (y +. 10.0) verdict)
+    [ "safe-live"; "safe-stalled"; "unsafe" ];
+  Buffer.add_string b "</svg>\n";
+  Buffer.contents b

@@ -1,0 +1,44 @@
+(** Figure rendering: CSV and dependency-free SVG from parsed artifacts.
+
+    Everything here is byte-deterministic — coordinates go through fixed
+    [%.2f] formatting and all ordering is derived from the data — so a
+    figure regenerated from the same artifacts is the same bytes, which is
+    the property [mewc report --check] gates on. *)
+
+val frontier_csv : Mewc_core.Sweep.row list -> string
+(** One CSV row per ledger row with the literature's reference curves
+    (paper [n(f+1)], Civit et al. [n + t·f], King–Saia [n·√n·log₂n])
+    computed alongside the measurement. This is the single home of the
+    frontier arithmetic; [mewc perf frontier-csv] is an alias over it. *)
+
+val frontier_svg : Mewc_core.Sweep.row list -> string
+(** Log-log words-vs-n: the failure-free line of each protocol plus the
+    weak-BA f = t line, against the three reference shapes normalized to
+    pass through the smallest-n weak-BA f = t measurement. *)
+
+val ratio_pairs :
+  legacy:Mewc_core.Sweep.row list ->
+  event:Mewc_core.Sweep.row list ->
+  (Mewc_core.Sweep.row * Mewc_core.Sweep.row) list
+(** The two baselines matched point by point, legacy order; points missing
+    from either side are dropped. *)
+
+val ratio_csv :
+  legacy:Mewc_core.Sweep.row list -> event:Mewc_core.Sweep.row list -> string
+
+val ratio_svg :
+  legacy:Mewc_core.Sweep.row list -> event:Mewc_core.Sweep.row list -> string
+(** Per-point event-driven-vs-legacy wall-clock speedup, computed from the
+    {!Mewc_core.Sweep.row.wall_s} fields of two [grid="ratio"] ledger
+    baselines matched point by point (unmatched points are dropped). *)
+
+val throughput_csv : Loader.throughput_entry -> string
+
+val throughput_svg : Loader.throughput_entry -> string
+(** Grouped bars over the (n, workload) grid, one bar per pipeline depth:
+    decided batches per 1000 slots on top, p99 commit latency below. *)
+
+val degrade_svg : Loader.degrade -> string
+(** The chaos matrix as a heatmap — one row per (protocol, fault), one
+    column per intensity level, colored by verdict; each cell carries a
+    [<title>] tooltip with f / undecided / words. *)

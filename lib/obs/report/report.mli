@@ -1,0 +1,24 @@
+(** Report assembly: the fixed set of generated files and the
+    write/check split behind [mewc report].
+
+    {!generate} is a pure function of the parsed artifacts — no clocks, no
+    environment, no randomness — which is what makes check mode sound:
+    regenerate in memory, byte-compare against the committed directory. *)
+
+val generate : Loader.artifacts -> (string * string) list
+(** [(filename, contents)] pairs: [frontier.csv]/[.svg] from the widest
+    committed ledger grid (frontier, else standard, else smoke),
+    [ratio.csv]/[.svg] when both schedulers have a [grid="ratio"] baseline,
+    [throughput.csv]/[.svg] from the latest throughput entry,
+    [degrade.svg], and [REPORT.md] tying them together with provenance
+    (revs and dates from the artifacts themselves). Files whose inputs are
+    absent are omitted — {!Consistency.run} is what flags the absence. *)
+
+val write : dir:string -> (string * string) list -> unit
+(** Write the files into [dir], creating it if needed. *)
+
+val check : dir:string -> (string * string) list -> string list
+(** Drift messages: one per generated file that is missing from [dir] or
+    whose committed bytes differ from regeneration. [[]] means the
+    committed report is exactly what the artifacts produce. Extra files in
+    [dir] are ignored. *)

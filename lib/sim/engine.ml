@@ -32,6 +32,7 @@ type ('s, 'm) options = {
   faults : Faults.plan;
   scheduler : scheduler;
   shards : int;
+  metrics : Mewc_obs.Metrics.t option;
 }
 
 let default_options =
@@ -44,7 +45,40 @@ let default_options =
     faults = Faults.none;
     scheduler = `Legacy;
     shards = 1;
+    metrics = None;
   }
+
+(* Live-telemetry handles, resolved once per run. Every recorded quantity is
+   scheduler- and shard-invariant by construction: all increments happen on
+   the main domain, in the sequential post/merge phases, and count the same
+   events both schedulers produce byte-identically. *)
+type engine_meters = {
+  slots_c : Mewc_obs.Metrics.counter;
+  messages_c : Mewc_obs.Metrics.counter;
+  words_c : Mewc_obs.Metrics.counter;
+  corruptions_c : Mewc_obs.Metrics.counter;
+  decisions_c : Mewc_obs.Metrics.counter;
+  link_faults_c : Mewc_obs.Metrics.counter;
+  slot_words_h : Mewc_obs.Metrics.histogram;
+}
+
+let engine_meters_of registry =
+  Option.map
+    (fun reg ->
+      let open Mewc_obs.Metrics in
+      {
+        slots_c = counter reg "engine.slots";
+        messages_c = counter reg "engine.messages";
+        words_c = counter reg "engine.words";
+        corruptions_c = counter reg "engine.corruptions";
+        decisions_c = counter reg "engine.decisions";
+        link_faults_c = counter reg "engine.link_faults";
+        slot_words_h = histogram reg "engine.slot_words";
+      })
+    registry
+
+let mincr meters get =
+  match meters with None -> () | Some m -> Mewc_obs.Metrics.incr (get m)
 
 (* ---- sharded step phase -------------------------------------------------
 
@@ -89,9 +123,12 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     faults;
     scheduler = _;
     shards = _;
+    metrics;
   } =
     options
   in
+  let meters = engine_meters_of metrics in
+  let slot_words = ref 0 in
   (* Sections are per slot, not per message, so an unprofiled run pays one
      closure and one match per section per slot — noise. *)
   let timed category name f =
@@ -192,6 +229,12 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     let envelope = { Envelope.src; dst; sent_at = slot; msg } in
     let byzantine = corrupted.(src) in
     let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
+    (match meters with
+    | None -> ()
+    | Some m ->
+      Mewc_obs.Metrics.incr m.messages_c;
+      Mewc_obs.Metrics.add m.words_c word_count;
+      slot_words := !slot_words + word_count);
     let id = !next_id in
     incr next_id;
     if observing then
@@ -210,6 +253,7 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     | Some fault ->
       (* The send happened — it was charged and traced above; only its
          delivery is tampered with here. *)
+      mincr meters (fun m -> m.link_faults_c);
       if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
       (match fault with
       | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
@@ -226,6 +270,7 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
   let step_results = Array.make n Skipped in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
+    mincr meters (fun m -> m.slots_c);
     if observing then emit (Trace.Slot_start slot);
     (match faults_rt with
     | None -> ()
@@ -270,6 +315,7 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
           corrupted.(p) <- true;
           corruption_order := p :: !corruption_order;
           incr corruption_count;
+          mincr meters (fun m -> m.corruptions_c);
           if observing then
             emit (Trace.Corruption { slot; pid = p; f = !corruption_count })
         end)
@@ -326,12 +372,14 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
           match (prev_decided.(p), decided states.(p)) with
           | None, (Some value as d) ->
             prev_decided.(p) <- d;
+            mincr meters (fun m -> m.decisions_c);
             emit
               (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
           | Some v0, (Some value as d) when not (String.equal v0 value) ->
             (* A re-decision is a protocol bug; surface it to the monitors
                rather than silencing it here. *)
             prev_decided.(p) <- d;
+            mincr meters (fun m -> m.decisions_c);
             emit
               (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
           | _ -> ()
@@ -367,7 +415,12 @@ let run_legacy ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
         List.iter
           (fun (src, sends) ->
             List.iteri (fun seq m -> post ~slot ~src ~seq m) sends)
-          (List.rev !byz_sends))
+          (List.rev !byz_sends));
+    (match meters with
+    | None -> ()
+    | Some m ->
+      Mewc_obs.Metrics.observe m.slot_words_h !slot_words;
+      slot_words := 0)
   done;
   List.iter (fun m -> m.Monitor.on_finish ~slots:horizon) monitors;
   {
@@ -414,9 +467,12 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     faults;
     scheduler = _;
     shards = _;
+    metrics;
   } =
     options
   in
+  let meters = engine_meters_of metrics in
+  let slot_words = ref 0 in
   let timed category name f =
     match profile with
     | None -> f ()
@@ -504,6 +560,12 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
     let envelope = { Envelope.src; dst; sent_at = slot; msg } in
     let byzantine = corrupted.(src) in
     let charged = Meter.charge meter ~byzantine ~src ~dst ~words:word_count in
+    (match meters with
+    | None -> ()
+    | Some m ->
+      Mewc_obs.Metrics.incr m.messages_c;
+      Mewc_obs.Metrics.add m.words_c word_count;
+      slot_words := !slot_words + word_count);
     let id = !next_id in
     incr next_id;
     if observing then
@@ -522,6 +584,7 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
       Vec.push pools.(dst) (id, envelope);
       mark_dirty dst
     | Some fault ->
+      mincr meters (fun m -> m.link_faults_c);
       if observing then emit (Trace.Link_fault { slot; id; src; dst; fault });
       (match fault with
       | Faults.Omitted | Faults.Partitioned | Faults.Dropped -> ()
@@ -541,6 +604,7 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
   let stepped = Vec.create () in
   for slot = 0 to horizon - 1 do
     Meter.begin_slot meter ~slot;
+    mincr meters (fun m -> m.slots_c);
     if observing then emit (Trace.Slot_start slot);
     (match faults_rt with
     | None -> ()
@@ -601,6 +665,7 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
           corrupted.(p) <- true;
           corruption_order := p :: !corruption_order;
           incr corruption_count;
+          mincr meters (fun m -> m.corruptions_c);
           if observing then
             emit (Trace.Corruption { slot; pid = p; f = !corruption_count })
         end)
@@ -670,10 +735,12 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
           match (prev_decided.(p), decided states.(p)) with
           | None, (Some value as d) ->
             prev_decided.(p) <- d;
+            mincr meters (fun m -> m.decisions_c);
             emit
               (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
           | Some v0, (Some value as d) when not (String.equal v0 value) ->
             prev_decided.(p) <- d;
+            mincr meters (fun m -> m.decisions_c);
             emit
               (Trace.Decision { slot; pid = p; value; parents = inbox_ids.(p) })
           | _ -> ()
@@ -720,7 +787,12 @@ let run_event ~workers ~cfg ~options ~words ~horizon ~protocol ~adversary () =
       (fun p ->
         inboxes.(p) <- [];
         inbox_ids.(p) <- [])
-      delivered
+      delivered;
+    (match meters with
+    | None -> ()
+    | Some m ->
+      Mewc_obs.Metrics.observe m.slot_words_h !slot_words;
+      slot_words := 0)
   done;
   List.iter (fun m -> m.Monitor.on_finish ~slots:horizon) monitors;
   {

@@ -102,6 +102,15 @@ type ('s, 'm) options = {
           [Invalid_argument] from {!run} if [shards < 1] or if
           [shards > 1] is combined with [profile] (the profiler is not
           domain-safe). *)
+  metrics : Mewc_obs.Metrics.t option;
+      (** live-telemetry registry. When given, the engine records — on the
+          main domain, in the sequential post/merge phases, so values are
+          identical under either scheduler and any shard count —
+          [engine.slots], [engine.messages], [engine.words],
+          [engine.corruptions], [engine.decisions] (only while a [decided]
+          projection is installed and someone is observing),
+          [engine.link_faults] counters, plus an [engine.slot_words]
+          histogram of per-slot word totals. *)
 }
 (** Observability knobs, gathered in one record so that adding a knob does
     not grow every caller's argument list. Start from {!default_options} and
@@ -109,7 +118,7 @@ type ('s, 'm) options = {
 
 val default_options : ('s, 'm) options
 (** No trace, in-order delivery, no monitors, no decision projection, no
-    faults, legacy scheduler, one shard. *)
+    faults, legacy scheduler, one shard, no metrics. *)
 
 val run :
   cfg:Config.t ->

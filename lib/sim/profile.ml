@@ -164,6 +164,14 @@ let to_json t =
 let flame t =
   let rs = List.sort (fun a b -> compare b.self_s a.self_s) (rows t) in
   let total = List.fold_left (fun acc r -> acc +. r.self_s) 0.0 rs in
+  (* Self-time spread across spans, nearest-rank over microseconds — the
+     same quantile definition as everywhere else ({!Mewc_obs.Metrics}). *)
+  let quantiles =
+    let us = List.map (fun r -> int_of_float (r.self_s *. 1e6)) rs in
+    let q p = Mewc_obs.Metrics.percentile_of_list p us in
+    Printf.sprintf "span self time: p50 %dus, p90 %dus, p99 %dus" (q 50.0)
+      (q 90.0) (q 99.0)
+  in
   let table =
     Ascii_table.create
       ~title:
@@ -186,4 +194,4 @@ let flame t =
           bar;
         ])
     rs;
-  Ascii_table.render table
+  Ascii_table.render table ^ quantiles ^ "\n"

@@ -44,6 +44,8 @@ let help_cases =
     check_code "perf diff --help" 0 "perf diff --help";
     check_code "chaos --help" 0 "chaos --help";
     check_code "throughput --help" 0 "throughput --help";
+    check_code "report --help" 0 "report --help";
+    check_code "perf baseline --help" 0 "perf baseline --help";
   ]
 
 let error_cases =
@@ -300,6 +302,15 @@ let test_throughput_smoke_gate () =
       Alcotest.(check bool) needle true (contains out needle))
     [ "dec/1k"; "retention"; "smoke ok" ]
 
+(* --progress is strictly an observer: stdout (and so every JSON artifact
+   written from it) must be byte-identical with and without the flag. *)
+let test_progress_is_invisible () =
+  let args = "throughput -n 9 --workload steady --depth seq" in
+  let code_off, out_off = run_out args in
+  let code_on, out_on = run_out (args ^ " --progress") in
+  Alcotest.(check int) "same exit code" code_off code_on;
+  Alcotest.(check string) "byte-identical stdout" out_off out_on
+
 (* ---- chaos / fault flags ------------------------------------------------- *)
 
 (* Every cell runs from a seed derived from its identity, so these codes
@@ -388,6 +399,8 @@ let () =
             Alcotest.test_case "ledger round-trip" `Quick
               test_throughput_ledger_roundtrip;
             Alcotest.test_case "smoke gate" `Slow test_throughput_smoke_gate;
+            Alcotest.test_case "--progress leaves stdout untouched" `Quick
+              test_progress_is_invisible;
           ] );
       ( "chaos",
         chaos_cases

@@ -21,6 +21,7 @@ let mk_row ?(words = 100) ?(signatures = 10) protocol =
     slots = 6;
     fallback_runs = 0;
     crypto = stats;
+    wall_s = 0.0;
   }
 
 let mk_entry ?(rev = "deadbeef") ?(rows = [ mk_row "bb" ]) ?(sequential_s = 1.0)
@@ -29,6 +30,7 @@ let mk_entry ?(rev = "deadbeef") ?(rows = [ mk_row "bb" ]) ?(sequential_s = 1.0)
     Ledger.rev;
     date = "2026-08-06";
     grid = "test";
+    scheduler = "legacy";
     jobs = 2;
     cores = 4;
     sequential_s;
