@@ -16,7 +16,7 @@
      mewc throughput --workload bursty --depth deep --ledger BENCH_throughput.json
    `run` prints per-process decisions and the run's communication metering
    (with --trace, also the per-slot word series); `trace` emits the full
-   structured execution trace as JSON (schema mewc-trace/3) or CSV, or a
+   structured execution trace as JSON (schema mewc-trace/4) or CSV, or a
    decision's happens-before cone; `chaos` sweeps the (protocol x
    fault-intensity) degradation matrix (schema mewc-degrade/1); `perf`
    manages the append-only regression ledger (schema mewc-ledger/1);
@@ -221,8 +221,135 @@ let print_outcome ~show ~trace pr_decisions (o : _ Instances.agreement_outcome) 
 
 let decision_line p d = pr "  p%-3d decided %s\n" p d
 
+(* ---- `run --runtime async` ------------------------------------------------ *)
+
+module Wire = Mewc_wire
+
+(* The async-domains runtime executes honest runs only (see
+   Mewc_wire.Runtime's model note): the rushing adversary, the slot-level
+   fault stage, the profiler and the engine scheduler/shard knobs are all
+   lock-step constructs, so selecting any of them alongside --runtime async
+   is a misuse. Byte-level chaos lives under `mewc wire --chaos`. *)
+let run_async_cmd protocol n adversary f input ~seed ~delta ~faults ~profile_on
+    ~trace ~scheduler ~shards =
+  if adversary <> "honest" then
+    die_misuse
+      "--adversary %s requires --runtime sync: the async runtime executes \
+       honest runs only (its adversarial surface is the network; see `mewc \
+       wire --chaos`)"
+      adversary;
+  if f > 0 then
+    die_misuse "--runtime async executes honest runs only; -f must be 0";
+  if not (Faults.is_none faults) then
+    die_misuse
+      "slot-level fault injection requires --runtime sync; the async \
+       runtime's faults are byte-level (`mewc wire --chaos`)";
+  if profile_on then die_misuse "--profile requires --runtime sync";
+  if trace then die_misuse "--trace requires --runtime sync";
+  if scheduler <> `Legacy then
+    die_misuse
+      "--scheduler picks a lock-step engine; it has no effect under \
+       --runtime async";
+  if shards > 1 then
+    die_misuse
+      "--shards shards the lock-step step phase; the async runtime is \
+       already one domain per process";
+  (match protocol with
+  | Dolev_strong | Naive_bb ->
+    die_misuse "--runtime async covers the paper's protocols, not baselines"
+  | Bb | Weak_ba | Strong_ba | Fallback -> ());
+  let cfg = Config.optimal ~n in
+  pr "mewc: n=%d t=%d protocol=%s runtime=async-domains delta=%gs seed=%Ld\n\n"
+    n cfg.Config.t (protocol_name protocol) delta seed;
+  let finish : type d. d Wire.Runtime.outcome -> unit =
+   fun o ->
+    Array.iteri
+      (fun p d ->
+        decision_line p (match d with Some s -> s | None -> "nothing"))
+      o.Wire.Runtime.decided_strs;
+    let sum = Array.fold_left ( + ) 0 in
+    let s = o.Wire.Runtime.stats in
+    pr "\nrun summary (async-domains):\n";
+    pr "  words (metered)            %d\n" (sum o.Wire.Runtime.words);
+    pr "  messages                   %d\n" (sum o.Wire.Runtime.messages);
+    pr "  frames / bytes on wire     %d / %d\n" s.Wire.Runtime.frames_sent
+      s.Wire.Runtime.bytes_sent;
+    pr "  encoded words (32 B units) %d\n" s.Wire.Runtime.encoded_words;
+    pr "  send retries / timeouts    %d / %d\n" s.Wire.Runtime.retries
+      s.Wire.Runtime.send_timeouts;
+    pr "  decode rejects / late      %d / %d\n" s.Wire.Runtime.decode_rejects
+      s.Wire.Runtime.late_frames;
+    pr "  barrier timer expiries     %d\n" s.Wire.Runtime.deadline_expiries;
+    pr "  slots simulated            %d\n" o.Wire.Runtime.slots;
+    (match o.Wire.Runtime.failures with
+    | [] -> ()
+    | (p, e) :: _ -> die_misuse "domain p%d died: %s" p e);
+    if
+      o.Wire.Runtime.stalled <> []
+      || Array.exists Option.is_none o.Wire.Runtime.decided_strs
+    then begin
+      pr "\nstall: undecided processes%s\n"
+        (match o.Wire.Runtime.stalled with
+        | [] -> ""
+        | ps ->
+          Printf.sprintf " (deadman-stopped: %s)"
+            (String.concat ", " (List.map (Printf.sprintf "p%d") ps)));
+      exit 2
+    end
+  in
+  match protocol with
+  | Bb ->
+    finish
+      (Wire.Runtime.run
+         (module Instances.Bb_protocol)
+         ~codec:Wire.Zoo.adaptive_bb_msg ~cfg ~seed ~delta
+         ~params:{ Instances.Bb_protocol.sender = 0; input }
+         ())
+  | Weak_ba ->
+    finish
+      (Wire.Runtime.run
+         (module Instances.Weak_ba_protocol)
+         ~codec:Wire.Zoo.weak_str_msg ~cfg ~seed ~delta
+         ~params:
+           {
+             Instances.Weak_ba_protocol.inputs = Array.make n input;
+             validate = (fun _ -> true);
+             quorum_override = None;
+           }
+         ())
+  | Strong_ba ->
+    finish
+      (Wire.Runtime.run
+         (module Instances.Strong_ba_protocol)
+         ~codec:Wire.Zoo.strong_bool_msg ~cfg ~seed ~delta
+         ~params:
+           {
+             Instances.Strong_ba_protocol.leader = 0;
+             inputs = Array.init n (fun i -> i mod 2 = 0);
+           }
+         ())
+  | Fallback ->
+    finish
+      (Wire.Runtime.run
+         (module Instances.Fallback_protocol)
+         ~codec:Wire.Zoo.epk_str_msg ~cfg ~seed ~delta
+         ~params:
+           {
+             Instances.Fallback_protocol.inputs =
+               Array.init n (fun i -> Printf.sprintf "%s%d" input (i mod 3));
+             round_len = 1;
+             start_slot = (fun _ -> 0);
+           }
+         ())
+  | Dolev_strong | Naive_bb -> assert false (* rejected above *)
+
 let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
-    delay_prob crash partition fault_seed scheduler shards =
+    delay_prob crash partition fault_seed scheduler shards runtime delta =
+  let runtime =
+    match Wire.Runtime.kind_of_string runtime with
+    | Ok k -> k
+    | Error e -> die_misuse "%s" e
+  in
   let scheduler = scheduler_of_flag scheduler in
   if shards < 1 then die_misuse "--shards %d: need at least one shard" shards;
   if profile_on && shards > 1 then
@@ -235,6 +362,11 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
     plan_of_flags ~n ~seed ~drop ~dup ~delay ~delay_prob ~crash ~partition
       ~fault_seed
   in
+  match runtime with
+  | Wire.Runtime.Async_domains ->
+    run_async_cmd protocol n adversary f input ~seed ~delta ~faults ~profile_on
+      ~trace ~scheduler ~shards
+  | Wire.Runtime.Sync_oracle ->
   let profile = if profile_on then Some (Profile.create ()) else None in
   let options =
     {
@@ -389,7 +521,7 @@ let run_cmd protocol n adversary f seed input trace profile_on drop dup delay
 type trace_format = Json | Csv
 
 (* Re-decode the run's own JSON, so every trace invocation also exercises
-   the parse side of the mewc-trace/3 schema. *)
+   the parse side of the mewc-trace/4 schema. *)
 let reparsed_trace json =
   match Trace.of_json ~decode:Fun.id json with
   | Ok tr -> tr
@@ -1203,10 +1335,31 @@ let run_term =
       & info [ "fault-seed" ] ~docv:"SEED"
           ~doc:"Seed of the fault layer's coin flips (default: --seed).")
   in
+  let runtime =
+    Arg.(
+      value & opt string "sync"
+      & info [ "runtime" ] ~docv:"RUNTIME"
+          ~doc:
+            "Execution runtime: $(b,sync) (the default: the deterministic \
+             lock-step engine, the differential oracle) or $(b,async) \
+             (async-domains: one OCaml domain per process exchanging \
+             mewc-wire/1 frames over a real transport, with δ a real \
+             monotonic-clock deadline — honest runs only). Like \
+             $(b,--scheduler), an unknown value is a misuse (exit 1).")
+  in
+  let delta =
+    Arg.(
+      value & opt float Mewc_wire.Runtime.default_delta
+      & info [ "delta" ] ~docv:"SECONDS"
+          ~doc:
+            "The async runtime's δ: the real-time budget per slot barrier \
+             (only with $(b,--runtime async)). Fault-free runs advance on \
+             the Done-marker barrier and never consult it.")
+  in
   Term.(
     const run_cmd $ protocol_arg $ n_arg $ adversary_arg $ f_arg $ seed_arg
     $ input_arg $ trace $ profile $ drop $ dup $ delay $ delay_prob $ crash
-    $ partition $ fault_seed $ scheduler_arg $ shards_arg)
+    $ partition $ fault_seed $ scheduler_arg $ shards_arg $ runtime $ delta)
 
 let trace_term =
   let format =
@@ -1675,6 +1828,159 @@ let report_term =
   in
   Term.(const report_cmd $ dir $ out $ check)
 
+(* ---- `wire` ---------------------------------------------------------------- *)
+
+(* Exit-code contract, same as everywhere else: 0 all checks pass, 1 misuse
+   (no mode picked, bad flag value), 3 a finding (a codec law violation, an
+   async/oracle divergence, an Unsafe chaos cell or a dead domain), 124
+   cmdliner parse errors. A chaos cell that stalls but keeps safety is the
+   expected degradation, not a finding. *)
+
+let wire_fuzz ~count ~seed =
+  if count < 1 then die_misuse "--count %d: need at least one case" count;
+  pr "wire: codec fuzz battery, %d cases per leg, seed %Ld\n" count seed;
+  match Wire.Zoo.fuzz_codec ~count ~seed with
+  | Ok cases -> pr "  ok: %d cases, every codec law held\n" cases
+  | Error what ->
+    pr "  FINDING: %s\n" what;
+    exit 3
+
+let wire_diff ~n ~seed ~delta =
+  pr "wire: differential gate, async ≡ oracle, n=%d seed=%Ld\n" n seed;
+  let cfg = Config.optimal ~n in
+  List.iter
+    (fun e ->
+      match Wire.Zoo.diff e ~cfg ~seed ~salt:0 ~delta () with
+      | Ok r ->
+        let s = r.Wire.Zoo.stats in
+        pr "  %-9s async ≡ oracle (%d frames, %d bytes, %d encoded words)\n"
+          (Wire.Zoo.entry_name e) s.Wire.Runtime.frames_sent
+          s.Wire.Runtime.bytes_sent s.Wire.Runtime.encoded_words
+      | Error mismatches ->
+        pr "  %-9s FINDING: async diverges from the oracle:\n"
+          (Wire.Zoo.entry_name e);
+        List.iter (pr "    %s\n") mismatches;
+        exit 3)
+    Wire.Zoo.entries
+
+let wire_chaos_plan seed =
+  { Faults.byte_seed = seed; flip = 0.05; trunc = 0.05; reorder = 0.1 }
+
+let wire_chaos_cell ~cfg ~seed e =
+  let r =
+    Wire.Zoo.async e ~cfg ~seed ~salt:0 ~delta:0.2 ~deadman:30.0
+      ~byte_faults:(wire_chaos_plan (Int64.add seed 1L))
+      ()
+  in
+  let s = r.Wire.Zoo.stats in
+  (match r.Wire.Zoo.failures with
+  | [] -> ()
+  | (p, err) :: _ ->
+    pr "  %-9s FINDING: byte faults killed domain p%d: %s\n"
+      (Wire.Zoo.entry_name e) p err;
+    exit 3);
+  match r.Wire.Zoo.verdict with
+  | Monitor.Unsafe v ->
+    pr "  %-9s FINDING: unsafe under byte faults: %s\n" (Wire.Zoo.entry_name e)
+      v.Monitor.reason;
+    exit 3
+  | Monitor.Safe_live ->
+    pr "  %-9s safe-live    (%d frame faults, %d decode rejects, %d late)\n"
+      (Wire.Zoo.entry_name e) s.Wire.Runtime.frame_faults
+      s.Wire.Runtime.decode_rejects s.Wire.Runtime.late_frames
+  | Monitor.Safe_stalled _ ->
+    pr "  %-9s safe-stalled (%d frame faults, %d decode rejects, %d late)\n"
+      (Wire.Zoo.entry_name e) s.Wire.Runtime.frame_faults
+      s.Wire.Runtime.decode_rejects s.Wire.Runtime.late_frames
+
+let wire_chaos ~n ~seed =
+  pr "wire: byte-fault chaos over the sound zoo, n=%d seed=%Ld\n" n seed;
+  let cfg = Config.optimal ~n in
+  List.iter (wire_chaos_cell ~cfg ~seed) Wire.Zoo.entries
+
+(* The CI leg (`dune build @wire-smoke`): fixed seeds regardless of flags so
+   the alias is deterministic — a fuzz budget, the fault-free differential
+   gate over all five sound protocols at n=5, and one byte-fault chaos cell
+   that must stay safe. *)
+let wire_smoke () =
+  wire_fuzz ~count:120 ~seed:20260807L;
+  wire_diff ~n:5 ~seed:1L ~delta:2.0;
+  pr "wire: one byte-fault chaos cell (fallback), n=5\n";
+  wire_chaos_cell ~cfg:(Config.optimal ~n:5) ~seed:11L
+    (Option.get (Wire.Zoo.find "fallback"));
+  pr "wire smoke: ok\n"
+
+let wire_cmd fuzz diff chaos smoke count seed n delta =
+  if not (fuzz || diff || chaos || smoke) then
+    die_misuse
+      "wire: pick at least one mode: --fuzz-codec, --diff, --chaos or --smoke";
+  if n < 2 then die_misuse "-n %d: the wire harness needs at least 2 processes" n;
+  let seed = Int64.of_int seed in
+  if fuzz then wire_fuzz ~count ~seed;
+  if diff then wire_diff ~n ~seed ~delta;
+  if chaos then wire_chaos ~n ~seed;
+  if smoke then wire_smoke ()
+
+let wire_term =
+  let fuzz =
+    Arg.(
+      value & flag
+      & info [ "fuzz-codec" ]
+          ~doc:
+            "Run the codec fuzz battery: round-trip, adversarial bytes (no \
+             input may make a decoder raise), single-byte mutations of valid \
+             frames, and mid-stream resynchronization. Exit 3 on the first \
+             law violation.")
+  in
+  let diff =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Run the differential gate: every sound protocol under both \
+             runtimes, comparing per-process decision values, decided slots \
+             and metered words. Exit 3 on any divergence.")
+  in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Run one byte-fault cell (bit flips, truncations, δ-bounded \
+             reorders below the codec) per sound protocol. Stalls are the \
+             expected degradation; exit 3 only on an Unsafe verdict or a \
+             dead domain.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "The fixed-seed CI leg (`dune build @wire-smoke`): a fuzz \
+             budget, the fault-free differential gate at n=5, and one \
+             byte-fault chaos cell that must stay safe.")
+  in
+  let count =
+    Arg.(
+      value & opt int 300
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Cases per fuzz leg (only with $(b,--fuzz-codec)).")
+  in
+  let n =
+    Arg.(
+      value & opt int 5
+      & info [ "n" ] ~docv:"N"
+          ~doc:"System size for $(b,--diff) and $(b,--chaos).")
+  in
+  let delta =
+    Arg.(
+      value & opt float 2.0
+      & info [ "delta" ] ~docv:"SECONDS"
+          ~doc:"The async runtime's per-slot δ budget for $(b,--diff).")
+  in
+  Term.(
+    const wire_cmd $ fuzz $ diff $ chaos $ smoke $ count $ seed_arg $ n $ delta)
+
 let cmd =
   let info =
     Cmd.info "mewc" ~version:"1.0.0"
@@ -1689,7 +1995,7 @@ let cmd =
         (Cmd.info "trace"
            ~doc:
              "Run one protocol execution and emit its structured trace \
-              (mewc-trace/3) as JSON or CSV, or a decision's happens-before \
+              (mewc-trace/4) as JSON or CSV, or a decision's happens-before \
               cone (--cone, --dot).")
         trace_term;
       perf_cmd;
@@ -1740,6 +2046,16 @@ let cmd =
               intensity) and classify each cell safe-live / safe-stalled / \
               unsafe (mewc-degrade/1); an unsafe cell exits 3.")
         chaos_term;
+      Cmd.v
+        (Cmd.info "wire"
+           ~doc:
+             "Exercise the wire layer: the mewc-wire/1 codec fuzz battery \
+              ($(b,--fuzz-codec)), the async-domains-vs-lock-step-oracle \
+              differential gate ($(b,--diff)), byte-fault chaos cells \
+              ($(b,--chaos)), and the fixed-seed CI leg ($(b,--smoke)). \
+              Exit 3 on any finding: a codec law violation, a divergence \
+              from the oracle, or an Unsafe chaos verdict.")
+        wire_term;
     ]
 
 let () = exit (Cmd.eval cmd)

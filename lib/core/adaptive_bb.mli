@@ -38,7 +38,13 @@ type bb_value =
 
 module Bb_value : Mewc_sim.Value.S with type t = bb_value
 
-module Fallback_bb : Fallback_intf.FALLBACK with type value = bb_value
+module Fallback_bb :
+  Fallback_intf.FALLBACK
+    with type value = bb_value
+     and type msg = Mewc_fallback.Echo_phase_king.Make(Bb_value).msg
+     and type state = Mewc_fallback.Echo_phase_king.Make(Bb_value).state
+(* The msg/state equalities are exposed (rather than left abstract) so the
+   wire layer can build a codec for the embedded fallback's messages. *)
 module W : module type of Weak_ba.Make (Bb_value) (Fallback_bb)
 (** The embedded weak-BA instance over {!bb_value}. *)
 

@@ -109,7 +109,7 @@ type cell = {
 
 (* Liveness, offline: decode the recorded trace (payloads as strings — the
    liveness monitors never look inside a message) and replay the
-   termination monitor over it. This exercises the mewc-trace/3 round-trip,
+   termination monitor over it. This exercises the mewc-trace/4 round-trip,
    fault events included, on every cell. *)
 let liveness (o : _ Instances.agreement_outcome) =
   match o.Instances.trace_json with

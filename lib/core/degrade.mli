@@ -15,7 +15,7 @@
       budget or metering nonsense): the silent failure mode.
 
     Safety is checked online (budget, agreement, metering); liveness is
-    the termination monitor replayed over the recorded [mewc-trace/3]
+    the termination monitor replayed over the recorded [mewc-trace/4]
     trace, so the trace round-trip — fault events included — is exercised
     on every cell. The word/latency envelope monitors are deliberately
     left out: they are calibrated against corruption counts, and a fault

@@ -22,6 +22,8 @@ let pp_status fmt = function
 
 type 'o agreement_outcome = {
   decisions : 'o option array;
+  decided_slots : int option array;
+  decided_strs : string option array;
   corrupted : Mewc_prelude.Pid.t list;
   f : int;
   faulty : Mewc_prelude.Pid.t list;
@@ -637,6 +639,8 @@ let run (type p s m d) ((module P) : (p, s, m, d) Protocol.t) ~cfg
   in
   {
     decisions = Array.map P.decision res.Engine.states;
+    decided_slots = Array.map P.decided_at res.Engine.states;
+    decided_strs = Array.map P.decided_str res.Engine.states;
     corrupted = res.Engine.corrupted;
     f = res.Engine.f;
     faulty = res.Engine.faulty;

@@ -58,6 +58,12 @@ type 'o agreement_outcome = {
   decisions : 'o option array;
       (** per process; [None] for processes that were corrupted or (bug)
           never decided *)
+  decided_slots : int option array;
+      (** per process, the protocol's [decided_at] — the async runtime's
+          differential gate compares these against its own *)
+  decided_strs : string option array;
+      (** per process, the protocol's printed decision (the monitors'
+          agreement projection) *)
   corrupted : Mewc_prelude.Pid.t list;
   f : int;
   faulty : Mewc_prelude.Pid.t list;
@@ -80,7 +86,7 @@ type 'o agreement_outcome = {
       (** hit/miss counters of this run's PKI memo tables (share-tag and
           aggregate-tag caches) *)
   trace_json : Mewc_prelude.Jsonx.t option;
-      (** the run's structured trace (schema ["mewc-trace/3"], message
+      (** the run's structured trace (schema ["mewc-trace/4"], message
           payloads rendered via the protocol's printer); [Some] iff
           [record_trace] was set *)
 }
@@ -191,7 +197,7 @@ type 'm options = {
   shuffle_seed : int64 option;
       (** permute every inbox deterministically before delivery
           ({!Mewc_sim.Engine.options.shuffle_seed}) *)
-  record_trace : bool;  (** materialize the run's [mewc-trace/3] JSON *)
+  record_trace : bool;  (** materialize the run's [mewc-trace/4] JSON *)
   monitors : 'm Mewc_sim.Monitor.t list option;
       (** [None] (default) installs the instance's standard suite — or,
           under injected faults, its model-independent safety core;

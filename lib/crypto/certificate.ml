@@ -40,6 +40,11 @@ module Tally = struct
     |> Option.map (fun tsig -> { purpose = tl.purpose; payload = tl.payload; tsig })
 end
 
+module Wire = struct
+  let view c = (c.purpose, c.payload, c.tsig)
+  let of_view ~purpose ~payload ~tsig = { purpose; payload; tsig }
+end
+
 let verify pki c ~k =
   Pki.verify_tsig pki c.tsig ~k
     ~msg:(signed_message ~purpose:c.purpose ~payload:c.payload)

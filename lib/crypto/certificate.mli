@@ -43,6 +43,16 @@ module Tally : sig
       valid shares. *)
 end
 
+(** The codec's window into the abstract certificate, mirroring
+    {!Pki.Wire}: a decoded certificate is only a claim until {!verify}
+    passes on its own purpose/payload. *)
+module Wire : sig
+  val view : t -> string * string * Pki.Tsig.t
+  (** [(purpose, payload, tsig)]. *)
+
+  val of_view : purpose:string -> payload:string -> tsig:Pki.Tsig.t -> t
+end
+
 val verify : Pki.t -> t -> k:int -> bool
 (** [verify pki c ~k] checks the certificate carries at least [k] valid
     shares on its own purpose/payload. *)

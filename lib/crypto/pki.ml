@@ -339,6 +339,15 @@ end
 
 let tally t ~k ~msg = { Tally.pki = t; msg; k; signers = Pid.Set.empty }
 
+module Wire = struct
+  let sig_view (s : Sig.t) = (s.Sig.signer, s.Sig.tag)
+  let sig_of_view ~signer ~tag = { Sig.signer; tag }
+  let tsig_view (ts : Tsig.t) = (Pid.Set.elements ts.Tsig.signers, ts.Tsig.tag)
+
+  let tsig_of_view ~signers ~tag =
+    { Tsig.signers = Pid.Set.of_list signers; tag; ok_for = None }
+end
+
 let signatures_created t = Atomic.get t.signs
 let verifications_performed t = Atomic.get t.verifies
 let combines_performed t = Atomic.get t.combines

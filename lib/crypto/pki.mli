@@ -124,6 +124,27 @@ end
 val tally : t -> k:int -> msg:string -> Tally.t
 (** A fresh empty tally for a [k]-of-[n] certificate on [msg]. *)
 
+(** {1 Wire view}
+
+    The one sanctioned window into the abstract signature types, for the
+    binary codec ([Mewc_wire.Codec]) and nothing else. Reconstruction does
+    not confer validity: a [Sig.t]/[Tsig.t] rebuilt from attacker-chosen
+    bytes is just a claim, and {!verify}/{!verify_tsig} still decide it —
+    unforgeability stays by-construction because only genuine tags pass. *)
+
+module Wire : sig
+  val sig_view : Sig.t -> Mewc_prelude.Pid.t * Sha256.t
+  (** [(signer, tag)]. *)
+
+  val sig_of_view : signer:Mewc_prelude.Pid.t -> tag:Sha256.t -> Sig.t
+
+  val tsig_view : Tsig.t -> Mewc_prelude.Pid.t list * Sha256.t
+  (** [(signers, tag)], signers in strictly ascending order. *)
+
+  val tsig_of_view : signers:Mewc_prelude.Pid.t list -> tag:Sha256.t -> Tsig.t
+  (** The rebuilt value starts with a cold verification cache. *)
+end
+
 (** {1 Operation counters} *)
 
 val signatures_created : t -> int

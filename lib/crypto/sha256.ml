@@ -113,6 +113,7 @@ let digest_from state ~prefix msg =
 let digest msg = digest_from (fresh_state ()) ~prefix:0 msg
 
 let to_raw d = d
+let of_raw s = if String.length s = 32 then Some s else None
 
 let to_hex d =
   let buf = Buffer.create 64 in

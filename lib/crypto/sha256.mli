@@ -17,6 +17,11 @@ val to_hex : t -> string
 val to_raw : t -> string
 (** The 32 raw digest bytes. *)
 
+val of_raw : string -> t option
+(** The inverse of {!to_raw}: adopt 32 raw bytes as a digest value; [None]
+    on any other length. Exists for the wire codec only — adopting bytes
+    does not make them a valid tag, verification still decides that. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

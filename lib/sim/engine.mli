@@ -50,7 +50,7 @@ type scheduler = [ `Legacy | `Event_driven ]
       timer is armed.
 
     The two are {e observationally equivalent}: same seed, same options,
-    same fault plan ⇒ byte-identical [mewc-trace/3] traces, decisions,
+    same fault plan ⇒ byte-identical [mewc-trace/4] traces, decisions,
     meter series, word counts, monitor verdicts, and final states. The
     differential suite ([test_engine_diff]) enforces this across protocols,
     fuzz scenarios, and chaos fault plans. *)

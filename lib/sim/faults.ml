@@ -331,6 +331,127 @@ let process_event_of_string = function
   | "omitting" -> Ok Omitting
   | s -> Error (Printf.sprintf "unknown process event %S" s)
 
+(* An odd 64-bit multiplier folds (slot, src, dst, seq) into one injective-
+   enough word; [Rng.mix] then whitens it. Any residual structure only
+   biases *which* messages are hit, never determinism. *)
+let link_key ~slot ~src ~dst ~seq =
+  let open Int64 in
+  let c = 0x100000001B3L in
+  let acc = of_int slot in
+  let acc = add (mul acc c) (of_int src) in
+  let acc = add (mul acc c) (of_int dst) in
+  add (mul acc c) (of_int seq)
+
+(* ---- byte-level faults ------------------------------------------------- *)
+
+type byte_fault = Flip of int | Truncate of int | Reorder
+
+type byte_plan = {
+  byte_seed : int64;
+  flip : float;
+  trunc : float;
+  reorder : float;
+}
+
+let byte_none = { byte_seed = 0L; flip = 0.0; trunc = 0.0; reorder = 0.0 }
+let byte_is_none p = p.flip = 0.0 && p.trunc = 0.0 && p.reorder = 0.0
+
+let validate_byte p =
+  let ( let* ) = Result.bind in
+  let prob name v =
+    if v >= 0.0 && v <= 1.0 then Ok ()
+    else Error (Printf.sprintf "%s probability %g outside [0, 1]" name v)
+  in
+  let* () = prob "flip" p.flip in
+  let* () = prob "trunc" p.trunc in
+  prob "reorder" p.reorder
+
+let equal_byte_plan a b =
+  Int64.equal a.byte_seed b.byte_seed
+  && a.flip = b.flip && a.trunc = b.trunc && a.reorder = b.reorder
+
+let pp_byte_plan fmt p =
+  if byte_is_none p then Format.fprintf fmt "no-byte-faults"
+  else
+    Format.fprintf fmt "byte-faults{seed=%Ld; flip=%g; trunc=%g; reorder=%g}"
+      p.byte_seed p.flip p.trunc p.reorder
+
+let byte_schema = "mewc-byte-faults/1"
+
+let byte_plan_to_json p =
+  Jsonx.Schema.tag byte_schema
+    [
+      ("seed", Jsonx.Str (Int64.to_string p.byte_seed));
+      ("flip", Jsonx.Float p.flip);
+      ("trunc", Jsonx.Float p.trunc);
+      ("reorder", Jsonx.Float p.reorder);
+    ]
+
+let byte_plan_of_json j =
+  let ( let* ) = Result.bind in
+  let* () = Jsonx.Schema.check byte_schema j in
+  let* seed_s = field j "seed" Jsonx.get_str in
+  let* byte_seed =
+    match Int64.of_string_opt seed_s with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "bad seed %S" seed_s)
+  in
+  let* flip = field j "flip" get_float in
+  let* trunc = field j "trunc" get_float in
+  let* reorder = field j "reorder" get_float in
+  Ok { byte_seed; flip; trunc; reorder }
+
+let byte_fault_to_string = function
+  | Flip i -> Printf.sprintf "flip@%d" i
+  | Truncate k -> Printf.sprintf "truncate@%d" k
+  | Reorder -> "reorder"
+
+let byte_fault_of_string s =
+  let tail prefix =
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      int_of_string_opt (String.sub s pl (String.length s - pl))
+    else None
+  in
+  match s with
+  | "reorder" -> Ok Reorder
+  | _ -> (
+    match (tail "flip@", tail "truncate@") with
+    | Some i, _ -> Ok (Flip i)
+    | _, Some k -> Ok (Truncate k)
+    | None, None -> Error (Printf.sprintf "unknown byte fault %S" s))
+
+let byte_fate plan ~slot ~src ~dst ~seq ~len =
+  if byte_is_none plan || len = 0 then None
+  else
+    (* Same per-message-generator discipline as [fate]: the draw is keyed
+       by the frame's identity, never by stream position, with [len] folded
+       in so the fault's index draws can't collide across frame sizes. *)
+    let g =
+      Rng.create
+        (Rng.mix
+           (Int64.logxor plan.byte_seed
+              (Rng.mix (link_key ~slot ~src ~dst ~seq:((seq * 8191) + len)))))
+    in
+    let coin p = p > 0.0 && Rng.float g 1.0 < p in
+    if coin plan.flip then Some (Flip (Rng.int g (len * 8)))
+    else if len >= 2 && coin plan.trunc then Some (Truncate (Rng.int g (len - 1)))
+    else if coin plan.reorder then Some Reorder
+    else None
+
+let apply_byte_fault fault bytes =
+  let len = String.length bytes in
+  match fault with
+  | Reorder -> bytes
+  | Truncate k -> String.sub bytes 0 (max 0 (min k len))
+  | Flip _ when len = 0 -> bytes
+  | Flip i ->
+    let i = max 0 (min i ((len * 8) - 1)) in
+    let b = Bytes.of_string bytes in
+    let byte = i / 8 and bit = i mod 8 in
+    Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+    Bytes.to_string b
+
 (* ---- runtime ----------------------------------------------------------- *)
 
 type runtime = {
@@ -367,17 +488,6 @@ let transitions rt ~slot =
 let is_down rt pid = rt.down.(pid)
 
 let in_island island pid = List.exists (Pid.equal pid) island
-
-(* An odd 64-bit multiplier folds (slot, src, dst, seq) into one injective-
-   enough word; [Rng.mix] then whitens it. Any residual structure only
-   biases *which* messages are hit, never determinism. *)
-let link_key ~slot ~src ~dst ~seq =
-  let open Int64 in
-  let c = 0x100000001B3L in
-  let acc = of_int slot in
-  let acc = add (mul acc c) (of_int src) in
-  let acc = add (mul acc c) (of_int dst) in
-  add (mul acc c) (of_int seq)
 
 let fate ?(seq = 0) rt ~slot ~src ~dst =
   if src = dst then None

@@ -89,6 +89,68 @@ val link_fault_of_string : string -> (link_fault, string) result
 val process_event_to_string : process_event -> string
 val process_event_of_string : string -> (process_event, string) result
 
+(** {2 Byte-level faults}
+
+    A second, independent fault stage that lives {e below} the wire codec:
+    where a {!plan} removes or reschedules whole deliveries at the engine's
+    deliver boundary, a {!byte_plan} corrupts the encoded bytes of a frame
+    after serialization, so the decoder's hardening (checksums, bounded
+    totality, stream resync) is what actually gets exercised. Interpreted
+    only by the async wire runtime ([Mewc_wire.Runtime]); the lock-step
+    engine never sees encoded bytes. Fates are pure functions of
+    [(plan.seed, slot, src, dst, seq, len)], exactly like link {!fate}. *)
+
+type byte_fault =
+  | Flip of int  (** XOR bit [i] of the encoded frame (i < 8·length) *)
+  | Truncate of int  (** keep only the first [k] bytes (0 <= k < length) *)
+  | Reorder
+      (** hold the frame back past the link's next write — a same-slot
+          (within-δ) reordering, never a loss *)
+
+type byte_plan = {
+  byte_seed : int64;  (** seeds every draw below *)
+  flip : float;  (** per-frame bit-flip probability in [0, 1] *)
+  trunc : float;  (** per-frame truncation probability in [0, 1] *)
+  reorder : float;  (** per-frame reorder probability in [0, 1] *)
+}
+
+val byte_none : byte_plan
+val byte_is_none : byte_plan -> bool
+
+val validate_byte : byte_plan -> (unit, string) result
+(** Probabilities in [0, 1]. *)
+
+val equal_byte_plan : byte_plan -> byte_plan -> bool
+val pp_byte_plan : Format.formatter -> byte_plan -> unit
+
+val byte_plan_to_json : byte_plan -> Mewc_prelude.Jsonx.t
+(** Schema [mewc-byte-faults/1]. *)
+
+val byte_plan_of_json : Mewc_prelude.Jsonx.t -> (byte_plan, string) result
+val byte_fault_to_string : byte_fault -> string
+val byte_fault_of_string : string -> (byte_fault, string) result
+
+val byte_fate :
+  byte_plan ->
+  slot:int ->
+  src:Mewc_prelude.Pid.t ->
+  dst:Mewc_prelude.Pid.t ->
+  seq:int ->
+  len:int ->
+  byte_fault option
+(** The fate of the [len]-byte frame carrying message [seq] of
+    [src -> dst] at [slot] — a pure function of the plan and the frame's
+    identity, independent of evaluation order (the same contract as
+    {!fate}). Frames of length 0 and self-addressed frames are the
+    caller's business; this never returns [Truncate] for [len < 2] or
+    [Flip] for [len = 0]. Coins are drawn flip, then truncate, then
+    reorder. *)
+
+val apply_byte_fault : byte_fault -> string -> string
+(** The corrupted bytes ([Reorder] leaves bytes intact — the transport
+    reorders the write instead). Out-of-range [Flip]/[Truncate] indices are
+    clamped, so any recorded fault replays totally. *)
+
 (** {2 Runtime}
 
     The engine-side interpreter of a plan. Link fates are pure functions

@@ -31,6 +31,18 @@ type 'm event =
       pid : Mewc_prelude.Pid.t;
       event : Faults.process_event;
     }
+  | Frame_fault of {
+      slot : int;
+      src : Mewc_prelude.Pid.t;
+      dst : Mewc_prelude.Pid.t;
+      seq : int;
+      fault : Faults.byte_fault;
+    }
+  | Decode_reject of {
+      slot : int;
+      dst : Mewc_prelude.Pid.t;
+      reason : string;
+    }
 
 type 'm t = {
   enabled : bool;
@@ -83,6 +95,11 @@ let equal_event eq_msg a b =
     && a.fault = b.fault
   | Process_fault a, Process_fault b ->
     a.slot = b.slot && a.pid = b.pid && a.event = b.event
+  | Frame_fault a, Frame_fault b ->
+    a.slot = b.slot && a.src = b.src && a.dst = b.dst && a.seq = b.seq
+    && a.fault = b.fault
+  | Decode_reject a, Decode_reject b ->
+    a.slot = b.slot && a.dst = b.dst && String.equal a.reason b.reason
   | _ -> false
 
 let equal eq_msg a b = List.equal (equal_event eq_msg) (events a) (events b)
@@ -112,13 +129,21 @@ let pp_event pp_msg fmt = function
   | Process_fault { slot; pid; event } ->
     Format.fprintf fmt "[%d] fault p%d %s" slot pid
       (Faults.process_event_to_string event)
+  | Frame_fault { slot; src; dst; seq; fault } ->
+    Format.fprintf fmt "[%d] frame-fault p%d->p%d #%d %s" slot src dst seq
+      (Faults.byte_fault_to_string fault)
+  | Decode_reject { slot; dst; reason } ->
+    Format.fprintf fmt "[%d] p%d rejects frame: %s" slot dst reason
 
 let pp pp_msg fmt t =
   List.iter (fun ev -> Format.fprintf fmt "%a@." (pp_event pp_msg) ev) (events t)
 
 (* ---- serialization ----------------------------------------------------- *)
 
-let schema = "mewc-trace/3"
+let schema = "mewc-trace/4"
+
+let legacy_schema = "mewc-trace/3"
+(* pre-wire traces: same event vocabulary minus frame-fault/decode-reject *)
 
 let parents_to_json ps = Jsonx.Arr (List.map (fun p -> Jsonx.Int p) ps)
 
@@ -180,6 +205,24 @@ let event_to_json ~encode = function
         ("slot", Jsonx.Int slot);
         ("pid", Jsonx.Int pid);
         ("event", Jsonx.Str (Faults.process_event_to_string event));
+      ]
+  | Frame_fault { slot; src; dst; seq; fault } ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "frame-fault");
+        ("slot", Jsonx.Int slot);
+        ("src", Jsonx.Int src);
+        ("dst", Jsonx.Int dst);
+        ("seq", Jsonx.Int seq);
+        ("fault", Jsonx.Str (Faults.byte_fault_to_string fault));
+      ]
+  | Decode_reject { slot; dst; reason } ->
+    Jsonx.Obj
+      [
+        ("type", Jsonx.Str "decode-reject");
+        ("slot", Jsonx.Int slot);
+        ("dst", Jsonx.Int dst);
+        ("reason", Jsonx.Str reason);
       ]
 
 let to_json ~encode t =
@@ -256,11 +299,30 @@ let event_of_json ~decode j =
     let* event_s = field "event" Jsonx.get_str in
     let* event = Faults.process_event_of_string event_s in
     Ok (Process_fault { slot; pid; event })
+  | "frame-fault" ->
+    let* slot = field "slot" Jsonx.get_int in
+    let* src = field "src" Jsonx.get_int in
+    let* dst = field "dst" Jsonx.get_int in
+    let* seq = field "seq" Jsonx.get_int in
+    let* fault_s = field "fault" Jsonx.get_str in
+    let* fault = Faults.byte_fault_of_string fault_s in
+    Ok (Frame_fault { slot; src; dst; seq; fault })
+  | "decode-reject" ->
+    let* slot = field "slot" Jsonx.get_int in
+    let* dst = field "dst" Jsonx.get_int in
+    let* reason = field "reason" Jsonx.get_str in
+    Ok (Decode_reject { slot; dst; reason })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let of_json ~decode j =
   let ( let* ) = Result.bind in
-  let* () = Jsonx.Schema.check schema j in
+  let* () =
+    match Jsonx.Schema.check schema j with
+    | Ok () -> Ok ()
+    | Error _ as e ->
+      (* accept the pre-wire schema: /4 is a strict superset of /3 *)
+      (match Jsonx.Schema.check legacy_schema j with Ok () -> Ok () | Error _ -> e)
+  in
   let* events =
     match Option.bind (Jsonx.member "events" j) Jsonx.get_list with
     | Some evs -> Ok evs
@@ -335,6 +397,11 @@ let to_csv ~encode t =
           ~detail:(Faults.link_fault_to_string fault) ()
       | Process_fault { slot; pid; event } ->
         line "process-fault" ~slot ~pid
-          ~detail:(Faults.process_event_to_string event) ())
+          ~detail:(Faults.process_event_to_string event) ()
+      | Frame_fault { slot; src; dst; seq; fault } ->
+        line "frame-fault" ~slot ~src ~dst ~id:seq
+          ~detail:(Faults.byte_fault_to_string fault) ()
+      | Decode_reject { slot; dst; reason } ->
+        line "decode-reject" ~slot ~dst ~detail:reason ())
     (events t);
   Buffer.contents buf

@@ -49,6 +49,22 @@ type 'm event =
       event : Faults.process_event;
     }
       (** an injected process fault's state transition at [slot] *)
+  | Frame_fault of {
+      slot : int;
+      src : Mewc_prelude.Pid.t;
+      dst : Mewc_prelude.Pid.t;
+      seq : int;  (** the frame's index within its sender's slot *)
+      fault : Faults.byte_fault;
+    }
+      (** the async wire runtime's byte-fault stage corrupted the encoded
+          frame [seq] of [src -> dst] sent at [slot] (below the codec) *)
+  | Decode_reject of {
+      slot : int;
+      dst : Mewc_prelude.Pid.t;
+      reason : string;  (** the codec's typed error, rendered *)
+    }
+      (** [dst] dropped a malformed frame at [slot] instead of crashing —
+          the decode-reject policy firing *)
 
 type 'm t
 
@@ -81,11 +97,12 @@ val pp :
 
 (** {2 Serialization}
 
-    The JSON schema is ["mewc-trace/3"]: an object with a [schema] tag and
+    The JSON schema is ["mewc-trace/4"]: an object with a [schema] tag and
     an [events] array; message payloads are embedded via [encode], send and
-    decision events carry [id]/[parents] provenance, and injected faults
-    appear as [link-fault] / [process-fault] events. CSV has one event per
-    line with columns
+    decision events carry [id]/[parents] provenance, injected faults appear
+    as [link-fault] / [process-fault] events, and the async wire runtime's
+    byte-level events as [frame-fault] / [decode-reject]. CSV has one event
+    per line with columns
     [type,slot,src,dst,pid,id,words,byzantine,charged,parents,detail]
     (parents are [;]-separated ids). *)
 
@@ -93,6 +110,8 @@ val to_json : encode:('m -> string) -> 'm t -> Mewc_prelude.Jsonx.t
 
 val of_json :
   decode:(string -> 'm) -> Mewc_prelude.Jsonx.t -> ('m t, string) result
-(** Inverse of {!to_json} (the result is an enabled trace). *)
+(** Inverse of {!to_json} (the result is an enabled trace). Also accepts
+    the previous ["mewc-trace/3"] schema — a strict subset (no wire
+    events), so old recorded artifacts keep loading. *)
 
 val to_csv : encode:('m -> string) -> 'm t -> string

@@ -1,0 +1,8 @@
+type t = { now : unit -> float; sleep : float -> unit }
+
+let real = { now = Unix.gettimeofday; sleep = Unix.sleepf }
+
+let fake ?(start = 0.0) () =
+  let cell = ref start in
+  let advance d = cell := !cell +. d in
+  ({ now = (fun () -> !cell); sleep = advance }, advance)

@@ -1,0 +1,22 @@
+(** Injectable monotonic time.
+
+    The lock-step engine's "clock" is the slot counter, so its monitors and
+    the Degrade harness are deterministic by construction. The async
+    runtime's δ is a {e real} duration, which would make its stall
+    detection untestable — so every wire component that compares against a
+    deadline takes one of these instead of calling the OS directly. [real]
+    is the production clock; [fake] is a hand-advanced one the tests use to
+    make timer expiry a pure function of the script. *)
+
+type t = {
+  now : unit -> float;  (** seconds, monotonic within a run *)
+  sleep : float -> unit;  (** back off for this many seconds *)
+}
+
+val real : t
+(** [Unix.gettimeofday] / [Unix.sleepf]. *)
+
+val fake : ?start:float -> unit -> t * (float -> unit)
+(** [fake ()] is a clock that only moves when told: [now] reads a cell,
+    [sleep d] advances it by [d], and the returned function advances it
+    externally. Single-domain use only (tests). *)

@@ -46,6 +46,7 @@ let help_cases =
     check_code "throughput --help" 0 "throughput --help";
     check_code "report --help" 0 "report --help";
     check_code "perf baseline --help" 0 "perf baseline --help";
+    check_code "wire --help" 0 "wire --help";
   ]
 
 let error_cases =
@@ -333,6 +334,59 @@ let chaos_cases =
     check_code "baselines reject fault flags" 1 "run -p dolev-strong -n 5 --drop 0.1";
   ]
 
+(* ---- wire / --runtime ---------------------------------------------------- *)
+
+let runtime_cases =
+  [
+    check_code "run accepts --runtime sync" 0
+      "run -p weak-ba -n 5 --runtime sync";
+    check_code "run accepts --runtime async" 0
+      "run -p weak-ba -n 5 --runtime async";
+    (* validated in the command body, like --scheduler: misuse, not 124 *)
+    check_code "run rejects unknown runtime" 1
+      "run -p weak-ba -n 5 --runtime nonesuch";
+    (* the async runtime executes honest runs only: every lock-step-engine
+       knob alongside it is a misuse *)
+    check_code "async rejects adversaries" 1
+      "run -p weak-ba -n 5 --runtime async -a crash -f 1";
+    check_code "async rejects fault flags" 1
+      "run -p weak-ba -n 5 --runtime async --drop 0.1";
+    check_code "async rejects --profile" 1
+      "run -p weak-ba -n 5 --runtime async --profile";
+    check_code "async rejects --trace" 1
+      "run -p weak-ba -n 5 --runtime async --trace";
+    check_code "async rejects --shards" 1
+      "run -p weak-ba -n 5 --runtime async --shards 2";
+    check_code "async rejects baselines" 1
+      "run -p dolev-strong -n 5 --runtime async";
+  ]
+
+let test_runtime_documented () =
+  let code, out = run_out "run --help" in
+  Alcotest.(check int) "run --help exits 0" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "run --help names %s" needle) true
+        (contains out needle))
+    [ "--runtime"; "async"; "--delta" ]
+
+let wire_cases =
+  [
+    (* no mode flag: a usage error from wire itself, not cmdliner *)
+    check_code "wire requires a mode" 1 "wire";
+    check_code "wire rejects unknown flag" cli_error "wire --bogus-flag";
+    check_code "wire rejects --count 0" 1 "wire --fuzz-codec --count 0";
+    check_code "wire rejects -n 1" 1 "wire --diff -n 1";
+    check_code "wire fuzz exits 0" 0 "wire --fuzz-codec --count 40 --seed 5";
+  ]
+
+let test_wire_smoke_gate () =
+  let code, out = run_out "wire --smoke" in
+  Alcotest.(check int) "smoke exit 0" 0 code;
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains out needle))
+    [ "every codec law held"; "oracle"; "smoke: ok" ]
+
 let test_chaos_smoke_gate () =
   let code, out = run_out "chaos --smoke" in
   Alcotest.(check int) "smoke exit 0" 0 code;
@@ -405,4 +459,11 @@ let () =
       ( "chaos",
         chaos_cases
         @ [ Alcotest.test_case "smoke gate" `Quick test_chaos_smoke_gate ] );
+      ( "wire & --runtime",
+        runtime_cases @ wire_cases
+        @ [
+            Alcotest.test_case "--help documents --runtime" `Quick
+              test_runtime_documented;
+            Alcotest.test_case "smoke gate" `Slow test_wire_smoke_gate;
+          ] );
     ]

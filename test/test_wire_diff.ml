@@ -1,0 +1,127 @@
+(* The differential gate: the async domains runtime must be observationally
+   equal to the lock-step oracle — decision values, decided slots, and
+   per-process word counts — for every sound protocol, across seeds and
+   system sizes. Then chaos: with the byte-fault stage corrupting frames
+   below the codec, runs may stall but must never disagree and never kill a
+   domain. *)
+
+open Mewc_sim
+module Runtime = Mewc_wire.Runtime
+module Zoo = Mewc_wire.Zoo
+
+let cfg n = Config.optimal ~n
+
+(* Fault-free barriers complete without ever consulting the timer, so a
+   generous δ costs nothing and absorbs scheduler hiccups on loaded CI
+   machines; only a genuinely wedged barrier would pay it. *)
+let delta = 2.0
+
+let seeds = [ 1L; 7L; 20260807L ]
+let sizes = [ 5; 9 ]
+
+let gate entry () =
+  List.iter
+    (fun n ->
+      List.iteri
+        (fun salt seed ->
+          match
+            Zoo.diff entry ~cfg:(cfg n) ~seed ~salt ~delta ()
+          with
+          | Ok r ->
+            (match r.Zoo.verdict with
+            | Monitor.Safe_live -> ()
+            | Monitor.Safe_stalled v | Monitor.Unsafe v ->
+              Alcotest.failf "n=%d seed=%Ld: fault-free async not live: %s" n
+                seed v.Monitor.reason);
+            if r.Zoo.failures <> [] then
+              Alcotest.failf "n=%d seed=%Ld: domain failures" n seed;
+            if r.Zoo.stats.Runtime.frame_faults <> 0 then
+              Alcotest.failf "n=%d seed=%Ld: phantom frame faults" n seed;
+            if r.Zoo.stats.Runtime.decode_rejects <> 0 then
+              Alcotest.failf "n=%d seed=%Ld: phantom decode rejects" n seed
+          | Error mismatches ->
+            Alcotest.failf "n=%d seed=%Ld: async diverges from oracle:\n%s" n
+              seed
+              (String.concat "\n" mismatches))
+        seeds)
+    sizes
+
+(* ---- chaos: byte faults below the codec --------------------------------- *)
+
+let plans =
+  [
+    ("flip", { Faults.byte_none with Faults.byte_seed = 5L; flip = 0.08 });
+    ("truncate", { Faults.byte_none with Faults.byte_seed = 6L; trunc = 0.08 });
+    ("reorder", { Faults.byte_none with Faults.byte_seed = 7L; reorder = 0.15 });
+    ( "kitchen sink",
+      { Faults.byte_seed = 8L; flip = 0.05; trunc = 0.05; reorder = 0.1 } );
+  ]
+
+let chaos entry () =
+  List.iter
+    (fun (plan_name, plan) ->
+      let r =
+        Zoo.async entry ~cfg:(cfg 5) ~seed:11L ~salt:0 ~delta:0.2 ~deadman:30.0
+          ~byte_faults:plan ()
+      in
+      (match r.Zoo.verdict with
+      | Monitor.Unsafe v ->
+        Alcotest.failf "%s: byte faults broke agreement: %s" plan_name
+          v.Monitor.reason
+      | Monitor.Safe_live | Monitor.Safe_stalled _ -> ());
+      if r.Zoo.failures <> [] then
+        Alcotest.failf "%s: byte faults killed a domain: p%d (%s)" plan_name
+          (fst (List.hd r.Zoo.failures))
+          (snd (List.hd r.Zoo.failures)))
+    plans
+
+(* With aggressive corruption every frame category takes hits; the trace
+   events and counters must reflect that the stage actually fired. *)
+let chaos_observable () =
+  let entry = Option.get (Zoo.find "fallback") in
+  let plan = { Faults.byte_seed = 9L; flip = 0.3; trunc = 0.2; reorder = 0.1 } in
+  let r =
+    Zoo.async entry ~cfg:(cfg 5) ~seed:3L ~salt:0 ~delta:0.2 ~deadman:30.0
+      ~byte_faults:plan ()
+  in
+  if r.Zoo.stats.Runtime.frame_faults = 0 then
+    Alcotest.fail "corruption plan produced no frame faults";
+  let has_fault_event =
+    List.exists
+      (function Trace.Frame_fault _ -> true | _ -> false)
+      r.Zoo.wire_events
+  in
+  if not has_fault_event then Alcotest.fail "no Frame_fault event stamped";
+  (* flips and truncations must surface as decode rejections, not forgeries *)
+  if r.Zoo.stats.Runtime.decode_rejects = 0 then
+    Alcotest.fail "corrupted frames were never rejected";
+  match r.Zoo.verdict with
+  | Monitor.Unsafe v -> Alcotest.failf "unsafe under chaos: %s" v.Monitor.reason
+  | Monitor.Safe_live | Monitor.Safe_stalled _ -> ()
+
+let () =
+  let gates =
+    List.map
+      (fun e ->
+        Alcotest.test_case
+          (Printf.sprintf "%s: async ≡ oracle (3 seeds × n ∈ {5,9})"
+             (Zoo.entry_name e))
+          `Slow (gate e))
+      Zoo.entries
+  in
+  let chaos_cells =
+    List.map
+      (fun e ->
+        Alcotest.test_case
+          (Printf.sprintf "%s: byte faults never unsafe" (Zoo.entry_name e))
+          `Slow (chaos e))
+      Zoo.entries
+  in
+  Alcotest.run "wire-diff"
+    [
+      ("differential", gates);
+      ("chaos", chaos_cells);
+      ( "chaos observability",
+        [ Alcotest.test_case "faults stamped and rejected" `Quick chaos_observable ]
+      );
+    ]
